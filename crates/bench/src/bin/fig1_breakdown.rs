@@ -1,0 +1,51 @@
+//! Figure 1 — time breakdown of SCAN and pSCAN into *similarity
+//! evaluation*, *workload-reduction computation* and *other*, across
+//! ε ∈ {0.2, 0.4, 0.6, 0.8} at µ = 5.
+//!
+//! The paper's two observations should reproduce: (1) similarity
+//! evaluation dominates both algorithms, and (2) pSCAN's
+//! workload-reduction bookkeeping is cheap relative to the similarity
+//! time it saves.
+//!
+//! ```sh
+//! cargo run --release -p ppscan-bench --bin fig1_breakdown -- [--scale 0.5]
+//! ```
+
+use ppscan_bench::{secs, HarnessArgs, Table};
+use ppscan_core::{pscan, scan};
+use ppscan_graph::datasets::Dataset;
+
+fn main() {
+    let mut args = HarnessArgs::parse();
+    if !args.quick && args.scale == 1.0 {
+        args.scale = 0.5; // SCAN's 2Σd² workload: keep the default tame
+    }
+    // Figure 1 uses livejournal, orkut and twitter.
+    if args.datasets == Dataset::TABLE1.to_vec() {
+        args.datasets = vec![Dataset::LiveJournalS, Dataset::OrkutS, Dataset::TwitterS];
+    }
+
+    let mut table = Table::new(&[
+        "dataset", "algo", "eps", "similarity", "workload-red", "other", "total",
+    ]);
+    for (d, g) in ppscan_bench::load_datasets(&args) {
+        for &eps in &args.eps_list {
+            let p = args.params(eps);
+            let scan_out = scan::scan(&g, p);
+            let pscan_out = pscan::pscan(&g, p);
+            for (algo, b) in [("SCAN", scan_out.breakdown), ("pSCAN", pscan_out.breakdown)] {
+                table.row(vec![
+                    d.name().into(),
+                    algo.into(),
+                    format!("{eps:.1}"),
+                    secs(b.similarity_evaluation),
+                    secs(b.workload_reduction),
+                    secs(b.other),
+                    secs(b.total()),
+                ]);
+            }
+        }
+    }
+    println!("\nFigure 1: SCAN vs pSCAN time breakdown (mu = {})", args.mu);
+    table.print(args.csv);
+}

@@ -1,0 +1,13 @@
+//! Figure 2 — comparison with existing algorithms on the "CPU server"
+//! configuration: ppSCAN uses the AVX2 pivot kernel.
+//!
+//! ```sh
+//! cargo run --release -p ppscan-bench --bin fig2_compare -- [--scale 0.5]
+//! ```
+
+use ppscan_intersect::Kernel;
+
+fn main() {
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    ppscan_bench::compare::run("Figure 2", "CPU/AVX2", Kernel::PivotAvx2, threads);
+}

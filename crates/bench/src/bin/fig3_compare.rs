@@ -1,0 +1,13 @@
+//! Figure 3 — comparison with existing algorithms on the "KNL server"
+//! configuration: ppSCAN uses the AVX-512 pivot kernel.
+//!
+//! ```sh
+//! cargo run --release -p ppscan-bench --bin fig3_compare -- [--scale 0.5]
+//! ```
+
+use ppscan_intersect::Kernel;
+
+fn main() {
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    ppscan_bench::compare::run("Figure 3", "KNL/AVX-512", Kernel::PivotAvx512, threads);
+}

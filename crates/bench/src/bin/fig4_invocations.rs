@@ -1,0 +1,49 @@
+//! Figure 4 — set-intersection invocation reduction: the number of
+//! `CompSim` invocations of pSCAN and ppSCAN, normalized by |E|, across
+//! datasets and ε. The paper's claim: ppSCAN's multi-phase decomposition
+//! conducts a similar amount of (pruned) work to sequential pSCAN.
+//!
+//! ```sh
+//! cargo run --release -p ppscan-bench --bin fig4_invocations -- [--scale 1.0]
+//! ```
+
+use ppscan_bench::{HarnessArgs, Table};
+use ppscan_core::ppscan::{ppscan, PpScanConfig};
+use ppscan_core::pscan;
+use ppscan_intersect::counters;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let cfg = PpScanConfig::with_threads(
+        std::thread::available_parallelism().map_or(4, |n| n.get()),
+    );
+    let mut table = Table::new(&[
+        "dataset", "eps", "pSCAN inv", "ppSCAN inv", "pSCAN norm", "ppSCAN norm",
+    ]);
+    for (d, g) in ppscan_bench::load_datasets(&args) {
+        let edges = g.num_edges() as f64;
+        for &eps in &args.eps_list {
+            let p = args.params(eps);
+            let before = counters::snapshot();
+            let _ = pscan::pscan(&g, p);
+            let pscan_inv = counters::snapshot().since(&before).compsim_invocations;
+            let before = counters::snapshot();
+            let _ = ppscan(&g, p, &cfg);
+            let ppscan_inv = counters::snapshot().since(&before).compsim_invocations;
+            table.row(vec![
+                d.name().into(),
+                format!("{eps:.1}"),
+                pscan_inv.to_string(),
+                ppscan_inv.to_string(),
+                format!("{:.3}", pscan_inv as f64 / edges),
+                format!("{:.3}", ppscan_inv as f64 / edges),
+            ]);
+        }
+    }
+    println!(
+        "\nFigure 4: set-intersection invocation reduction (mu = {}), \
+         normalized by |E|",
+        args.mu
+    );
+    table.print(args.csv);
+}

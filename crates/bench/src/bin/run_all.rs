@@ -1,0 +1,49 @@
+//! Runs the complete evaluation suite — every table, figure and ablation
+//! — by spawning each harness binary in sequence, forwarding the common
+//! flags. Writes everything it prints to stdout; use
+//! `cargo run --release -p ppscan-bench --bin run_all -- --scale 0.25`
+//! for a faster pass, or `--quick` for a smoke run.
+
+use std::process::Command;
+
+const BINS: [&str; 11] = [
+    "table1",
+    "table2",
+    "fig1_breakdown",
+    "fig2_compare",
+    "fig3_compare",
+    "fig4_invocations",
+    "fig5_simd",
+    "fig6_scalability",
+    "fig7_robustness",
+    "fig8_roll",
+    "ablation_edorder",
+];
+const EXTRA_BINS: [&str; 3] = ["ablation_twophase", "ablation_sched", "parameter_exploration"];
+
+fn main() {
+    let forwarded: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("current_exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let mut failures = Vec::new();
+    for bin in BINS.iter().chain(EXTRA_BINS.iter()) {
+        println!("\n================ {bin} ================");
+        let status = Command::new(exe_dir.join(bin))
+            .args(&forwarded)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} FAILED: {status}");
+            failures.push(*bin);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall experiments completed");
+    } else {
+        eprintln!("\nfailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

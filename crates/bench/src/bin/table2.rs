@@ -1,0 +1,29 @@
+//! Table 2 — synthetic ROLL graph statistics: fixed edge budget, average
+//! degree d ∈ {40, 80, 120, 160} (the paper uses |E| = 10⁹; default here
+//! is 10⁶ × `--scale`).
+//!
+//! ```sh
+//! cargo run --release -p ppscan-bench --bin table2 -- [--scale 1.0] [--csv]
+//! ```
+
+use ppscan_bench::{HarnessArgs, Table};
+use ppscan_graph::datasets::roll_suite;
+use ppscan_graph::stats::GraphStats;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let budget = (1_000_000.0 * args.scale) as usize;
+    let mut table = Table::new(&["Name", "|V|", "|E|", "d", "max d"]);
+    for (name, g) in roll_suite(budget) {
+        let s = GraphStats::of(&g);
+        table.row(vec![
+            name,
+            s.num_vertices.to_string(),
+            s.num_edges.to_string(),
+            format!("{:.1}", s.avg_degree),
+            s.max_degree.to_string(),
+        ]);
+    }
+    println!("\nTable 2: synthetic ROLL graph statistics (edge budget {budget})");
+    table.print(args.csv);
+}

@@ -1,0 +1,81 @@
+//! Shared driver for the Figures 2/3 algorithm comparison: SCAN, pSCAN,
+//! anySCAN-style, SCAN-XP-style and ppSCAN across datasets and ε.
+//!
+//! Figure 2 is the paper's CPU server (AVX2 kernel), Figure 3 the KNL
+//! server (AVX-512 kernel); on this reproduction both run on the same
+//! host and differ exactly in the SIMD kernel ppSCAN uses (DESIGN.md §3).
+//! Sequential baselines get a time budget per run instead of the paper's
+//! 90-minute TLE.
+
+use crate::{best_of, secs, HarnessArgs, Table};
+use ppscan_core::ppscan::{ppscan, PpScanConfig};
+use ppscan_core::{anyscan, pscan, scan, scanxp};
+use ppscan_intersect::Kernel;
+use std::time::Duration;
+
+/// Per-(algorithm, ε) budget: if one run exceeds it, remaining ε values
+/// for that algorithm on that dataset print as `TLE`.
+const BUDGET: Duration = Duration::from_secs(120);
+
+/// Runs the full comparison with the given ppSCAN kernel and prints the
+/// figure table.
+pub fn run(figure: &str, platform: &str, kernel: Kernel, threads: usize) {
+    let mut args = HarnessArgs::parse();
+    if !args.quick && args.scale == 1.0 {
+        args.scale = 0.5;
+    }
+    if !kernel.available() {
+        eprintln!(
+            "warning: kernel {kernel} unavailable on this CPU; falling back to {}",
+            Kernel::auto()
+        );
+    }
+    let kernel = if kernel.available() { kernel } else { Kernel::auto() };
+    let cfg = PpScanConfig::with_threads(threads).kernel(kernel);
+
+    let mut table = Table::new(&["dataset", "eps", "SCAN", "pSCAN", "anySCAN", "SCAN-XP", "ppSCAN"]);
+    for (d, g) in crate::load_datasets(&args) {
+        let mut tle = [false; 4]; // scan, pscan, anyscan, scanxp
+        for &eps in &args.eps_list {
+            let p = args.params(eps);
+            let mut cell = |idx: usize, f: &mut dyn FnMut() -> ()| -> String {
+                if tle[idx] {
+                    return "TLE".into();
+                }
+                let (t, ()) = best_of(f);
+                if t > BUDGET {
+                    tle[idx] = true;
+                }
+                secs(t)
+            };
+            let scan_t = cell(0, &mut || {
+                scan::scan(&g, p);
+            });
+            let pscan_t = cell(1, &mut || {
+                pscan::pscan(&g, p);
+            });
+            let any_t = cell(2, &mut || {
+                anyscan::anyscan(&g, p, threads);
+            });
+            let xp_t = cell(3, &mut || {
+                scanxp::scanxp(&g, p, threads);
+            });
+            let (pp_t, _) = best_of(|| ppscan(&g, p, &cfg));
+            table.row(vec![
+                d.name().into(),
+                format!("{eps:.1}"),
+                scan_t,
+                pscan_t,
+                any_t,
+                xp_t,
+                secs(pp_t),
+            ]);
+        }
+    }
+    println!(
+        "\n{figure}: comparison with existing algorithms ({platform}, kernel {kernel}, \
+         {threads} threads, mu = {}), seconds",
+        args.mu
+    );
+    table.print(args.csv);
+}

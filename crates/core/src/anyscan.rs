@@ -1,0 +1,200 @@
+//! anySCAN-style baseline (Mai et al., ICDE'17), reimplemented.
+//!
+//! anySCAN processes vertex blocks in parallel, growing clusters from
+//! "super-nodes" with complex per-vertex state transitions; the paper
+//! (§3.3) attributes its limited performance to dynamic memory allocation
+//! in the expansion phase and (§6.1) observed it running out of memory on
+//! the largest graphs.
+//!
+//! This reimplementation preserves the *performance-relevant shape* the
+//! ppSCAN evaluation compares against rather than every state-machine
+//! detail of the original (whose binary is unavailable — see DESIGN.md
+//! §3): vertices are processed in fixed-size blocks; each worker checks
+//! cores with early termination but **without** cross-thread similarity
+//! reuse (duplicate computation across directions, as anySCAN's
+//! block-local processing incurs); every block allocates fresh
+//! local buffers (the dynamic-allocation overhead); and cluster merging
+//! funnels through a mutex-protected table rather than a lock-free
+//! union-find. Output is identical to SCAN; only the cost profile
+//! differs.
+
+use crate::params::ScanParams;
+use crate::result::{Clustering, Role};
+use crate::simstore::SimStore;
+use ppscan_graph::{CsrGraph, VertexId};
+use ppscan_intersect::{Kernel, Similarity};
+use ppscan_sched::WorkerPool;
+use ppscan_unionfind::UnionFind;
+use parking_lot::Mutex;
+
+/// Block size (vertices per unit of scheduled work), matching anySCAN's
+/// block-oriented processing.
+const BLOCK: usize = 1024;
+
+/// Runs the anySCAN-style baseline.
+pub fn anyscan(g: &CsrGraph, params: ScanParams, threads: usize) -> Clustering {
+    let pool = WorkerPool::new(threads);
+    let n = g.num_vertices();
+    let sim = SimStore::new(g.num_directed_edges());
+    let mu = params.mu;
+
+    // Parallel block phase: determine roles; collect similar core-core
+    // edges and core→non-core attachments into freshly allocated
+    // per-block buffers, merged under a lock.
+    #[derive(Default)]
+    struct Merged {
+        core_edges: Vec<(VertexId, VertexId)>,
+        roles: Vec<(VertexId, Role)>,
+    }
+    let merged: Mutex<Merged> = Mutex::new(Merged::default());
+
+    let blocks: Vec<std::ops::Range<u32>> = (0..n)
+        .step_by(BLOCK)
+        .map(|b| b as u32..((b + BLOCK).min(n)) as u32)
+        .collect();
+    pool.run_chunks(&blocks, |range| {
+        // anySCAN's allocation overhead: fresh buffers per block.
+        let mut local_roles: Vec<(VertexId, Role)> = Vec::new();
+        let mut local_core_edges: Vec<(VertexId, VertexId)> = Vec::new();
+        for u in range {
+            let nu = g.neighbors(u);
+            let mut similar_slots: Vec<usize> = Vec::with_capacity(nu.len());
+            let mut sd = 0usize;
+            let mut ed = nu.len();
+            for eo in g.neighbor_range(u) {
+                // No cross-direction reuse: each endpoint computes its
+                // own copy of the similarity.
+                let v = g.edge_dst(eo);
+                let nv = g.neighbors(v);
+                let min_cn = params.min_cn(nu.len(), nv.len());
+                let label = Kernel::MergeEarly.check(nu, nv, min_cn);
+                sim.set(eo, label);
+                if label == Similarity::Sim {
+                    sd += 1;
+                    similar_slots.push(eo);
+                } else {
+                    ed -= 1;
+                }
+                // Early termination on the role decision only: the
+                // similar edges found so far are still recorded.
+                if sd >= mu || ed < mu {
+                    // anySCAN keeps scanning to find all similar edges of
+                    // cores; non-cores can stop.
+                    if ed < mu {
+                        break;
+                    }
+                }
+            }
+            if sd >= mu {
+                // A core must know all its similar edges for expansion.
+                for eo in g.neighbor_range(u) {
+                    if sim.get(eo) != Similarity::Unknown {
+                        continue;
+                    }
+                    let v = g.edge_dst(eo);
+                    let nv = g.neighbors(v);
+                    let min_cn = params.min_cn(nu.len(), nv.len());
+                    let label = Kernel::MergeEarly.check(nu, nv, min_cn);
+                    sim.set(eo, label);
+                    if label == Similarity::Sim {
+                        similar_slots.push(eo);
+                    }
+                }
+                local_roles.push((u, Role::Core));
+                for &eo in &similar_slots {
+                    let v = g.edge_dst(eo);
+                    local_core_edges.push((u, v));
+                }
+            } else {
+                local_roles.push((u, Role::NonCore));
+            }
+        }
+        let mut m = merged.lock();
+        m.roles.extend_from_slice(&local_roles);
+        m.core_edges.extend_from_slice(&local_core_edges);
+    });
+
+    // Sequential merge phase (anySCAN's summarization step).
+    let m = merged.into_inner();
+    let mut roles = vec![Role::NonCore; n];
+    for (u, r) in m.roles {
+        roles[u as usize] = r;
+    }
+    let mut uf = UnionFind::new(n);
+    let mut attachments: Vec<(VertexId, u32)> = Vec::new();
+    for (u, v) in m.core_edges {
+        match roles[v as usize] {
+            Role::Core => {
+                uf.union(u, v);
+            }
+            Role::NonCore => attachments.push((v, u)),
+        }
+    }
+    // Resolve attachment labels to final cluster roots.
+    let pairs: Vec<(VertexId, u32)> = attachments
+        .into_iter()
+        .map(|(v, core)| (v, uf.find_root(core)))
+        .collect();
+    let core_label: Vec<u32> = (0..n as VertexId)
+        .map(|u| {
+            if roles[u as usize] == Role::Core {
+                uf.find_root(u)
+            } else {
+                u32::MAX
+            }
+        })
+        .collect();
+    Clustering::from_raw(roles, core_label, pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pscan::pscan;
+    use ppscan_graph::gen;
+
+    #[test]
+    fn matches_pscan() {
+        for g in [
+            gen::scan_paper_example(),
+            gen::clique_chain(4, 4),
+            gen::planted_partition(3, 20, 0.7, 0.03, 2),
+        ] {
+            for eps in [0.4, 0.7] {
+                for mu in [2usize, 3] {
+                    let p = ScanParams::new(eps, mu);
+                    assert_eq!(
+                        anyscan(&g, p, 3),
+                        pscan(&g, p).clustering,
+                        "eps={eps} mu={mu}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_work_relative_to_ppscan() {
+        // anySCAN recomputes both directions: strictly more invocations
+        // than pSCAN's reuse-based count on a clustered graph.
+        use ppscan_intersect::counters;
+        let g = gen::planted_partition(4, 25, 0.6, 0.02, 3);
+        let p = ScanParams::new(0.4, 3);
+        let before = counters::snapshot();
+        let _ = anyscan(&g, p, 2);
+        let any_inv = counters::snapshot().since(&before).compsim_invocations;
+        let before = counters::snapshot();
+        let _ = pscan(&g, p);
+        let pscan_inv = counters::snapshot().since(&before).compsim_invocations;
+        assert!(
+            any_inv > pscan_inv,
+            "anySCAN {any_inv} vs pSCAN {pscan_inv} invocations"
+        );
+    }
+
+    #[test]
+    fn empty_graph() {
+        let c = anyscan(&CsrGraph::empty(3), ScanParams::new(0.5, 2), 2);
+        assert_eq!(c.num_cores(), 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Cross-algorithm differential tests: SCAN ≡ pSCAN ≡ ppSCAN ≡ SCAN-XP ≡
+//! anySCAN on identical inputs, and every result validated against the
+//! from-first-principles reference (`verify`). This is the strongest
+//! correctness statement in the workspace: five independent
+//! implementations (one of them lock-free parallel) must agree exactly.
+
+use crate::params::ScanParams;
+use crate::ppscan::{ppscan, PpScanConfig};
+use crate::verify;
+use ppscan_graph::{gen, CsrGraph};
+use ppscan_intersect::Kernel;
+use proptest::prelude::*;
+
+fn all_algorithms_agree(g: &CsrGraph, eps: f64, mu: usize) {
+    let p = ScanParams::new(eps, mu);
+    let reference = verify::reference_clustering(g, p);
+
+    let scan_out = crate::scan::scan(g, p).clustering;
+    assert_eq!(scan_out, reference, "SCAN diverged at eps={eps} mu={mu}");
+
+    let pscan_out = crate::pscan::pscan(g, p).clustering;
+    assert_eq!(pscan_out, reference, "pSCAN diverged at eps={eps} mu={mu}");
+
+    let xp = crate::scanxp::scanxp(g, p, 2);
+    assert_eq!(xp, reference, "SCAN-XP diverged at eps={eps} mu={mu}");
+
+    let any = crate::anyscan::anyscan(g, p, 2);
+    assert_eq!(any, reference, "anySCAN diverged at eps={eps} mu={mu}");
+
+    let spp = crate::scanpp::scanpp(g, p);
+    assert_eq!(spp, reference, "SCAN++ diverged at eps={eps} mu={mu}");
+
+    for threads in [1usize, 3] {
+        let cfg = PpScanConfig::with_threads(threads);
+        let pp = ppscan(g, p, &cfg).clustering;
+        assert_eq!(
+            pp, reference,
+            "ppSCAN({threads} threads) diverged at eps={eps} mu={mu}"
+        );
+        verify::check_clustering(g, p, &pp).unwrap();
+    }
+}
+
+#[test]
+fn golden_example_full_grid() {
+    let g = gen::scan_paper_example();
+    for eps in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
+        for mu in [1, 2, 3, 6] {
+            all_algorithms_agree(&g, eps, mu);
+        }
+    }
+}
+
+#[test]
+fn pathological_topologies() {
+    for g in [
+        CsrGraph::empty(0),
+        CsrGraph::empty(5),
+        gen::path(2),
+        gen::star(20),
+        gen::complete(10),
+        gen::cycle(8),
+        gen::grid(5, 5),
+        gen::clique_chain(6, 3),
+    ] {
+        all_algorithms_agree(&g, 0.5, 2);
+        all_algorithms_agree(&g, 0.9, 4);
+        all_algorithms_agree(&g, 1.0, 1);
+    }
+}
+
+#[test]
+fn scale_free_and_blocky_graphs() {
+    all_algorithms_agree(&gen::roll(250, 10, 7), 0.4, 4);
+    all_algorithms_agree(&gen::rmat_social(8, 8, 9), 0.3, 3);
+    all_algorithms_agree(&gen::planted_partition(4, 20, 0.65, 0.02, 5), 0.5, 3);
+}
+
+#[test]
+fn mu_exceeding_max_degree_yields_no_cores() {
+    let g = gen::roll(100, 6, 1);
+    let p = ScanParams::new(0.2, g.max_degree() + 1);
+    let out = ppscan(&g, p, &PpScanConfig::with_threads(2));
+    assert_eq!(out.clustering.num_cores(), 0);
+    assert_eq!(out.clustering.num_clusters(), 0);
+    verify::check_clustering(&g, p, &out.clustering).unwrap();
+}
+
+#[test]
+fn all_kernels_produce_identical_clusterings() {
+    let g = gen::planted_partition(3, 25, 0.6, 0.03, 11);
+    let p = ScanParams::new(0.5, 3);
+    let reference = verify::reference_clustering(&g, p);
+    for kernel in Kernel::ALL.into_iter().filter(|k| k.available()) {
+        let cfg = PpScanConfig::with_threads(2).kernel(kernel);
+        assert_eq!(
+            ppscan(&g, p, &cfg).clustering,
+            reference,
+            "kernel {kernel} diverged"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random small graphs × random parameters: the parallel algorithm
+    /// must match the naive reference exactly.
+    #[test]
+    fn ppscan_matches_reference_on_random_graphs(
+        seed in 0u64..1000,
+        n in 10usize..60,
+        edge_factor in 1usize..6,
+        eps_decile in 1u64..10,
+        mu in 1usize..6,
+    ) {
+        let g = gen::erdos_renyi(n, n * edge_factor, seed);
+        let p = ScanParams::new(eps_decile as f64 / 10.0, mu);
+        let reference = verify::reference_clustering(&g, p);
+        let cfg = PpScanConfig::with_threads(3).degree_threshold(8);
+        let pp = ppscan(&g, p, &cfg).clustering;
+        prop_assert_eq!(pp, reference);
+    }
+
+    /// pSCAN (with and without the dynamic ed-order) matches the
+    /// reference on random scale-free graphs.
+    #[test]
+    fn pscan_matches_reference_on_scale_free(
+        seed in 0u64..1000,
+        eps_decile in 1u64..10,
+        mu in 1usize..5,
+    ) {
+        let g = gen::roll(80, 6, seed);
+        let p = ScanParams::new(eps_decile as f64 / 10.0, mu);
+        let reference = verify::reference_clustering(&g, p);
+        prop_assert_eq!(crate::pscan::pscan(&g, p).clustering, reference.clone());
+        prop_assert_eq!(
+            crate::pscan::pscan_with_order(&g, p, false).clustering,
+            reference
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! SCAN input parameters (paper problem statement): the similarity
+//! threshold `0 < ε ≤ 1` and the core threshold `µ ≥ 1`.
+
+use ppscan_intersect::EpsilonThreshold;
+
+/// The `(ε, µ)` parameter pair every SCAN-family algorithm takes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScanParams {
+    /// Exact-arithmetic similarity threshold ε.
+    pub epsilon: EpsilonThreshold,
+    /// Core threshold µ: a vertex is a core iff it has at least µ similar
+    /// proper neighbors, i.e. `|N_ε(u)| ≥ µ + 1` (Definition 2.4).
+    pub mu: usize,
+}
+
+impl ScanParams {
+    /// Creates parameters from a float ε and integer µ.
+    ///
+    /// # Panics
+    /// Panics if `eps ∉ (0, 1]` or `mu == 0`.
+    pub fn new(eps: f64, mu: usize) -> Self {
+        assert!(mu >= 1, "mu must be at least 1");
+        Self {
+            epsilon: EpsilonThreshold::new(eps),
+            mu,
+        }
+    }
+
+    /// The similarity threshold `min_cn` for an edge between degrees
+    /// `d_u`, `d_v` (delegates to [`EpsilonThreshold::min_cn`]).
+    #[inline]
+    pub fn min_cn(&self, d_u: usize, d_v: usize) -> u64 {
+        self.epsilon.min_cn(d_u, d_v)
+    }
+
+    /// Display string like `eps=0.60 mu=5`.
+    pub fn label(&self) -> String {
+        format!("eps={:.2} mu={}", self.epsilon.as_f64(), self.mu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_label() {
+        let p = ScanParams::new(0.6, 5);
+        assert_eq!(p.mu, 5);
+        assert_eq!(p.label(), "eps=0.60 mu=5");
+        assert_eq!(p.min_cn(4, 4), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "mu must be at least 1")]
+    fn rejects_mu_zero() {
+        ScanParams::new(0.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_bad_epsilon() {
+        ScanParams::new(1.5, 2);
+    }
+}

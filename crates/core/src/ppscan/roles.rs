@@ -1,0 +1,240 @@
+//! Role computing (paper Algorithm 3): similarity pruning, core checking
+//! and core consolidating, each a barrier-separated parallel phase.
+
+use super::shared::Shared;
+use crate::result::Role;
+use ppscan_graph::VertexId;
+use ppscan_intersect::Similarity;
+use ppscan_sched::WorkerPool;
+
+/// Phase 1 — `PruneSim(u)` for every vertex in parallel.
+///
+/// Applies the degree-only similarity-predicate pruning to every
+/// out-slot of `u` (each directed slot is written exclusively by its
+/// source vertex: no conflicts) and initializes `role[u]` from the local
+/// `sd`/`ed` bounds when they already decide it.
+pub(crate) fn prune_sim(shared: &Shared<'_>, pool: &WorkerPool, degree_threshold: u64) {
+    let g = shared.g;
+    let n = g.num_vertices();
+    let mu = shared.params.mu as i64;
+    pool.run_weighted(
+        n,
+        degree_threshold,
+        |u| g.degree(u) as u64,
+        |range| {
+            for u in range {
+                let d_u = g.degree(u);
+                let mut sd = 0i64;
+                let mut ed = d_u as i64;
+                for eo in g.neighbor_range(u) {
+                    let v = g.edge_dst(eo);
+                    let label = shared.params.epsilon.prune_by_degree(d_u, g.degree(v));
+                    match label {
+                        Similarity::Sim => {
+                            shared.sim.set(eo, label);
+                            sd += 1;
+                        }
+                        Similarity::NSim => {
+                            shared.sim.set(eo, label);
+                            ed -= 1;
+                        }
+                        Similarity::Unknown => {}
+                    }
+                }
+                if sd >= mu {
+                    shared.set_role(u, Role::Core);
+                } else if ed < mu {
+                    shared.set_role(u, Role::NonCore);
+                }
+                // Otherwise the role stays Unknown for the next phases.
+            }
+        },
+    );
+}
+
+/// Phases 2 and 3 — `CheckCore(u)` / `ConsolidateCore(u)` for every
+/// still-unknown vertex in parallel.
+///
+/// With `only_greater = true` this is the core-checking phase: `u` only
+/// computes edges `(u, v)` with `u < v`, so every similarity is computed
+/// at most once across all threads (Theorem 4.1) at the price of some
+/// roles staying unknown. With `only_greater = false` it is the
+/// consolidating phase, which finishes those roles; Theorem 4.1's
+/// argument shows no edge is computed twice there either.
+pub(crate) fn check_core(
+    shared: &Shared<'_>,
+    pool: &WorkerPool,
+    degree_threshold: u64,
+    only_greater: bool,
+) {
+    let g = shared.g;
+    let n = g.num_vertices();
+    pool.run_weighted(
+        n,
+        degree_threshold,
+        // Algorithm 5: only vertices still requiring computation carry
+        // weight.
+        |u| {
+            if shared.role_unknown(u) {
+                g.degree(u) as u64
+            } else {
+                0
+            }
+        },
+        |range| {
+            for u in range {
+                if shared.role_unknown(u) {
+                    check_core_vertex(shared, u, only_greater);
+                }
+            }
+        },
+    );
+}
+
+/// Algorithm 3 lines 21–33 for one vertex.
+fn check_core_vertex(shared: &Shared<'_>, u: VertexId, only_greater: bool) {
+    let g = shared.g;
+    let mu = shared.params.mu as i64;
+    let mut sd = 0i64;
+    let mut ed = g.degree(u) as i64;
+
+    // First loop (lines 22–30): initialize the local bounds from labels
+    // already decided by pruning, neighbors, or earlier phases.
+    for eo in g.neighbor_range(u) {
+        match shared.sim.get(eo) {
+            Similarity::Sim => {
+                sd += 1;
+                if sd >= mu {
+                    shared.set_role(u, Role::Core);
+                    return;
+                }
+            }
+            Similarity::NSim => {
+                ed -= 1;
+                if ed < mu {
+                    shared.set_role(u, Role::NonCore);
+                    return;
+                }
+            }
+            Similarity::Unknown => {}
+        }
+    }
+
+    // Second loop (lines 31–33): compute the remaining unknown labels —
+    // only the u < v ones during core checking.
+    for eo in g.neighbor_range(u) {
+        let v = g.edge_dst(eo);
+        if only_greater && v <= u {
+            continue;
+        }
+        if shared.sim.get(eo) != Similarity::Unknown {
+            continue;
+        }
+        let label = shared.comp_sim_both(u, v, eo);
+        match label {
+            Similarity::Sim => {
+                sd += 1;
+                if sd >= mu {
+                    shared.set_role(u, Role::Core);
+                    return;
+                }
+            }
+            Similarity::NSim => {
+                ed -= 1;
+                if ed < mu {
+                    shared.set_role(u, Role::NonCore);
+                    return;
+                }
+            }
+            Similarity::Unknown => unreachable!("kernel always decides"),
+        }
+    }
+
+    // All edges of u accounted: the bounds are exact and must decide —
+    // unless the u < v constraint skipped edges, in which case the role
+    // stays unknown for the consolidating phase.
+    if !only_greater {
+        // ed == sd here (every edge known), so sd < mu ⇒ NonCore.
+        debug_assert_eq!(sd, ed, "exact bounds must coincide");
+        shared.set_role(u, if sd >= mu { Role::Core } else { Role::NonCore });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ScanParams;
+    use crate::ppscan::shared::Shared;
+    use crate::result::Role;
+    use crate::verify;
+    use ppscan_graph::gen;
+    use ppscan_intersect::Kernel;
+    use ppscan_sched::WorkerPool;
+
+    /// Runs only the role-computing step and returns the roles.
+    fn roles_of(g: &ppscan_graph::CsrGraph, eps: f64, mu: usize, threads: usize) -> Vec<Role> {
+        let params = ScanParams::new(eps, mu);
+        let shared = Shared::new(g, params, Kernel::MergeEarly);
+        let pool = WorkerPool::new(threads);
+        prune_sim(&shared, &pool, 64);
+        check_core(&shared, &pool, 64, true);
+        check_core(&shared, &pool, 64, false);
+        shared.roles_vec()
+    }
+
+    #[test]
+    fn all_roles_decided_after_consolidation() {
+        // Theorem 4.2: roles complete — roles_vec panics otherwise.
+        let g = gen::planted_partition(3, 20, 0.6, 0.04, 3);
+        let roles = roles_of(&g, 0.5, 3, 4);
+        assert_eq!(roles.len(), g.num_vertices());
+    }
+
+    #[test]
+    fn roles_match_reference_on_grid() {
+        let g = gen::roll(200, 10, 11);
+        for eps in [0.2, 0.5, 0.8] {
+            for mu in [1usize, 3, 6] {
+                let expect = verify::reference_clustering(&g, ScanParams::new(eps, mu)).roles;
+                for threads in [1usize, 4] {
+                    assert_eq!(
+                        roles_of(&g, eps, mu, threads),
+                        expect,
+                        "eps={eps} mu={mu} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prune_alone_decides_extremes() {
+        // ε = 0.1 on a clique: every edge is degree-pruned Sim, so the
+        // pruning phase alone fixes every role to Core.
+        let g = gen::complete(8);
+        let params = ScanParams::new(0.1, 2);
+        let shared = Shared::new(&g, params, Kernel::MergeEarly);
+        let pool = WorkerPool::new(2);
+        prune_sim(&shared, &pool, 64);
+        for u in g.vertices() {
+            assert!(shared.is_core(u), "vertex {u} not decided by pruning");
+        }
+    }
+
+    #[test]
+    fn check_core_skips_decided_vertices() {
+        // After pruning decided everything, the check/consolidate phases
+        // must not invoke a single intersection.
+        use ppscan_intersect::counters;
+        let g = gen::complete(10);
+        let params = ScanParams::new(0.1, 2);
+        let shared = Shared::new(&g, params, Kernel::MergeEarly);
+        let pool = WorkerPool::new(2);
+        prune_sim(&shared, &pool, 64);
+        let before = counters::snapshot();
+        check_core(&shared, &pool, 64, true);
+        check_core(&shared, &pool, 64, false);
+        let delta = counters::snapshot().since(&before);
+        assert_eq!(delta.compsim_invocations, 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Shared lock-free state of a ppSCAN run: the graph, parameters, kernel,
+//! the atomic per-edge similarity labels and the atomic per-vertex roles.
+
+use crate::params::ScanParams;
+use crate::result::Role;
+use crate::simstore::SimStore;
+use ppscan_graph::{CsrGraph, VertexId};
+use ppscan_intersect::{Kernel, Similarity};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Atomic role encoding: `0 = Unknown`, `1 = Core`, `2 = NonCore`.
+const ROLE_UNKNOWN: u8 = 0;
+const ROLE_CORE: u8 = 1;
+const ROLE_NONCORE: u8 = 2;
+
+pub(crate) struct Shared<'g> {
+    pub g: &'g CsrGraph,
+    pub params: ScanParams,
+    pub kernel: Kernel,
+    pub sim: SimStore,
+    role: Vec<AtomicU8>,
+}
+
+impl<'g> Shared<'g> {
+    pub fn new(g: &'g CsrGraph, params: ScanParams, kernel: Kernel) -> Self {
+        let n = g.num_vertices();
+        let mut role = Vec::with_capacity(n);
+        role.resize_with(n, || AtomicU8::new(ROLE_UNKNOWN));
+        Self {
+            g,
+            params,
+            kernel,
+            sim: SimStore::new(g.num_directed_edges()),
+            role,
+        }
+    }
+
+    /// Whether `u`'s role is still undecided.
+    #[inline]
+    pub fn role_unknown(&self, u: VertexId) -> bool {
+        self.role[u as usize].load(Ordering::Relaxed) == ROLE_UNKNOWN
+    }
+
+    /// Whether `u` is a (decided) core.
+    #[inline]
+    pub fn is_core(&self, u: VertexId) -> bool {
+        self.role[u as usize].load(Ordering::Relaxed) == ROLE_CORE
+    }
+
+    /// Whether `u` is a (decided) non-core.
+    #[inline]
+    pub fn is_noncore(&self, u: VertexId) -> bool {
+        self.role[u as usize].load(Ordering::Relaxed) == ROLE_NONCORE
+    }
+
+    /// Publishes `u`'s role.
+    #[inline]
+    pub fn set_role(&self, u: VertexId, r: Role) {
+        let enc = match r {
+            Role::Core => ROLE_CORE,
+            Role::NonCore => ROLE_NONCORE,
+        };
+        self.role[u as usize].store(enc, Ordering::Relaxed);
+    }
+
+    /// Extracts the final role vector.
+    ///
+    /// # Panics
+    /// Panics if any role is still unknown — Theorem 4.2 guarantees the
+    /// consolidating phase decided every vertex.
+    pub fn roles_vec(&self) -> Vec<Role> {
+        self.role
+            .iter()
+            .enumerate()
+            .map(|(u, r)| match r.load(Ordering::Relaxed) {
+                ROLE_CORE => Role::Core,
+                ROLE_NONCORE => Role::NonCore,
+                _ => panic!("vertex {u} has undecided role after consolidation"),
+            })
+            .collect()
+    }
+
+    /// `CompSim(u, v)` for the slot `eo = e(u, v)`: runs the configured
+    /// kernel and publishes the label at **both** directed slots
+    /// (similarity value reuse; the reverse offset is a binary search in
+    /// `v`'s sorted neighbors, §3.2.1).
+    pub fn comp_sim_both(&self, u: VertexId, v: VertexId, eo: usize) -> Similarity {
+        let label = self.comp_sim_value(u, v);
+        self.sim.set(eo, label);
+        let rev = self
+            .g
+            .edge_offset(v, u)
+            .expect("undirected graph must contain the reverse edge");
+        self.sim.set(rev, label);
+        label
+    }
+
+    /// `CompSim(u, v)` publishing only `e(u, v)` (used by non-core
+    /// clustering, where the reverse direction is never read again).
+    pub fn comp_sim_forward(&self, u: VertexId, v: VertexId, eo: usize) -> Similarity {
+        let label = self.comp_sim_value(u, v);
+        self.sim.set(eo, label);
+        label
+    }
+
+    fn comp_sim_value(&self, u: VertexId, v: VertexId) -> Similarity {
+        let (nu, nv) = (self.g.neighbors(u), self.g.neighbors(v));
+        let min_cn = self.params.min_cn(nu.len(), nv.len());
+        self.kernel.check(nu, nv, min_cn)
+    }
+}

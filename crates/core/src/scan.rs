@@ -1,0 +1,192 @@
+//! SCAN (Xu et al., KDD'07) — paper Algorithm 1.
+//!
+//! The original structural clustering algorithm: for every unvisited
+//! vertex, check the core predicate by computing the structural
+//! similarity to *all* neighbors with an exhaustive merge intersection
+//! (no early termination, no reuse across edge directions — Theorem 3.4's
+//! `2 Σ d[v]²` workload), and grow clusters from cores by BFS over
+//! similar edges.
+//!
+//! Kept faithful to the original so the Figure 1/2/3 baselines reproduce:
+//! `sim[e(u, v)]` is cached for the later cluster expansion, but
+//! `CheckCore(v)` recomputes the reverse direction as the original does.
+
+use crate::params::ScanParams;
+use crate::result::{Clustering, Role, NO_CLUSTER};
+use crate::simstore::SimStore;
+use crate::timing::{Breakdown, Stopwatch};
+use ppscan_graph::{CsrGraph, VertexId};
+use ppscan_intersect::{merge, Similarity};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// SCAN result: the canonical clustering plus the Figure-1 breakdown.
+#[derive(Debug)]
+pub struct ScanOutput {
+    /// Canonical clustering.
+    pub clustering: Clustering,
+    /// Similarity / pruning / other time split.
+    pub breakdown: Breakdown,
+}
+
+/// Runs SCAN (Algorithm 1).
+pub fn scan(g: &CsrGraph, params: ScanParams) -> ScanOutput {
+    let wall = Instant::now();
+    let n = g.num_vertices();
+    let sim = SimStore::new(g.num_directed_edges());
+    let mut role: Vec<Option<Role>> = vec![None; n];
+    let mut core_label: Vec<u32> = vec![NO_CLUSTER; n];
+    let mut pairs: Vec<(VertexId, u32)> = Vec::new();
+    let mut sim_timer = Stopwatch::default();
+
+    let mut queue: VecDeque<VertexId> = VecDeque::new();
+    for u in 0..n as VertexId {
+        if role[u as usize].is_some() {
+            continue;
+        }
+        if check_core(g, &params, &sim, &mut role, u, &mut sim_timer) != Role::Core {
+            continue;
+        }
+        // ExpandCluster(u): BFS over similar edges from the seed core.
+        let cid = u;
+        core_label[u as usize] = cid;
+        queue.push_back(u);
+        while let Some(v) = queue.pop_front() {
+            // v is a checked core: all its sim labels are cached.
+            for eo in g.neighbor_range(v) {
+                if sim.get(eo) != Similarity::Sim {
+                    continue;
+                }
+                let w = g.edge_dst(eo);
+                if role[w as usize].is_none() {
+                    check_core(g, &params, &sim, &mut role, w, &mut sim_timer);
+                }
+                match role[w as usize].unwrap() {
+                    Role::Core => {
+                        if core_label[w as usize] == NO_CLUSTER {
+                            core_label[w as usize] = cid;
+                            queue.push_back(w);
+                        }
+                        debug_assert_eq!(core_label[w as usize], cid, "core in two clusters");
+                    }
+                    Role::NonCore => pairs.push((w, cid)),
+                }
+            }
+        }
+    }
+
+    let roles: Vec<Role> = role.into_iter().map(Option::unwrap).collect();
+    let clustering = Clustering::from_raw(roles, core_label, pairs);
+    let mut breakdown = Breakdown {
+        similarity_evaluation: sim_timer.total(),
+        workload_reduction: std::time::Duration::ZERO, // SCAN has no pruning
+        ..Default::default()
+    };
+    breakdown.set_other_from_total(wall.elapsed());
+    ScanOutput {
+        clustering,
+        breakdown,
+    }
+}
+
+/// `CheckCore(u)`: exhaustively computes the similarity of every incident
+/// edge (caching `sim[e(u, v)]` for the expansion) and decides the role.
+fn check_core(
+    g: &CsrGraph,
+    params: &ScanParams,
+    sim: &SimStore,
+    role: &mut [Option<Role>],
+    u: VertexId,
+    sim_timer: &mut Stopwatch,
+) -> Role {
+    let nu = g.neighbors(u);
+    let mut similar = 0usize;
+    for eo in g.neighbor_range(u) {
+        let v = g.edge_dst(eo);
+        let nv = g.neighbors(v);
+        let min_cn = params.min_cn(nu.len(), nv.len());
+        // Exhaustive merge intersection — SCAN has no early termination.
+        let label = sim_timer.time(|| {
+            if merge::count_full(nu, nv) + 2 >= min_cn {
+                Similarity::Sim
+            } else {
+                Similarity::NSim
+            }
+        });
+        sim.set(eo, label);
+        if label == Similarity::Sim {
+            similar += 1;
+        }
+    }
+    let r = if similar >= params.mu {
+        Role::Core
+    } else {
+        Role::NonCore
+    };
+    role[u as usize] = Some(r);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppscan_graph::gen;
+
+    #[test]
+    fn golden_scan_paper_example() {
+        // ε = 0.7, µ = 2 on the KDD'07 example: two clusters, vertex 6 a
+        // hub between them, vertex 13 an outlier.
+        let g = gen::scan_paper_example();
+        let out = scan(&g, ScanParams::new(0.7, 2));
+        let c = &out.clustering;
+        assert_eq!(c.num_clusters(), 2);
+        let classes = c.classify_unclustered(&g);
+        use crate::result::UnclusteredClass::*;
+        assert_eq!(classes[6], Hub, "bridge vertex must be a hub");
+        assert_eq!(classes[13], Outlier, "pendant vertex must be an outlier");
+        // Both communities fully clustered.
+        for v in [0u32, 1, 2, 3, 4, 5, 7, 8, 9, 10, 11, 12] {
+            assert!(c.is_clustered(v), "vertex {v} should be clustered");
+        }
+    }
+
+    #[test]
+    fn complete_graph_single_cluster() {
+        let g = gen::complete(6);
+        let out = scan(&g, ScanParams::new(0.5, 2));
+        assert_eq!(out.clustering.num_clusters(), 1);
+        assert_eq!(out.clustering.num_cores(), 6);
+    }
+
+    #[test]
+    fn high_mu_no_cores() {
+        let g = gen::complete(4);
+        let out = scan(&g, ScanParams::new(0.5, 10));
+        assert_eq!(out.clustering.num_cores(), 0);
+        assert_eq!(out.clustering.num_clusters(), 0);
+    }
+
+    #[test]
+    fn clique_chain_clusters_per_clique() {
+        let g = gen::clique_chain(5, 3);
+        let out = scan(&g, ScanParams::new(0.8, 3));
+        assert_eq!(out.clustering.num_clusters(), 3);
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let out = scan(&CsrGraph::empty(5), ScanParams::new(0.5, 1));
+        assert_eq!(out.clustering.num_cores(), 0);
+        assert_eq!(out.clustering.num_vertices(), 5);
+        let out = scan(&CsrGraph::empty(0), ScanParams::new(0.5, 1));
+        assert_eq!(out.clustering.num_vertices(), 0);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let g = gen::clique_chain(6, 4);
+        let out = scan(&g, ScanParams::new(0.5, 2));
+        assert!(out.breakdown.total() >= out.breakdown.similarity_evaluation);
+        assert_eq!(out.breakdown.workload_reduction, std::time::Duration::ZERO);
+    }
+}

@@ -1,0 +1,122 @@
+//! The per-directed-edge similarity label array (`sim[e(u, v)]`,
+//! Definition 2.12) with the lock-free access discipline of §4.
+//!
+//! One byte per CSR slot (`2|E|` total). Every slot transitions at most
+//! once, from `Unknown` to a final `Sim`/`NSim` (paper Theorem 4.1);
+//! concurrent readers that still observe `Unknown` fall back to
+//! recomputation, which is wasteful but never wrong — the algorithms'
+//! phase structure makes such races rare (§4.2.2). `Relaxed` ordering
+//! suffices because no other data is published through a label and the
+//! phase barriers (pool joins) order cross-phase access.
+
+use ppscan_intersect::Similarity;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Shared similarity-label array.
+pub struct SimStore {
+    labels: Vec<AtomicU8>,
+}
+
+impl SimStore {
+    /// All labels start `Unknown`.
+    pub fn new(num_directed_edges: usize) -> Self {
+        let mut labels = Vec::with_capacity(num_directed_edges);
+        labels.resize_with(num_directed_edges, || AtomicU8::new(Similarity::Unknown as u8));
+        Self { labels }
+    }
+
+    /// Number of directed-edge slots.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Reads the label at CSR slot `eo`.
+    #[inline]
+    pub fn get(&self, eo: usize) -> Similarity {
+        Similarity::from_u8(self.labels[eo].load(Ordering::Relaxed))
+    }
+
+    /// Writes the label at CSR slot `eo`.
+    #[inline]
+    pub fn set(&self, eo: usize, s: Similarity) {
+        debug_assert!(
+            s != Similarity::Unknown,
+            "labels only transition away from Unknown"
+        );
+        self.labels[eo].store(s as u8, Ordering::Relaxed);
+    }
+
+    /// Number of decided labels (diagnostics).
+    pub fn num_known(&self) -> usize {
+        self.labels
+            .iter()
+            .filter(|l| l.load(Ordering::Relaxed) != Similarity::Unknown as u8)
+            .count()
+    }
+
+    /// Number of `Sim` labels (diagnostics).
+    pub fn num_sim(&self) -> usize {
+        self.labels
+            .iter()
+            .filter(|l| l.load(Ordering::Relaxed) == Similarity::Sim as u8)
+            .count()
+    }
+}
+
+impl std::fmt::Debug for SimStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SimStore({} slots, {} known)", self.len(), self.num_known())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_unknown() {
+        let s = SimStore::new(4);
+        assert_eq!(s.len(), 4);
+        for eo in 0..4 {
+            assert_eq!(s.get(eo), Similarity::Unknown);
+        }
+        assert_eq!(s.num_known(), 0);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let s = SimStore::new(3);
+        s.set(1, Similarity::Sim);
+        s.set(2, Similarity::NSim);
+        assert_eq!(s.get(0), Similarity::Unknown);
+        assert_eq!(s.get(1), Similarity::Sim);
+        assert_eq!(s.get(2), Similarity::NSim);
+        assert_eq!(s.num_known(), 2);
+        assert_eq!(s.num_sim(), 1);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let s = SimStore::new(1000);
+        std::thread::scope(|t| {
+            let s = &s;
+            t.spawn(move || {
+                for eo in 0..500 {
+                    s.set(eo, Similarity::Sim);
+                }
+            });
+            t.spawn(move || {
+                for eo in 500..1000 {
+                    s.set(eo, Similarity::NSim);
+                }
+            });
+        });
+        assert_eq!(s.num_known(), 1000);
+        assert_eq!(s.num_sim(), 500);
+    }
+}

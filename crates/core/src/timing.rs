@@ -1,0 +1,139 @@
+//! Phase timing instrumentation for the paper's breakdown figures.
+//!
+//! * Figure 1 breaks SCAN/pSCAN runtime into *similarity evaluation*,
+//!   *workload-reduction computation* and *other* — [`Breakdown`].
+//! * Figure 6 breaks ppSCAN into its four stages (similarity pruning,
+//!   core checking + consolidating, core clustering, non-core
+//!   clustering) — [`StageTimings`].
+
+use std::time::{Duration, Instant};
+
+/// A running stopwatch accumulating into a `Duration`.
+#[derive(Default, Debug, Clone, Copy)]
+pub struct Stopwatch {
+    total: Duration,
+}
+
+impl Stopwatch {
+    /// Times one closure invocation, accumulating its duration.
+    #[inline]
+    pub fn time<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        self.total += t0.elapsed();
+        r
+    }
+
+    /// Accumulated time.
+    pub fn total(&self) -> Duration {
+        self.total
+    }
+
+    /// Adds an externally measured duration.
+    pub fn add(&mut self, d: Duration) {
+        self.total += d;
+    }
+}
+
+/// Figure-1 style breakdown for the sequential algorithms.
+#[derive(Default, Debug, Clone, Copy)]
+pub struct Breakdown {
+    /// Time spent in `CompSim` set intersections.
+    pub similarity_evaluation: Duration,
+    /// Time spent in pruning bookkeeping: sd/ed updates, priority
+    /// maintenance, degree-predicate checks, reverse-edge binary search.
+    pub workload_reduction: Duration,
+    /// Everything else (cluster expansion, union-find, output assembly).
+    pub other: Duration,
+}
+
+impl Breakdown {
+    /// Total across the three categories.
+    pub fn total(&self) -> Duration {
+        self.similarity_evaluation + self.workload_reduction + self.other
+    }
+
+    /// Derives `other` from a wall-clock total, clamping at zero.
+    pub fn set_other_from_total(&mut self, wall: Duration) {
+        self.other = wall.saturating_sub(self.similarity_evaluation + self.workload_reduction);
+    }
+}
+
+/// Figure-6 style per-stage timings for ppSCAN.
+#[derive(Default, Debug, Clone, Copy)]
+pub struct StageTimings {
+    /// Stage 1: similarity pruning (`PruneSim`).
+    pub prune: Duration,
+    /// Stage 2: core checking and consolidating.
+    pub check_core: Duration,
+    /// Stage 3: two-phase core clustering.
+    pub core_cluster: Duration,
+    /// Stage 4: cluster-id init + non-core clustering.
+    pub noncore_cluster: Duration,
+}
+
+impl StageTimings {
+    /// Whole-algorithm time (sum of stages).
+    pub fn total(&self) -> Duration {
+        self.prune + self.check_core + self.core_cluster + self.noncore_cluster
+    }
+
+    /// The stage names in paper order (Figure 6 legend).
+    pub const STAGE_NAMES: [&'static str; 4] = [
+        "1. Similarity Pruning",
+        "2. Core Checking and Consolidating",
+        "3. Core Clustering",
+        "4. Non-Core Clustering",
+    ];
+
+    /// Stage durations in paper order.
+    pub fn stages(&self) -> [Duration; 4] {
+        [
+            self.prune,
+            self.check_core,
+            self.core_cluster,
+            self.noncore_cluster,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_accumulates() {
+        let mut sw = Stopwatch::default();
+        let x = sw.time(|| 21 * 2);
+        assert_eq!(x, 42);
+        sw.add(Duration::from_millis(5));
+        assert!(sw.total() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn breakdown_other_clamped() {
+        let mut b = Breakdown {
+            similarity_evaluation: Duration::from_secs(2),
+            workload_reduction: Duration::from_secs(1),
+            other: Duration::ZERO,
+        };
+        b.set_other_from_total(Duration::from_secs(1)); // less than parts
+        assert_eq!(b.other, Duration::ZERO);
+        b.set_other_from_total(Duration::from_secs(5));
+        assert_eq!(b.other, Duration::from_secs(2));
+        assert_eq!(b.total(), Duration::from_secs(5));
+    }
+
+    #[test]
+    fn stage_timings_total() {
+        let t = StageTimings {
+            prune: Duration::from_millis(1),
+            check_core: Duration::from_millis(2),
+            core_cluster: Duration::from_millis(3),
+            noncore_cluster: Duration::from_millis(4),
+        };
+        assert_eq!(t.total(), Duration::from_millis(10));
+        assert_eq!(t.stages()[2], Duration::from_millis(3));
+        assert_eq!(StageTimings::STAGE_NAMES.len(), 4);
+    }
+}

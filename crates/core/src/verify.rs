@@ -1,0 +1,170 @@
+//! First-principles verification of a clustering against the SCAN
+//! definitions (paper §2) — no shared code with the algorithms beyond
+//! the naive reference intersection, so a bug in the pruning or the
+//! lock-free phases cannot hide from it.
+//!
+//! [`check_clustering`] recomputes, naively and sequentially:
+//! * every edge's similarity predicate σ_ε (Definition 2.2),
+//! * every role (Definition 2.4),
+//! * the clusters, by BFS over direct structural reachability
+//!   (Definitions 2.6–2.9: connectivity via a common seed, maximality by
+//!   exhaustive expansion),
+//!
+//! and compares them with the result under test.
+
+use crate::params::ScanParams;
+use crate::result::{Clustering, Role, NO_CLUSTER};
+use ppscan_graph::{CsrGraph, VertexId};
+use ppscan_intersect::merge;
+
+/// Naive σ_ε(u, v) for adjacent vertices (Definition 2.2).
+fn similar(g: &CsrGraph, params: &ScanParams, u: VertexId, v: VertexId) -> bool {
+    let (nu, nv) = (g.neighbors(u), g.neighbors(v));
+    merge::count_full(nu, nv) + 2 >= params.min_cn(nu.len(), nv.len())
+}
+
+/// Independently recomputes the ground-truth clustering by definition:
+/// exhaustive similarities, roles by counting, clusters by BFS from cores
+/// over similar edges.
+pub fn reference_clustering(g: &CsrGraph, params: ScanParams) -> Clustering {
+    let n = g.num_vertices();
+    // Roles.
+    let roles: Vec<Role> = (0..n as VertexId)
+        .map(|u| {
+            let cnt = g.neighbors(u).iter().filter(|&&v| similar(g, &params, u, v)).count();
+            if cnt >= params.mu {
+                Role::Core
+            } else {
+                Role::NonCore
+            }
+        })
+        .collect();
+    // Clusters: BFS over cores along similar core-core edges.
+    let mut core_label = vec![NO_CLUSTER; n];
+    let mut pairs: Vec<(VertexId, u32)> = Vec::new();
+    for seed in 0..n as VertexId {
+        if roles[seed as usize] != Role::Core || core_label[seed as usize] != NO_CLUSTER {
+            continue;
+        }
+        core_label[seed as usize] = seed;
+        let mut queue = std::collections::VecDeque::from([seed]);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if !similar(g, &params, u, v) {
+                    continue;
+                }
+                match roles[v as usize] {
+                    Role::Core => {
+                        if core_label[v as usize] == NO_CLUSTER {
+                            core_label[v as usize] = seed;
+                            queue.push_back(v);
+                        }
+                    }
+                    Role::NonCore => pairs.push((v, seed)),
+                }
+            }
+        }
+    }
+    Clustering::from_raw(roles, core_label, pairs)
+}
+
+/// Validates `c` against the definitions. Returns the first violation as
+/// an error message.
+pub fn check_clustering(g: &CsrGraph, params: ScanParams, c: &Clustering) -> Result<(), String> {
+    if c.num_vertices() != g.num_vertices() {
+        return Err(format!(
+            "vertex count mismatch: clustering has {}, graph has {}",
+            c.num_vertices(),
+            g.num_vertices()
+        ));
+    }
+    let reference = reference_clustering(g, params);
+    if c.roles != reference.roles {
+        let bad = c
+            .roles
+            .iter()
+            .zip(reference.roles.iter())
+            .position(|(a, b)| a != b)
+            .unwrap();
+        return Err(format!(
+            "role mismatch at vertex {bad}: got {:?}, expected {:?}",
+            c.roles[bad], reference.roles[bad]
+        ));
+    }
+    if c.core_cluster != reference.core_cluster {
+        let bad = c
+            .core_cluster
+            .iter()
+            .zip(reference.core_cluster.iter())
+            .position(|(a, b)| a != b)
+            .unwrap();
+        return Err(format!(
+            "core cluster mismatch at vertex {bad}: got {}, expected {} \
+             (violates connectivity/maximality of Definition 2.9)",
+            c.core_cluster[bad], reference.core_cluster[bad]
+        ));
+    }
+    if c.noncore_pairs != reference.noncore_pairs {
+        return Err(format!(
+            "non-core memberships mismatch: got {} pairs, expected {}",
+            c.noncore_pairs.len(),
+            reference.noncore_pairs.len()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::Role;
+    use ppscan_graph::gen;
+
+    #[test]
+    fn reference_accepts_itself() {
+        let g = gen::scan_paper_example();
+        let p = ScanParams::new(0.7, 2);
+        let c = reference_clustering(&g, p);
+        check_clustering(&g, p, &c).unwrap();
+    }
+
+    #[test]
+    fn rejects_flipped_role() {
+        let g = gen::complete(5);
+        let p = ScanParams::new(0.5, 2);
+        let mut c = reference_clustering(&g, p);
+        c.roles[3] = Role::NonCore;
+        let err = check_clustering(&g, p, &c).unwrap_err();
+        assert!(err.contains("role mismatch at vertex 3"), "{err}");
+    }
+
+    #[test]
+    fn rejects_split_cluster() {
+        let g = gen::complete(6);
+        let p = ScanParams::new(0.5, 2);
+        let mut c = reference_clustering(&g, p);
+        c.core_cluster[5] = 5; // break maximality
+        let err = check_clustering(&g, p, &c).unwrap_err();
+        assert!(err.contains("core cluster mismatch"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_noncore_pair() {
+        let g = gen::scan_paper_example();
+        let p = ScanParams::new(0.7, 2);
+        let mut c = reference_clustering(&g, p);
+        if !c.noncore_pairs.is_empty() {
+            c.noncore_pairs.pop();
+            let err = check_clustering(&g, p, &c).unwrap_err();
+            assert!(err.contains("non-core memberships"), "{err}");
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_size() {
+        let g = gen::complete(4);
+        let p = ScanParams::new(0.5, 2);
+        let c = reference_clustering(&gen::complete(5), p);
+        assert!(check_clustering(&g, p, &c).is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! Graph I/O: SNAP-style edge-list text and a compact binary CSR format.
+//!
+//! The paper loads SNAP and WebGraph datasets; this module provides the
+//! equivalent ingestion path so that users with the real datasets
+//! (orkut, twitter, …) can run every harness binary on them unchanged.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, VertexId};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Parses a SNAP-style edge list: one `u v` pair per line, `#` or `%`
+/// comment lines ignored, arbitrary whitespace separators. Self loops and
+/// duplicate edges are normalized away by the builder.
+pub fn read_edge_list<R: BufRead>(reader: R) -> io::Result<CsrGraph> {
+    let mut builder = GraphBuilder::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> io::Result<VertexId> {
+            tok.ok_or_else(|| bad_line(lineno))?
+                .parse::<VertexId>()
+                .map_err(|_| bad_line(lineno))
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        builder.push_edge(u, v);
+    }
+    Ok(builder.build())
+}
+
+fn bad_line(lineno: usize) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("malformed edge on line {}", lineno + 1),
+    )
+}
+
+/// Reads an edge-list file from disk (see [`read_edge_list`]).
+pub fn read_edge_list_file(path: impl AsRef<Path>) -> io::Result<CsrGraph> {
+    read_edge_list(BufReader::new(File::open(path)?))
+}
+
+/// Writes the graph as an edge list, each undirected edge once.
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut w: W) -> io::Result<()> {
+    writeln!(
+        w,
+        "# undirected graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
+    for (u, v) in graph.undirected_edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+const BINARY_MAGIC: &[u8; 8] = b"PPSCANG1";
+
+/// Writes the compact binary CSR format:
+/// magic, n (u64), offsets as u64 deltas… actually plain u64 offsets,
+/// then neighbors as u32.
+pub fn write_binary<W: Write>(graph: &CsrGraph, mut w: W) -> io::Result<()> {
+    w.write_all(BINARY_MAGIC)?;
+    let n = graph.num_vertices() as u64;
+    w.write_all(&n.to_le_bytes())?;
+    for &off in graph.raw_offsets() {
+        w.write_all(&(off as u64).to_le_bytes())?;
+    }
+    for &v in graph.raw_neighbors() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads the binary CSR format written by [`write_binary`].
+pub fn read_binary<R: Read>(mut r: R) -> io::Result<CsrGraph> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a ppscan binary graph (bad magic)",
+        ));
+    }
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)?;
+    let n = u64::from_le_bytes(buf8) as usize;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        r.read_exact(&mut buf8)?;
+        offsets.push(u64::from_le_bytes(buf8) as usize);
+    }
+    let m = *offsets.last().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, "empty offsets array")
+    })?;
+    let mut neighbors = vec![0 as VertexId; m];
+    let mut buf4 = [0u8; 4];
+    for slot in neighbors.iter_mut() {
+        r.read_exact(&mut buf4)?;
+        *slot = u32::from_le_bytes(buf4);
+    }
+    let g = CsrGraph::from_sorted_parts_unchecked(offsets, neighbors);
+    g.validate()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Ok(g)
+}
+
+/// Writes the binary CSR format to a file.
+pub fn write_binary_file(graph: &CsrGraph, path: impl AsRef<Path>) -> io::Result<()> {
+    write_binary(graph, BufWriter::new(File::create(path)?))
+}
+
+/// Reads the binary CSR format from a file.
+pub fn read_binary_file(path: impl AsRef<Path>) -> io::Result<CsrGraph> {
+    read_binary(BufReader::new(File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = gen::scan_paper_example();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn edge_list_tolerates_comments_and_blank_lines() {
+        let text = "# comment\n\n% another\n0 1\n1\t2\n  2   0  \n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        let err = read_edge_list("0 x\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        assert!(read_edge_list("42\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = gen::roll(300, 8, 5);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = read_binary(&b"NOTMAGIC\0\0\0\0\0\0\0\0"[..]).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let g = gen::complete(4);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("ppscan_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.bin");
+        let g = gen::clique_chain(5, 4);
+        write_binary_file(&g, &path).unwrap();
+        assert_eq!(read_binary_file(&path).unwrap(), g);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

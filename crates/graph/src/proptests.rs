@@ -1,0 +1,100 @@
+//! Property-based tests for the graph substrate: builder normalization,
+//! CSR invariants, I/O round trips and analysis invariants on arbitrary
+//! edge lists.
+
+use crate::builder::from_edges;
+use crate::csr::VertexId;
+use crate::{analysis, io};
+use proptest::prelude::*;
+
+fn edge_list(n: VertexId, max_edges: usize) -> impl Strategy<Value = Vec<(VertexId, VertexId)>> {
+    prop::collection::vec((0..n, 0..n), 0..max_edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn builder_always_produces_valid_csr(edges in edge_list(40, 200)) {
+        let g = from_edges(&edges);
+        prop_assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_is_idempotent_under_duplication(edges in edge_list(30, 100)) {
+        let g1 = from_edges(&edges);
+        let doubled: Vec<_> = edges.iter().chain(edges.iter()).copied().collect();
+        let g2 = from_edges(&doubled);
+        // Duplicated input edges change nothing.
+        prop_assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn builder_is_direction_insensitive(edges in edge_list(30, 100)) {
+        let g1 = from_edges(&edges);
+        let flipped: Vec<_> = edges.iter().map(|&(u, v)| (v, u)).collect();
+        let g2 = from_edges(&flipped);
+        prop_assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn edge_list_roundtrip(edges in edge_list(30, 150)) {
+        let g = from_edges(&edges);
+        let mut buf = Vec::new();
+        io::write_edge_list(&g, &mut buf).unwrap();
+        prop_assert_eq!(io::read_edge_list(&buf[..]).unwrap(), g);
+    }
+
+    #[test]
+    fn binary_roundtrip(edges in edge_list(30, 150)) {
+        let g = from_edges(&edges);
+        let mut buf = Vec::new();
+        io::write_binary(&g, &mut buf).unwrap();
+        prop_assert_eq!(io::read_binary(&buf[..]).unwrap(), g);
+    }
+
+    #[test]
+    fn degree_sum_equals_directed_edges(edges in edge_list(40, 200)) {
+        let g = from_edges(&edges);
+        let sum: usize = g.vertices().map(|u| g.degree(u)).sum();
+        prop_assert_eq!(sum, g.num_directed_edges());
+    }
+
+    #[test]
+    fn components_partition_vertices(edges in edge_list(30, 80)) {
+        let g = from_edges(&edges);
+        let (labels, count) = analysis::connected_components(&g);
+        // Every vertex labeled by its component minimum.
+        let mut distinct: Vec<_> = labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(distinct.len(), count);
+        // Adjacent vertices share a label.
+        for (u, v) in g.undirected_edges() {
+            prop_assert_eq!(labels[u as usize], labels[v as usize]);
+        }
+        // Labels are component minima: label[v] <= v.
+        for v in g.vertices() {
+            prop_assert!(labels[v as usize] <= v);
+        }
+    }
+
+    #[test]
+    fn triangle_count_matches_naive(edges in edge_list(20, 60)) {
+        let g = from_edges(&edges);
+        // Naive O(n³) triangle enumeration.
+        let n = g.num_vertices() as VertexId;
+        let mut naive = 0u64;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if !g.has_edge(a, b) { continue; }
+                for c in (b + 1)..n {
+                    if g.has_edge(b, c) && g.has_edge(a, c) {
+                        naive += 1;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(analysis::triangle_count(&g), naive);
+    }
+}

@@ -1,0 +1,145 @@
+//! Degree statistics — the quantities reported in the paper's Tables 1
+//! and 2 (|V|, |E|, average degree `d̄`, maximum degree `max d`) plus a
+//! skewness measure and a log-binned degree histogram used to sanity-check
+//! that the synthetic stand-in datasets match the shape of the paper's
+//! real-world graphs.
+
+use crate::csr::CsrGraph;
+
+/// Summary statistics for a graph, in the layout of the paper's tables.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices |V|.
+    pub num_vertices: usize,
+    /// Number of undirected edges |E|.
+    pub num_edges: usize,
+    /// Average degree 2|E| / |V|.
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Median degree.
+    pub median_degree: usize,
+    /// Ratio max/avg — a crude skew indicator (1 for regular graphs,
+    /// 10²–10⁵ for the paper's web/social graphs).
+    pub skew: f64,
+}
+
+impl GraphStats {
+    /// Computes the statistics of `g` in O(|V| log |V|).
+    pub fn of(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        let mut degrees: Vec<usize> = (0..n).map(|u| g.degree(u as u32)).collect();
+        degrees.sort_unstable();
+        let max_degree = degrees.last().copied().unwrap_or(0);
+        let median_degree = if n == 0 { 0 } else { degrees[n / 2] };
+        let avg_degree = g.avg_degree();
+        Self {
+            num_vertices: n,
+            num_edges: g.num_edges(),
+            avg_degree,
+            max_degree,
+            median_degree,
+            skew: if avg_degree > 0.0 {
+                max_degree as f64 / avg_degree
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// One row in the style of the paper's Table 1 / Table 2.
+    pub fn table_row(&self, name: &str) -> String {
+        format!(
+            "{:<14} {:>10} {:>12} {:>8.1} {:>9}",
+            name, self.num_vertices, self.num_edges, self.avg_degree, self.max_degree
+        )
+    }
+
+    /// The table header matching [`GraphStats::table_row`].
+    pub fn table_header() -> String {
+        format!(
+            "{:<14} {:>10} {:>12} {:>8} {:>9}",
+            "Name", "|V|", "|E|", "d", "max d"
+        )
+    }
+}
+
+/// Log₂-binned degree histogram: `hist[k]` counts vertices with degree in
+/// `[2^k, 2^(k+1))`; `hist[0]` additionally includes degree-0 and degree-1
+/// vertices.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for u in g.vertices() {
+        let d = g.degree(u);
+        let bin = if d <= 1 { 0 } else { usize::BITS as usize - 1 - d.leading_zeros() as usize };
+        if hist.len() <= bin {
+            hist.resize(bin + 1, 0);
+        }
+        hist[bin] += 1;
+    }
+    hist
+}
+
+/// Total SCAN similarity-computation workload `2 Σ d[v]²` (Theorem 3.4),
+/// the quantity pruning attacks. Useful for predicting experiment cost.
+pub fn scan_workload(g: &CsrGraph) -> u128 {
+    2 * g
+        .vertices()
+        .map(|u| (g.degree(u) as u128).pow(2))
+        .sum::<u128>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn stats_of_complete_graph() {
+        let s = GraphStats::of(&gen::complete(6));
+        assert_eq!(s.num_vertices, 6);
+        assert_eq!(s.num_edges, 15);
+        assert_eq!(s.max_degree, 5);
+        assert_eq!(s.median_degree, 5);
+        assert!((s.avg_degree - 5.0).abs() < 1e-12);
+        assert!((s.skew - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_star_show_skew() {
+        let s = GraphStats::of(&gen::star(101));
+        assert_eq!(s.max_degree, 100);
+        assert_eq!(s.median_degree, 1);
+        assert!(s.skew > 40.0);
+    }
+
+    #[test]
+    fn stats_of_empty() {
+        let s = GraphStats::of(&CsrGraph::empty(0));
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.max_degree, 0);
+        assert_eq!(s.skew, 0.0);
+    }
+
+    #[test]
+    fn histogram_bins() {
+        // star(9): center degree 8 → bin 3; leaves degree 1 → bin 0.
+        let h = degree_histogram(&gen::star(9));
+        assert_eq!(h[0], 8);
+        assert_eq!(h[3], 1);
+    }
+
+    #[test]
+    fn workload_matches_theorem() {
+        // Triangle: each degree 2, workload = 2 * 3 * 4 = 24.
+        assert_eq!(scan_workload(&gen::complete(3)), 24);
+    }
+
+    #[test]
+    fn table_row_formats() {
+        let s = GraphStats::of(&gen::complete(3));
+        let row = s.table_row("tri");
+        assert!(row.contains("tri"));
+        assert!(GraphStats::table_header().contains("|V|"));
+    }
+}

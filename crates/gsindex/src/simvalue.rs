@@ -1,0 +1,123 @@
+//! Exact structural-similarity values with a total order.
+//!
+//! σ(u,v) = cn / √((d[u]+1)(d[v]+1)) with `cn = |Γ(u) ∩ Γ(v)|`. The index
+//! never materializes the square root: values are ordered by comparing
+//! σ₁² vs σ₂² through `u128` cross multiplication, which is exact for all
+//! graphs this library admits (`cn ≤ 2³²`, `denom < 2⁶⁴`).
+
+use ppscan_intersect::EpsilonThreshold;
+
+/// An exact similarity value: `σ² = cn² / denom`.
+#[derive(Clone, Copy, Debug)]
+pub struct SimValue {
+    /// `|Γ(u) ∩ Γ(v)|` (includes the two endpoints).
+    pub cn: u32,
+    /// `(d[u] + 1) · (d[v] + 1)`.
+    pub denom: u64,
+}
+
+impl SimValue {
+    /// Creates a value from an intersection count and the two degrees.
+    pub fn new(cn: u32, d_u: usize, d_v: usize) -> Self {
+        Self {
+            cn,
+            denom: (d_u as u64 + 1) * (d_v as u64 + 1),
+        }
+    }
+
+    /// Whether σ ≥ ε, exactly.
+    #[inline]
+    pub fn at_least(&self, eps: &EpsilonThreshold) -> bool {
+        eps.sim_at_least(self.cn as u64, self.denom as u128)
+    }
+
+    /// σ as f64 (display only; ordering always uses exact arithmetic).
+    pub fn as_f64(&self) -> f64 {
+        self.cn as f64 / (self.denom as f64).sqrt()
+    }
+
+    /// Exact cross-multiplied comparison key: `σ₁ < σ₂ ⟺
+    /// cn₁²·denom₂ < cn₂²·denom₁`.
+    #[inline]
+    fn key_vs(&self, other: &SimValue) -> std::cmp::Ordering {
+        let lhs = (self.cn as u128) * (self.cn as u128) * (other.denom as u128);
+        let rhs = (other.cn as u128) * (other.cn as u128) * (self.denom as u128);
+        lhs.cmp(&rhs)
+    }
+}
+
+impl PartialEq for SimValue {
+    fn eq(&self, other: &Self) -> bool {
+        self.key_vs(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for SimValue {}
+
+impl PartialOrd for SimValue {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SimValue {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key_vs(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_float_in_easy_cases() {
+        let a = SimValue::new(3, 3, 3); // 3/4
+        let b = SimValue::new(2, 3, 3); // 2/4
+        assert!(a > b);
+        assert!((a.as_f64() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_ratios_compare_equal() {
+        // 2/√4 == 4/√16 == 1.
+        let a = SimValue::new(2, 1, 1);
+        let b = SimValue::new(4, 3, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn boundary_exactness_beyond_floats() {
+        // cn² / denom differing in the last unit: exact order must hold
+        // even when f64 would round both to the same value.
+        let big = (1u64 << 40) + 1;
+        let a = SimValue {
+            cn: 1 << 20,
+            denom: big,
+        };
+        let b = SimValue {
+            cn: 1 << 20,
+            denom: big - 1,
+        };
+        assert!(a < b);
+    }
+
+    #[test]
+    fn threshold_predicate_matches_min_cn() {
+        for eps10 in 1..=10u64 {
+            let eps = EpsilonThreshold::from_ratio(eps10, 10);
+            for d_u in 0..20usize {
+                for d_v in 0..20usize {
+                    let min_cn = eps.min_cn(d_u, d_v);
+                    for cn in 0..=(d_u.min(d_v) as u32 + 2) {
+                        let v = SimValue::new(cn, d_u, d_v);
+                        assert_eq!(
+                            v.at_least(&eps),
+                            cn as u64 >= min_cn,
+                            "eps={eps10}/10 d=({d_u},{d_v}) cn={cn}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Global instrumentation counters.
+//!
+//! Figure 4 of the paper compares the *number of set-intersection
+//! invocations* (`CompSim` calls) between pSCAN and ppSCAN, normalized by
+//! |E|. These relaxed atomic counters make that measurement available to
+//! the harness at negligible cost (one relaxed fetch-add per invocation —
+//! orders of magnitude cheaper than the intersection itself).
+//!
+//! Counters are process-global; benchmarks snapshot and subtract.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COMPSIM_INVOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ELEMENTS_SCANNED: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time snapshot of the counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Number of `CompSim` (set-intersection) invocations.
+    pub compsim_invocations: u64,
+    /// Number of array elements consumed across all intersections
+    /// (a proxy for comparison work).
+    pub elements_scanned: u64,
+}
+
+impl CounterSnapshot {
+    /// Counter deltas since `earlier`.
+    pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            compsim_invocations: self.compsim_invocations - earlier.compsim_invocations,
+            elements_scanned: self.elements_scanned - earlier.elements_scanned,
+        }
+    }
+}
+
+/// Records one `CompSim` invocation. Called by every kernel entry point.
+#[inline]
+pub fn record_invocation() {
+    COMPSIM_INVOCATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records `n` scanned elements. Kernels batch this per call, not per
+/// element, to keep the hot loop clean.
+#[inline]
+pub fn record_scanned(n: u64) {
+    if n > 0 {
+        ELEMENTS_SCANNED.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Reads the current counter values.
+pub fn snapshot() -> CounterSnapshot {
+    CounterSnapshot {
+        compsim_invocations: COMPSIM_INVOCATIONS.load(Ordering::Relaxed),
+        elements_scanned: ELEMENTS_SCANNED.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets both counters to zero. Tests that assert on absolute counts
+/// must not run concurrently with other counting work; the harness
+/// binaries use [`snapshot`]`/`[`CounterSnapshot::since`] deltas instead.
+pub fn reset() {
+    COMPSIM_INVOCATIONS.store(0, Ordering::Relaxed);
+    ELEMENTS_SCANNED.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_are_monotone() {
+        let before = snapshot();
+        record_invocation();
+        record_invocation();
+        record_scanned(10);
+        record_scanned(0); // no-op
+        let after = snapshot();
+        let d = after.since(&before);
+        assert_eq!(d.compsim_invocations, 2);
+        assert_eq!(d.elements_scanned, 10);
+    }
+}

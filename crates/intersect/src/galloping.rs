@@ -1,0 +1,143 @@
+//! Galloping (exponential search) set intersection.
+//!
+//! The paper's related-work section (§3.2.2) notes that galloping-based
+//! intersections are a poor fit for pSCAN because of their irregular
+//! memory access; we implement one anyway so the benchmark suite can
+//! demonstrate that claim empirically (`benches/intersect.rs`).
+//!
+//! The kernel keeps the same early-termination contract as the others:
+//! galloping over `b` lets the `dv` bound drop by a whole skipped run at
+//! once, and every consumed element of `a` drops `du` by one.
+
+use crate::counters;
+use crate::similarity::Similarity;
+
+/// Exponential search: smallest index `k ∈ [lo, b.len()]` with
+/// `b[k] >= x` (i.e. the lower bound of `x` in `b[lo..]`).
+#[inline]
+fn gallop_lower_bound(b: &[u32], lo: usize, x: u32) -> usize {
+    if lo >= b.len() || b[lo] >= x {
+        return lo;
+    }
+    // Invariant: b[lo + step_prev] < x.
+    let mut step = 1usize;
+    let mut prev = lo;
+    loop {
+        let probe = lo + step;
+        if probe >= b.len() {
+            break;
+        }
+        if b[probe] >= x {
+            // Binary search in (prev, probe].
+            return prev + 1 + partition_point(&b[prev + 1..=probe], x);
+        }
+        prev = probe;
+        step <<= 1;
+    }
+    prev + 1 + partition_point(&b[prev + 1..], x)
+}
+
+/// Number of elements `< x` in sorted slice `s`.
+#[inline]
+fn partition_point(s: &[u32], x: u32) -> usize {
+    s.partition_point(|&e| e < x)
+}
+
+/// Galloping `CompSim` with early termination; same contract as
+/// [`crate::merge::check_early`]. Iterates the shorter array, gallops in
+/// the longer one.
+pub fn check_early(a: &[u32], b: &[u32], min_cn: u64) -> Similarity {
+    counters::record_invocation();
+    if min_cn <= 2 {
+        return Similarity::Sim;
+    }
+    // Gallop in the longer array.
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut d_small = small.len() as u64 + 2;
+    let mut d_large = large.len() as u64 + 2;
+    if d_small < min_cn || d_large < min_cn {
+        return Similarity::NSim;
+    }
+    let mut cn = 2u64;
+    let mut j = 0usize;
+    let mut scanned = 0u64;
+    for &x in small.iter() {
+        let nj = gallop_lower_bound(large, j, x);
+        d_large -= (nj - j) as u64;
+        scanned += (nj - j) as u64 + 1;
+        j = nj;
+        if d_large < min_cn {
+            counters::record_scanned(scanned);
+            return Similarity::NSim;
+        }
+        if j < large.len() && large[j] == x {
+            cn += 1;
+            j += 1;
+            if cn >= min_cn {
+                counters::record_scanned(scanned);
+                return Similarity::Sim;
+            }
+        } else {
+            d_small -= 1;
+            if d_small < min_cn {
+                counters::record_scanned(scanned);
+                return Similarity::NSim;
+            }
+        }
+        if j >= large.len() {
+            // The large side is exhausted: cn can no longer grow, and
+            // cn < min_cn held at every Sim check above, so NSim is final.
+            break;
+        }
+    }
+    counters::record_scanned(scanned);
+    debug_assert!(cn < min_cn);
+    Similarity::NSim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge;
+
+    #[test]
+    fn lower_bound_basics() {
+        let b = [2u32, 4, 6, 8, 10, 12, 14];
+        assert_eq!(gallop_lower_bound(&b, 0, 1), 0);
+        assert_eq!(gallop_lower_bound(&b, 0, 2), 0);
+        assert_eq!(gallop_lower_bound(&b, 0, 3), 1);
+        assert_eq!(gallop_lower_bound(&b, 0, 14), 6);
+        assert_eq!(gallop_lower_bound(&b, 0, 15), 7);
+        assert_eq!(gallop_lower_bound(&b, 3, 5), 3);
+        assert_eq!(gallop_lower_bound(&b, 7, 1), 7);
+    }
+
+    #[test]
+    fn agrees_with_merge() {
+        let a: Vec<u32> = (0..200).map(|x| x * 3).collect();
+        let b: Vec<u32> = (0..500).map(|x| x * 2).collect();
+        for min_cn in [0u64, 2, 3, 5, 20, 50, 100, 1000] {
+            assert_eq!(
+                check_early(&a, &b, min_cn),
+                merge::check_early(&a, &b, min_cn),
+                "min_cn = {min_cn}"
+            );
+        }
+    }
+
+    #[test]
+    fn asymmetric_sizes() {
+        let a = [7u32];
+        let b: Vec<u32> = (0..10_000).collect();
+        assert_eq!(check_early(&a, &b, 3), Similarity::Sim);
+        let a = [100_000u32];
+        assert_eq!(check_early(&a, &b, 3), Similarity::NSim);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(check_early(&[], &[], 3), Similarity::NSim);
+        assert_eq!(check_early(&[], &[], 2), Similarity::Sim);
+        assert_eq!(check_early(&[1], &[], 3), Similarity::NSim);
+    }
+}

@@ -1,0 +1,147 @@
+//! Merge-based set intersection — the kernel pSCAN uses (§3.2.2).
+//!
+//! [`check_early`] walks both sorted arrays in lockstep maintaining the
+//! intersection-count bounds of Definition 3.9 and stopping as soon as the
+//! similarity predicate is decided. [`count_full`] is the exhaustive
+//! variant (what SCAN and SCAN-XP do — no early termination), also used
+//! as the test oracle for every other kernel.
+
+use crate::counters;
+use crate::similarity::Similarity;
+
+/// Exhaustive merge intersection: returns `|a ∩ b|` for sorted, duplicate
+/// free slices. O(|a| + |b|).
+pub fn count_full(a: &[u32], b: &[u32]) -> u64 {
+    let (mut i, mut j, mut cn) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        if x < y {
+            i += 1;
+        } else if x > y {
+            j += 1;
+        } else {
+            cn += 1;
+            i += 1;
+            j += 1;
+        }
+    }
+    counters::record_scanned((i + j) as u64);
+    cn
+}
+
+/// Merge intersection with the paper's early-termination bounds.
+///
+/// `a = N(u)`, `b = N(v)` must be sorted and duplicate free; `min_cn` is
+/// the exact threshold from
+/// [`crate::similarity::EpsilonThreshold::min_cn`]. Implements
+/// `CompSim(u, v)` for an adjacent pair: bounds start at `cn = 2`,
+/// `du = |a| + 2`, `dv = |b| + 2` and the function returns
+/// [`Similarity::Sim`]/[`Similarity::NSim`] the moment the predicate is
+/// decided.
+pub fn check_early(a: &[u32], b: &[u32], min_cn: u64) -> Similarity {
+    counters::record_invocation();
+    if min_cn <= 2 {
+        return Similarity::Sim;
+    }
+    let mut du = a.len() as u64 + 2;
+    let mut dv = b.len() as u64 + 2;
+    if du < min_cn || dv < min_cn {
+        return Similarity::NSim;
+    }
+    let mut cn = 2u64;
+    let (mut i, mut j) = (0usize, 0usize);
+    let result = loop {
+        if i >= a.len() || j >= b.len() {
+            // One side exhausted: cn can no longer grow.
+            break Similarity::NSim;
+        }
+        let (x, y) = (a[i], b[j]);
+        if x < y {
+            i += 1;
+            du -= 1;
+            if du < min_cn {
+                break Similarity::NSim;
+            }
+        } else if x > y {
+            j += 1;
+            dv -= 1;
+            if dv < min_cn {
+                break Similarity::NSim;
+            }
+        } else {
+            cn += 1;
+            if cn >= min_cn {
+                break Similarity::Sim;
+            }
+            i += 1;
+            j += 1;
+        }
+    };
+    counters::record_scanned((i + j) as u64);
+    result
+}
+
+/// Reference implementation of the full `CompSim` contract used by the
+/// differential tests: exhaustively computes `|a ∩ b| + 2` and compares.
+pub fn check_reference(a: &[u32], b: &[u32], min_cn: u64) -> Similarity {
+    if count_full(a, b) + 2 >= min_cn {
+        Similarity::Sim
+    } else {
+        Similarity::NSim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_count_basic() {
+        assert_eq!(count_full(&[1, 3, 5], &[2, 3, 5, 9]), 2);
+        assert_eq!(count_full(&[], &[1, 2]), 0);
+        assert_eq!(count_full(&[7], &[7]), 1);
+        assert_eq!(count_full(&[1, 2, 3], &[4, 5, 6]), 0);
+    }
+
+    #[test]
+    fn early_trivial_sim() {
+        // min_cn ≤ 2 is always similar ({u, v} suffices).
+        assert_eq!(check_early(&[], &[], 2), Similarity::Sim);
+        assert_eq!(check_early(&[9], &[1], 1), Similarity::Sim);
+    }
+
+    #[test]
+    fn early_degree_bound_nsim() {
+        // du = 0 + 2 = 2 < 3.
+        assert_eq!(check_early(&[], &[1, 2, 3], 3), Similarity::NSim);
+    }
+
+    #[test]
+    fn early_matches_reference() {
+        let a = [1u32, 4, 6, 8, 10, 12];
+        let b = [2u32, 4, 8, 9, 12, 20];
+        for min_cn in 0..10 {
+            assert_eq!(
+                check_early(&a, &b, min_cn),
+                check_reference(&a, &b, min_cn),
+                "min_cn = {min_cn}"
+            );
+        }
+    }
+
+    #[test]
+    fn early_terminates_on_sim() {
+        // Identical arrays, low threshold: must return Sim.
+        let a: Vec<u32> = (0..100).collect();
+        assert_eq!(check_early(&a, &a, 3), Similarity::Sim);
+    }
+
+    #[test]
+    fn early_terminates_on_exhaustion() {
+        // Disjoint arrays: NSim once a side exhausts or a bound drops.
+        assert_eq!(
+            check_early(&[1, 2, 3], &[10, 20, 30], 4),
+            Similarity::NSim
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Scalar pivot-based set intersection with early termination — the
+//! fallback path of Algorithm 6 ("Fall back to the non-vectorized logic")
+//! and the scalar flavour of the paper's pivot idea: repeatedly advance
+//! one cursor past the other side's current *pivot* element in a tight
+//! run, updating the `du`/`dv` bound once per run rather than once per
+//! comparison.
+
+use crate::counters;
+use crate::similarity::Similarity;
+
+/// State of an in-flight pivot intersection; shared with the SIMD kernels
+/// so their scalar tails resume with the exact bounds they accumulated.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PivotState {
+    pub i: usize,
+    pub j: usize,
+    pub du: u64,
+    pub dv: u64,
+    pub cn: u64,
+}
+
+impl PivotState {
+    /// Fresh state for `CompSim` over `N(u) = a`, `N(v) = b`
+    /// (Definition 3.9 initial bounds).
+    pub(crate) fn new(a: &[u32], b: &[u32]) -> Self {
+        Self {
+            i: 0,
+            j: 0,
+            du: a.len() as u64 + 2,
+            dv: b.len() as u64 + 2,
+            cn: 2,
+        }
+    }
+}
+
+/// Runs the scalar pivot loop from `state` to a decision.
+///
+/// Invariant on entry (checked in debug builds): `cn < min_cn`,
+/// `du ≥ min_cn`, `dv ≥ min_cn` — i.e. the predicate is still undecided.
+pub(crate) fn run_from(a: &[u32], b: &[u32], mut s: PivotState, min_cn: u64) -> Similarity {
+    debug_assert!(s.cn < min_cn && s.du >= min_cn && s.dv >= min_cn);
+    let (start_i, start_j) = (s.i, s.j);
+    let result = 'decide: loop {
+        if s.i >= a.len() || s.j >= b.len() {
+            break Similarity::NSim;
+        }
+        // Advance i through the run of elements below the pivot b[j].
+        let pivot = b[s.j];
+        let run_start = s.i;
+        while s.i < a.len() && a[s.i] < pivot {
+            s.i += 1;
+        }
+        s.du -= (s.i - run_start) as u64;
+        if s.du < min_cn {
+            break Similarity::NSim;
+        }
+        if s.i >= a.len() {
+            break Similarity::NSim;
+        }
+        // Advance j through the run below the new pivot a[i].
+        let pivot = a[s.i];
+        let run_start = s.j;
+        while s.j < b.len() && b[s.j] < pivot {
+            s.j += 1;
+        }
+        s.dv -= (s.j - run_start) as u64;
+        if s.dv < min_cn {
+            break Similarity::NSim;
+        }
+        if s.j >= b.len() {
+            break Similarity::NSim;
+        }
+        if a[s.i] == b[s.j] {
+            s.cn += 1;
+            s.i += 1;
+            s.j += 1;
+            if s.cn >= min_cn {
+                break 'decide Similarity::Sim;
+            }
+        }
+    };
+    counters::record_scanned((s.i - start_i + s.j - start_j) as u64);
+    result
+}
+
+/// Scalar pivot-based `CompSim` with early termination; same contract as
+/// [`crate::merge::check_early`].
+pub fn check_early(a: &[u32], b: &[u32], min_cn: u64) -> Similarity {
+    counters::record_invocation();
+    if min_cn <= 2 {
+        return Similarity::Sim;
+    }
+    let s = PivotState::new(a, b);
+    if s.du < min_cn || s.dv < min_cn {
+        return Similarity::NSim;
+    }
+    run_from(a, b, s, min_cn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge;
+
+    #[test]
+    fn agrees_with_merge_on_fixed_cases() {
+        let cases: &[(&[u32], &[u32])] = &[
+            (&[], &[]),
+            (&[1], &[1]),
+            (&[1, 2, 3], &[4, 5, 6]),
+            (&[1, 4, 6, 8], &[2, 4, 8, 9]),
+            (&[1, 2, 3, 4, 5], &[5]),
+            (&[10, 20, 30], &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]),
+        ];
+        for &(a, b) in cases {
+            for min_cn in 0..12u64 {
+                assert_eq!(
+                    check_early(a, b, min_cn),
+                    merge::check_early(a, b, min_cn),
+                    "a={a:?} b={b:?} min_cn={min_cn}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn long_runs_terminate_early_on_du() {
+        // All of `a` below b[0]; du collapses in the first run.
+        let a: Vec<u32> = (0..1000).collect();
+        let b = [5000u32, 5001, 5002];
+        assert_eq!(check_early(&a, &b, 3), Similarity::NSim);
+    }
+
+    #[test]
+    fn detects_sim_mid_array() {
+        let a: Vec<u32> = (0..64).map(|x| x * 2).collect(); // evens
+        let b: Vec<u32> = (0..64).collect(); // 0..63
+        // |a ∩ b| = 32 (evens < 64), so cn = 34 ≥ 10 → Sim.
+        assert_eq!(check_early(&a, &b, 10), Similarity::Sim);
+    }
+}

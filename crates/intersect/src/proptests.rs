@@ -1,0 +1,100 @@
+//! Property-based differential tests: every kernel must agree with the
+//! exhaustive reference (`merge::check_reference`) on arbitrary sorted
+//! inputs and thresholds, including the early-termination paths the
+//! random inputs exercise from both directions.
+
+use crate::kernel::Kernel;
+use crate::merge;
+use crate::similarity::EpsilonThreshold;
+use proptest::prelude::*;
+
+/// Sorted, deduplicated vector of ids below 2³¹ with skew toward small
+/// values (forcing dense overlaps) and occasional huge gaps (forcing long
+/// pivot runs — the SIMD fast path).
+fn sorted_ids(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(
+        prop_oneof![
+            0u32..64,              // dense region: many matches
+            0u32..4096,            // medium
+            0u32..(i32::MAX as u32) // sparse region: long runs
+        ],
+        0..max_len,
+    )
+    .prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn kernels_agree_with_reference(
+        a in sorted_ids(120),
+        b in sorted_ids(120),
+        min_cn in 0u64..80,
+    ) {
+        let expected = if min_cn <= 2 {
+            crate::Similarity::Sim
+        } else {
+            merge::check_reference(&a, &b, min_cn)
+        };
+        for k in Kernel::ALL.into_iter().filter(|k| k.available()) {
+            prop_assert_eq!(k.check(&a, &b, min_cn), expected, "kernel {}", k);
+        }
+    }
+
+    #[test]
+    fn kernels_symmetric(
+        a in sorted_ids(100),
+        b in sorted_ids(100),
+        min_cn in 3u64..40,
+    ) {
+        for k in Kernel::ALL.into_iter().filter(|k| k.available()) {
+            prop_assert_eq!(
+                k.check(&a, &b, min_cn),
+                k.check(&b, &a, min_cn),
+                "kernel {} not symmetric", k
+            );
+        }
+    }
+
+    #[test]
+    fn min_cn_is_exact_threshold(
+        eps_permille in 1u64..=1000,
+        d_u in 0usize..200,
+        d_v in 0usize..200,
+    ) {
+        let t = EpsilonThreshold::from_ratio(eps_permille, 1000);
+        let k = t.min_cn(d_u, d_v);
+        let prod = (eps_permille as u128).pow(2) * (d_u as u128 + 1) * (d_v as u128 + 1);
+        // k is the threshold: k²·10⁶ ≥ ε²-numerator·prod …
+        prop_assert!((k as u128 * k as u128) * 1_000_000 >= prod);
+        // … and k-1 is below it.
+        if k > 0 {
+            let km1 = (k - 1) as u128;
+            prop_assert!(km1 * km1 * 1_000_000 < prod);
+        }
+    }
+
+    #[test]
+    fn prune_by_degree_never_contradicts_full_computation(
+        a in sorted_ids(60),
+        b in sorted_ids(60),
+        eps_permille in 1u64..=1000,
+    ) {
+        let t = EpsilonThreshold::from_ratio(eps_permille, 1000);
+        let (d_u, d_v) = (a.len(), b.len());
+        let min_cn = t.min_cn(d_u, d_v);
+        let full = merge::count_full(&a, &b) + 2;
+        match t.prune_by_degree(d_u, d_v) {
+            crate::Similarity::Sim => prop_assert!(full >= min_cn),
+            // Degree pruning may only claim NSim when even full overlap
+            // cannot reach the threshold.
+            crate::Similarity::NSim => prop_assert!(full < min_cn),
+            crate::Similarity::Unknown => {}
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! Vectorized pivot-based set intersection (paper Algorithm 6).
+//!
+//! Two flavours, mirroring the paper's two platforms:
+//!
+//! * [`avx512`] — 16 lanes per `_mm512_cmpgt_epi32_mask`, the KNL path.
+//! * [`avx2`] — 8 lanes per `_mm256_cmpgt_epi32` + `movemask`, the CPU
+//!   server path.
+//!
+//! Both keep the early-termination bounds of Definition 3.9: step 1
+//! advances the `a` cursor past the pivot `b[j]` in 16-/8-element strides,
+//! decrementing `du` by the per-stride mismatch count (`popcnt` of the
+//! comparison mask); step 2 does the same for `b`/`dv`; step 3 consumes a
+//! match and checks `cn ≥ min_cn`. When fewer than one full vector of
+//! elements remains on either side, the kernel falls back to the scalar
+//! pivot loop *with its accumulated bounds* (`pivot::run_from`), exactly
+//! as Algorithm 6 line 23 prescribes.
+//!
+//! # Safety
+//!
+//! The intrinsics use *signed* 32-bit comparisons, so vertex ids must be
+//! `< 2³¹`; the public dispatcher (`kernel::Kernel::check`) debug-asserts
+//! this, and the graph substrate cannot exceed it without exceeding
+//! `i32::MAX` vertices. Loads are unaligned (`loadu`) and guarded so that
+//! all 16/8 loaded lanes are in bounds.
+
+use crate::counters;
+use crate::pivot::{self, PivotState};
+use crate::similarity::Similarity;
+
+/// Whether the AVX-512 kernel can run on this CPU.
+pub fn avx512_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx512f")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Whether the AVX2 kernel can run on this CPU.
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// AVX-512 pivot kernel (16 lanes).
+pub mod avx512 {
+    use super::*;
+
+    /// Vectorized `CompSim`; same contract as [`crate::merge::check_early`].
+    ///
+    /// # Panics
+    /// Panics (debug) / falls back (release) if AVX-512F is unavailable —
+    /// use [`super::avx512_available`] or the [`crate::Kernel`] dispatcher.
+    pub fn check_early(a: &[u32], b: &[u32], min_cn: u64) -> Similarity {
+        counters::record_invocation();
+        if min_cn <= 2 {
+            return Similarity::Sim;
+        }
+        let s = PivotState::new(a, b);
+        if s.du < min_cn || s.dv < min_cn {
+            return Similarity::NSim;
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            if super::avx512_available() {
+                // SAFETY: feature checked above; `inner` only issues
+                // bounds-guarded unaligned loads.
+                return unsafe { inner(a, b, s, min_cn) };
+            }
+        }
+        debug_assert!(false, "AVX-512 kernel invoked without avx512f");
+        pivot::run_from(a, b, s, min_cn)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn inner(a: &[u32], b: &[u32], mut s: PivotState, min_cn: u64) -> Similarity {
+        use std::arch::x86_64::*;
+        const LANES: usize = 16;
+        loop {
+            // Step 1: advance i until a[i] >= pivot b[j]. The pivot is
+            // invariant across the inner while, so broadcast it once.
+            // SAFETY: s.j < b.len() on entry to step 1 — the caller
+            // rejected empty slices via the dv bound, step 2 keeps
+            // s.j + 16 <= b.len(), and step 3 advances j by at most 1
+            // past a position that satisfied that guard.
+            let pivot_v = _mm512_set1_epi32(*b.get_unchecked(s.j) as i32);
+            while s.i + LANES <= a.len() {
+                // SAFETY: s.i + 16 <= a.len() guarantees the 64-byte
+                // unaligned load stays within the slice.
+                let u_eles = _mm512_loadu_si512(a.as_ptr().add(s.i) as *const _);
+                // Lane k set iff pivot > a[i + k]; the slice is sorted, so
+                // set lanes form a prefix and popcnt = #elements < pivot.
+                let mask = _mm512_cmpgt_epi32_mask(pivot_v, u_eles);
+                if mask == 0xFFFF {
+                    // Whole stride below the pivot: advance by a full
+                    // vector. Keeping the cursor update independent of the
+                    // mask breaks the popcnt→address dependency chain, so
+                    // long runs stream at load/compare throughput.
+                    s.i += LANES;
+                    s.du -= LANES as u64;
+                    if s.du < min_cn {
+                        return Similarity::NSim;
+                    }
+                    continue;
+                }
+                let bit_cnt = mask.count_ones() as usize;
+                s.i += bit_cnt;
+                s.du -= bit_cnt as u64;
+                if s.du < min_cn {
+                    return Similarity::NSim;
+                }
+                break;
+            }
+            if s.i + LANES > a.len() {
+                break;
+            }
+            // Step 2: advance j until b[j] >= pivot a[i].
+            // SAFETY: s.i + 16 <= a.len() was just checked.
+            let pivot_v = _mm512_set1_epi32(*a.get_unchecked(s.i) as i32);
+            while s.j + LANES <= b.len() {
+                // SAFETY: as above, for `b`.
+                let v_eles = _mm512_loadu_si512(b.as_ptr().add(s.j) as *const _);
+                let mask = _mm512_cmpgt_epi32_mask(pivot_v, v_eles);
+                if mask == 0xFFFF {
+                    s.j += LANES;
+                    s.dv -= LANES as u64;
+                    if s.dv < min_cn {
+                        return Similarity::NSim;
+                    }
+                    continue;
+                }
+                let bit_cnt = mask.count_ones() as usize;
+                s.j += bit_cnt;
+                s.dv -= bit_cnt as u64;
+                if s.dv < min_cn {
+                    return Similarity::NSim;
+                }
+                break;
+            }
+            if s.j + LANES > b.len() {
+                break;
+            }
+            // Step 3: consume a match.
+            // SAFETY: both indices are below the just-verified bounds.
+            if *a.get_unchecked(s.i) == *b.get_unchecked(s.j) {
+                s.cn += 1;
+                s.i += 1;
+                s.j += 1;
+                if s.cn >= min_cn {
+                    return Similarity::Sim;
+                }
+            }
+        }
+        // Fewer than 16 elements remain on one side: scalar tail resumes
+        // with the accumulated bounds (Algorithm 6 line 23).
+        pivot::run_from(a, b, s, min_cn)
+    }
+}
+
+/// AVX2 pivot kernel (8 lanes) — the paper's CPU-server configuration.
+pub mod avx2 {
+    use super::*;
+
+    /// Vectorized `CompSim`; same contract as [`crate::merge::check_early`].
+    pub fn check_early(a: &[u32], b: &[u32], min_cn: u64) -> Similarity {
+        counters::record_invocation();
+        if min_cn <= 2 {
+            return Similarity::Sim;
+        }
+        let s = PivotState::new(a, b);
+        if s.du < min_cn || s.dv < min_cn {
+            return Similarity::NSim;
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            if super::avx2_available() {
+                // SAFETY: feature checked above; `inner` only issues
+                // bounds-guarded unaligned loads.
+                return unsafe { inner(a, b, s, min_cn) };
+            }
+        }
+        debug_assert!(false, "AVX2 kernel invoked without avx2");
+        pivot::run_from(a, b, s, min_cn)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn inner(a: &[u32], b: &[u32], mut s: PivotState, min_cn: u64) -> Similarity {
+        use std::arch::x86_64::*;
+        const LANES: usize = 8;
+        loop {
+            // SAFETY: s.j < b.len() by the same argument as the AVX-512
+            // kernel (see above); pivot is loop-invariant in step 1.
+            let pivot_v = _mm256_set1_epi32(*b.get_unchecked(s.j) as i32);
+            while s.i + LANES <= a.len() {
+                // SAFETY: s.i + 8 <= a.len() keeps the 32-byte load in
+                // bounds.
+                let u_eles = _mm256_loadu_si256(a.as_ptr().add(s.i) as *const _);
+                let cmp = _mm256_cmpgt_epi32(pivot_v, u_eles);
+                let mask = _mm256_movemask_ps(_mm256_castsi256_ps(cmp)) as u32;
+                if mask == 0xFF {
+                    // Full stride below the pivot — advance without the
+                    // popcnt→address dependency (see the AVX-512 kernel).
+                    s.i += LANES;
+                    s.du -= LANES as u64;
+                    if s.du < min_cn {
+                        return Similarity::NSim;
+                    }
+                    continue;
+                }
+                let bit_cnt = mask.count_ones() as usize;
+                s.i += bit_cnt;
+                s.du -= bit_cnt as u64;
+                if s.du < min_cn {
+                    return Similarity::NSim;
+                }
+                break;
+            }
+            if s.i + LANES > a.len() {
+                break;
+            }
+            // SAFETY: s.i + 8 <= a.len() was just checked.
+            let pivot_v = _mm256_set1_epi32(*a.get_unchecked(s.i) as i32);
+            while s.j + LANES <= b.len() {
+                // SAFETY: as above, for `b`.
+                let v_eles = _mm256_loadu_si256(b.as_ptr().add(s.j) as *const _);
+                let cmp = _mm256_cmpgt_epi32(pivot_v, v_eles);
+                let mask = _mm256_movemask_ps(_mm256_castsi256_ps(cmp)) as u32;
+                if mask == 0xFF {
+                    s.j += LANES;
+                    s.dv -= LANES as u64;
+                    if s.dv < min_cn {
+                        return Similarity::NSim;
+                    }
+                    continue;
+                }
+                let bit_cnt = mask.count_ones() as usize;
+                s.j += bit_cnt;
+                s.dv -= bit_cnt as u64;
+                if s.dv < min_cn {
+                    return Similarity::NSim;
+                }
+                break;
+            }
+            if s.j + LANES > b.len() {
+                break;
+            }
+            // SAFETY: both indices are below the just-verified bounds.
+            if *a.get_unchecked(s.i) == *b.get_unchecked(s.j) {
+                s.cn += 1;
+                s.i += 1;
+                s.j += 1;
+                if s.cn >= min_cn {
+                    return Similarity::Sim;
+                }
+            }
+        }
+        pivot::run_from(a, b, s, min_cn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge;
+
+    fn grid_cases() -> Vec<(Vec<u32>, Vec<u32>)> {
+        let mut cases = Vec::new();
+        // Sizes straddling the 8- and 16-lane boundaries.
+        for &la in &[0usize, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 64, 100] {
+            for &lb in &[0usize, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 64, 100] {
+                // Interleaved with stride 3 / 2 so overlap is partial.
+                let a: Vec<u32> = (0..la as u32).map(|x| x * 3).collect();
+                let b: Vec<u32> = (0..lb as u32).map(|x| x * 2).collect();
+                cases.push((a, b));
+            }
+        }
+        cases
+    }
+
+    #[test]
+    fn avx512_agrees_with_merge() {
+        if !avx512_available() {
+            eprintln!("skipping: no AVX-512");
+            return;
+        }
+        for (a, b) in grid_cases() {
+            for min_cn in [0u64, 2, 3, 4, 8, 16, 40, 1000] {
+                assert_eq!(
+                    avx512::check_early(&a, &b, min_cn),
+                    merge::check_early(&a, &b, min_cn),
+                    "|a|={} |b|={} min_cn={min_cn}",
+                    a.len(),
+                    b.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn avx2_agrees_with_merge() {
+        if !avx2_available() {
+            eprintln!("skipping: no AVX2");
+            return;
+        }
+        for (a, b) in grid_cases() {
+            for min_cn in [0u64, 2, 3, 4, 8, 16, 40, 1000] {
+                assert_eq!(
+                    avx2::check_early(&a, &b, min_cn),
+                    merge::check_early(&a, &b, min_cn),
+                    "|a|={} |b|={} min_cn={min_cn}",
+                    a.len(),
+                    b.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identical_long_arrays() {
+        let a: Vec<u32> = (0..1000).collect();
+        for check in [avx2::check_early as fn(&[u32], &[u32], u64) -> Similarity, avx512::check_early] {
+            assert_eq!(check(&a, &a, 500), Similarity::Sim);
+            assert_eq!(check(&a, &a, 1003), Similarity::NSim);
+            // 1002 = full overlap + 2 exactly.
+            assert_eq!(check(&a, &a, 1002), Similarity::Sim);
+        }
+    }
+
+    #[test]
+    fn ids_near_i31_boundary() {
+        // Largest ids the signed comparison supports.
+        let top = (i32::MAX as u32) - 20;
+        let a: Vec<u32> = (0..18).map(|k| top + k).collect();
+        let b: Vec<u32> = (0..18).map(|k| top + k).collect();
+        for check in [avx2::check_early as fn(&[u32], &[u32], u64) -> Similarity, avx512::check_early] {
+            assert_eq!(check(&a, &b, 20), Similarity::Sim);
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! # ppscan-sched
+//!
+//! Degree-based dynamic task scheduling (paper §4.4, Algorithm 5).
+//!
+//! ppSCAN bundles vertex computations into tasks by accumulating the
+//! degrees of vertices that still require work and cutting a task every
+//! time the running sum exceeds a threshold (32768 in the paper's tuned
+//! setting). Tasks are contiguous vertex ranges — so worker threads touch
+//! adjacent regions of the CSR `dst`/`sim` arrays — and are executed on a
+//! work-stealing thread pool.
+//!
+//! This crate provides that scheduler as a reusable primitive:
+//!
+//! * [`chunk_by_weight`] reproduces Algorithm 5's master-thread loop:
+//!   given a per-vertex weight (degree, or 0 for vertices whose role is
+//!   already known), it emits the task ranges.
+//! * [`WorkerPool`] owns a rayon thread pool of an explicit size and runs
+//!   a closure over every task range in parallel ([`WorkerPool::run_chunks`]),
+//!   or over per-vertex indices ([`WorkerPool::run_vertices`]).
+//!
+//! ```
+//! use ppscan_sched::{chunk_by_weight, WorkerPool, DEFAULT_DEGREE_THRESHOLD};
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let degrees = [100u64, 1, 1, 50_000, 2, 2];
+//! let tasks = chunk_by_weight(6, 64, |v| degrees[v as usize]);
+//! assert!(tasks.len() > 1); // the heavy vertex forces a cut
+//!
+//! let pool = WorkerPool::new(2);
+//! let sum = AtomicU64::new(0);
+//! pool.run_chunks(&tasks, |range| {
+//!     for v in range {
+//!         sum.fetch_add(degrees[v as usize], Ordering::Relaxed);
+//!     }
+//! });
+//! assert_eq!(sum.load(Ordering::Relaxed), degrees.iter().sum::<u64>());
+//! let _ = DEFAULT_DEGREE_THRESHOLD;
+//! ```
+
+use std::ops::Range;
+
+/// The paper's tuned degree-sum threshold: "when the degree sum is above
+/// the threshold 32768 … a task is submitted". Tuned by doubling from 1
+/// until the task-queue maintenance cost became negligible (§4.4).
+pub const DEFAULT_DEGREE_THRESHOLD: u64 = 32_768;
+
+/// Algorithm 5's master-thread loop: walks vertices `0..n`, accumulates
+/// `weight(v)` and cuts a task range whenever the accumulated sum exceeds
+/// `threshold`. Vertices with weight 0 (no work required — e.g. role
+/// already known) still belong to some range, but never force cuts, so a
+/// long prefix of finished vertices costs nothing.
+///
+/// Returns contiguous, disjoint ranges exactly covering `0..n` (no range
+/// for `n = 0`). Every range except possibly the last has accumulated
+/// weight exceeding `threshold` or is a single overweight vertex.
+pub fn chunk_by_weight(
+    n: usize,
+    threshold: u64,
+    mut weight: impl FnMut(u32) -> u64,
+) -> Vec<Range<u32>> {
+    let mut tasks = Vec::new();
+    let mut beg = 0u32;
+    let mut acc = 0u64;
+    for v in 0..n as u32 {
+        acc = acc.saturating_add(weight(v));
+        if acc > threshold {
+            tasks.push(beg..v + 1);
+            beg = v + 1;
+            acc = 0;
+        }
+    }
+    if (beg as usize) < n {
+        tasks.push(beg..n as u32);
+    }
+    tasks
+}
+
+/// A fixed-size work-stealing pool (rayon) with the submission helpers
+/// the multi-phase algorithms need. One pool is built per algorithm run
+/// so the thread count is an explicit experiment parameter (Figure 6
+/// sweeps it from 1 to 256).
+pub struct WorkerPool {
+    pool: rayon::ThreadPool,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Builds a pool with exactly `threads` worker threads.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0` or the pool cannot be spawned.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .thread_name(|i| format!("ppscan-worker-{i}"))
+            .build()
+            .expect("failed to build worker pool");
+        Self { pool, threads }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `body` once per task range, in parallel with dynamic
+    /// (work-stealing) scheduling — the `SubmitTaskToPool` +
+    /// `JoinThreadPool` pair of Algorithm 5. Returns only after all tasks
+    /// complete (the paper's phase barrier).
+    pub fn run_chunks<F>(&self, tasks: &[Range<u32>], body: F)
+    where
+        F: Fn(Range<u32>) + Sync,
+    {
+        self.pool.install(|| {
+            rayon::scope(|s| {
+                for t in tasks {
+                    let body = &body;
+                    let t = t.clone();
+                    s.spawn(move |_| body(t));
+                }
+            });
+        });
+    }
+
+    /// Convenience: chunks `0..n` by `weight` with `threshold`, then runs
+    /// `body` per range. This is the full Algorithm 5 in one call.
+    pub fn run_weighted<W, F>(&self, n: usize, threshold: u64, weight: W, body: F)
+    where
+        W: FnMut(u32) -> u64,
+        F: Fn(Range<u32>) + Sync,
+    {
+        let tasks = chunk_by_weight(n, threshold, weight);
+        self.run_chunks(&tasks, body);
+    }
+
+    /// Parallel for-each over `0..n` with rayon's default index chunking
+    /// (used by uniform-cost phases where degree weighting buys nothing).
+    pub fn run_vertices<F>(&self, n: usize, body: F)
+    where
+        F: Fn(u32) + Sync,
+    {
+        use rayon::prelude::*;
+        self.pool
+            .install(|| (0..n as u32).into_par_iter().for_each(|v| body(v)));
+    }
+
+    /// Runs an arbitrary closure inside the pool (for parallel iterators
+    /// in caller code that should obey this pool's thread count).
+    pub fn install<R: Send>(&self, op: impl FnOnce() -> R + Send) -> R {
+        self.pool.install(op)
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WorkerPool({} threads)", self.threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn chunks_cover_exactly() {
+        let tasks = chunk_by_weight(10, 5, |_| 2);
+        // acc crosses 5 after 3 vertices (6 > 5).
+        assert_eq!(tasks, vec![0..3, 3..6, 6..9, 9..10]);
+        let covered: u64 = tasks.iter().map(|r| (r.end - r.start) as u64).sum();
+        assert_eq!(covered, 10);
+    }
+
+    #[test]
+    fn zero_weights_never_cut() {
+        let tasks = chunk_by_weight(100, 10, |_| 0);
+        assert_eq!(tasks, vec![0..100]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(chunk_by_weight(0, 10, |_| 1).is_empty());
+    }
+
+    #[test]
+    fn overweight_vertex_isolated() {
+        let w = [1u64, 1, 1000, 1, 1];
+        let tasks = chunk_by_weight(5, 10, |v| w[v as usize]);
+        // The 1000-weight vertex closes its own task immediately.
+        assert!(tasks.contains(&(0..3)));
+        let total: u32 = tasks.iter().map(|r| r.end - r.start).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn skipping_finished_prefix_matches_paper() {
+        // Mirrors Algorithm 5: weight 0 for vertices with known roles.
+        let known = [true, true, true, false, false, true, false];
+        let deg = [9u64, 9, 9, 4, 4, 9, 4];
+        let tasks = chunk_by_weight(7, 7, |v| if known[v as usize] { 0 } else { deg[v as usize] });
+        // Accumulation: v3 (4), v4 (8 > 7 → cut at 0..5), v6 (4, tail).
+        assert_eq!(tasks, vec![0..5, 5..7]);
+    }
+
+    #[test]
+    fn saturating_weights_do_not_overflow() {
+        let tasks = chunk_by_weight(4, u64::MAX, |_| u64::MAX / 2);
+        assert_eq!(tasks.last().unwrap().end, 4);
+    }
+
+    #[test]
+    fn pool_runs_every_chunk_once() {
+        let pool = WorkerPool::new(4);
+        let tasks = chunk_by_weight(1000, 16, |_| 1);
+        let visits = AtomicUsize::new(0);
+        let sum = AtomicU64::new(0);
+        pool.run_chunks(&tasks, |r| {
+            visits.fetch_add(1, Ordering::Relaxed);
+            sum.fetch_add(r.len() as u64, Ordering::Relaxed);
+        });
+        assert_eq!(visits.load(Ordering::Relaxed), tasks.len());
+        assert_eq!(sum.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn run_vertices_visits_all() {
+        let pool = WorkerPool::new(3);
+        let sum = AtomicU64::new(0);
+        pool.run_vertices(257, |v| {
+            sum.fetch_add(v as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 256 * 257 / 2);
+    }
+
+    #[test]
+    fn run_weighted_end_to_end() {
+        let pool = WorkerPool::new(2);
+        let count = AtomicUsize::new(0);
+        pool.run_weighted(100, 8, |_| 3, |r| {
+            count.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        WorkerPool::new(0);
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let pool = WorkerPool::new(1);
+        let hits = AtomicUsize::new(0);
+        pool.run_chunks(&[0..5, 5..9], |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+}

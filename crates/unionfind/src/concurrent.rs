@@ -1,0 +1,237 @@
+//! Lock-free concurrent union-find (Anderson & Woll style).
+//!
+//! `parent` is an array of `AtomicU32`. Links are only ever installed at
+//! a *root*, by CAS, and always point a higher-id root at a lower-id
+//! root. That id-ordering rule gives three properties ppSCAN relies on:
+//!
+//! 1. **No cycles:** parent pointers strictly decrease along any path, so
+//!    the structure is always a forest regardless of interleaving.
+//! 2. **Lock-freedom:** a failed CAS means another thread installed a
+//!    link at that root — global progress was made.
+//! 3. **Determinism:** the final forest partitions are a function of the
+//!    *set* of unions performed, not their order, and each set's root is
+//!    its minimum id. ppSCAN's cluster-id initialization (Algorithm 4,
+//!    `InitClusterId`) exploits exactly this.
+//!
+//! `find` uses lock-free path halving (CAS grandparent over parent;
+//! failure is benign and simply skipped).
+//!
+//! # Memory ordering
+//!
+//! All loads/stores are `Relaxed` and the CAS is `AcqRel`: the only
+//! shared state is the parent array itself — no payload is published
+//! *through* a parent pointer — so the algorithm's correctness rests on
+//! CAS atomicity and the monotone id-ordering argument, not on
+//! cross-variable happens-before edges. The callers in `ppscan-core`
+//! place rayon barriers between the clustering phases, which provide the
+//! synchronization for reading final results.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Concurrent disjoint-set forest over `0..n`; all operations take
+/// `&self` and are safe to call from many threads.
+pub struct ConcurrentUnionFind {
+    parent: Vec<AtomicU32>,
+}
+
+impl ConcurrentUnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "element count exceeds u32");
+        Self {
+            parent: (0..n as u32).map(AtomicU32::new).collect(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The paper's `FindRoot(u)` with lock-free path halving.
+    pub fn find_root(&self, u: u32) -> u32 {
+        let mut x = u;
+        loop {
+            let p = self.parent[x as usize].load(Ordering::Relaxed);
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p as usize].load(Ordering::Relaxed);
+            if gp != p {
+                // Path halving: best-effort re-point x at its grandparent.
+                let _ = self.parent[x as usize].compare_exchange_weak(
+                    p,
+                    gp,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                );
+            }
+            x = gp;
+        }
+    }
+
+    /// The paper's `Union(u, v)`; returns `true` if this call merged two
+    /// previously-disjoint sets (at most one concurrent caller observes
+    /// `true` per merge).
+    pub fn union(&self, u: u32, v: u32) -> bool {
+        let (mut u, mut v) = (u, v);
+        loop {
+            u = self.find_root(u);
+            v = self.find_root(v);
+            if u == v {
+                return false;
+            }
+            // Link the higher-id root under the lower-id root.
+            let (hi, lo) = if u > v { (u, v) } else { (v, u) };
+            match self.parent[hi as usize].compare_exchange(
+                hi,
+                lo,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                // hi stopped being a root; retry from the new roots.
+                Err(_) => continue,
+            }
+        }
+    }
+
+    /// The paper's `IsSameSet(u, v)`.
+    ///
+    /// Precise when quiescent. Under concurrent unions a `true` is always
+    /// permanent (sets never split); a `false` may be stale — exactly the
+    /// semantics ppSCAN's union-find pruning needs, where a stale `false`
+    /// only costs one redundant similarity computation.
+    pub fn is_same_set(&self, u: u32, v: u32) -> bool {
+        let mut u = u;
+        let mut v = v;
+        loop {
+            u = self.find_root(u);
+            v = self.find_root(v);
+            if u == v {
+                return true;
+            }
+            // If u is still a root, the two were genuinely distinct at
+            // this instant (linearization point: the load below).
+            if self.parent[u as usize].load(Ordering::Relaxed) == u {
+                return false;
+            }
+        }
+    }
+
+    /// Canonical labeling: each element mapped to the minimum id of its
+    /// set. Call only when no unions are in flight.
+    pub fn canonical_labels(&self) -> Vec<u32> {
+        // Id-ordered linking makes every root the minimum id of its set.
+        (0..self.len() as u32).map(|u| self.find_root(u)).collect()
+    }
+
+    /// Number of disjoint sets (quiescent only).
+    pub fn num_sets(&self) -> usize {
+        (0..self.len() as u32)
+            .filter(|&u| self.parent[u as usize].load(Ordering::Relaxed) == u)
+            .count()
+    }
+}
+
+impl std::fmt::Debug for ConcurrentUnionFind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ConcurrentUnionFind(len = {})", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_semantics() {
+        let uf = ConcurrentUnionFind::new(6);
+        assert!(uf.union(4, 2));
+        assert!(uf.union(2, 5));
+        assert!(!uf.union(5, 4));
+        assert!(uf.union(0, 1));
+        assert!(uf.is_same_set(4, 5));
+        assert!(!uf.is_same_set(0, 2));
+        assert_eq!(uf.num_sets(), 3); // {0,1} {2,4,5} {3}
+        assert_eq!(uf.canonical_labels(), vec![0, 0, 2, 3, 2, 2]);
+    }
+
+    #[test]
+    fn roots_are_min_ids() {
+        let uf = ConcurrentUnionFind::new(10);
+        uf.union(9, 7);
+        uf.union(7, 3);
+        uf.union(3, 8);
+        assert_eq!(uf.find_root(9), 3);
+        assert_eq!(uf.find_root(8), 3);
+    }
+
+    #[test]
+    fn concurrent_unions_converge() {
+        // Many threads union random pairs; the final partition must equal
+        // the sequential result over the same pair set.
+        use std::sync::Arc;
+        let n = 2000u32;
+        let pairs: Vec<(u32, u32)> = (0..4000)
+            .map(|k: u64| {
+                let x = k
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (((x >> 13) % n as u64) as u32, ((x >> 37) % n as u64) as u32)
+            })
+            .collect();
+
+        let uf = Arc::new(ConcurrentUnionFind::new(n as usize));
+        std::thread::scope(|s| {
+            for chunk in pairs.chunks(500) {
+                let uf = Arc::clone(&uf);
+                s.spawn(move || {
+                    for &(u, v) in chunk {
+                        uf.union(u, v);
+                    }
+                });
+            }
+        });
+
+        let mut seq = crate::seq::UnionFind::new(n as usize);
+        for &(u, v) in &pairs {
+            seq.union(u, v);
+        }
+        assert_eq!(uf.canonical_labels(), seq.canonical_labels());
+    }
+
+    #[test]
+    fn exactly_one_winner_per_merge() {
+        // Two threads race to union the same pair; exactly one sees true.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for _ in 0..50 {
+            let uf = ConcurrentUnionFind::new(2);
+            let wins = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..2 {
+                    s.spawn(|| {
+                        if uf.union(0, 1) {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            assert_eq!(wins.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let uf = ConcurrentUnionFind::new(0);
+        assert!(uf.is_empty());
+        let uf = ConcurrentUnionFind::new(1);
+        assert_eq!(uf.find_root(0), 0);
+        assert!(!uf.union(0, 0));
+    }
+}

@@ -1,0 +1,26 @@
+//! # ppscan-unionfind
+//!
+//! Disjoint-set (union-find) structures for SCAN-family core clustering.
+//!
+//! * [`seq::UnionFind`] — classic sequential union by rank with full path
+//!   compression; used by the sequential pSCAN baseline (its Lemma 3.5
+//!   replaces BFS cluster expansion with disjoint-set unions).
+//! * [`concurrent::ConcurrentUnionFind`] — a lock-free concurrent
+//!   union-find in the style of Anderson & Woll \[STOC'91\], the structure
+//!   ppSCAN's thread-safe core clustering adopts (§4.1 "wait-free
+//!   union-find implementations"): `parent` is an array of atomics, links
+//!   are installed with CAS at roots (ordered by id, so every set's root
+//!   is its minimum-id member — giving deterministic final forests
+//!   regardless of interleaving), and finds apply lock-free path halving.
+//!
+//! Both expose the operations the paper names in Definition 3.6:
+//! `find_root`, `union`, `is_same_set`.
+
+pub mod concurrent;
+pub mod seq;
+
+pub use concurrent::ConcurrentUnionFind;
+pub use seq::UnionFind;
+
+#[cfg(test)]
+mod proptests;

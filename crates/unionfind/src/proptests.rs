@@ -1,0 +1,67 @@
+//! Property tests: both union-find variants must produce identical
+//! partitions for identical union sequences, sequentially and under
+//! thread interleavings.
+
+use crate::{ConcurrentUnionFind, UnionFind};
+use proptest::prelude::*;
+
+fn pairs(n: u32, max_ops: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..n, 0..n), 0..max_ops)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn concurrent_matches_sequential_single_thread(ops in pairs(64, 200)) {
+        let mut seq = UnionFind::new(64);
+        let conc = ConcurrentUnionFind::new(64);
+        for &(u, v) in &ops {
+            let a = seq.union(u, v);
+            let b = conc.union(u, v);
+            prop_assert_eq!(a, b, "union({}, {}) disagreed", u, v);
+            prop_assert_eq!(seq.is_same_set(u, v), true);
+            prop_assert_eq!(conc.is_same_set(u, v), true);
+        }
+        prop_assert_eq!(seq.canonical_labels(), conc.canonical_labels());
+        prop_assert_eq!(seq.num_sets(), conc.num_sets());
+    }
+
+    #[test]
+    fn concurrent_matches_sequential_two_threads(ops in pairs(48, 300)) {
+        let conc = ConcurrentUnionFind::new(48);
+        let mid = ops.len() / 2;
+        std::thread::scope(|s| {
+            let (left, right) = ops.split_at(mid);
+            let conc_ref = &conc;
+            s.spawn(move || {
+                for &(u, v) in left {
+                    conc_ref.union(u, v);
+                }
+            });
+            for &(u, v) in right {
+                conc.union(u, v);
+            }
+        });
+        let mut seq = UnionFind::new(48);
+        for &(u, v) in &ops {
+            seq.union(u, v);
+        }
+        prop_assert_eq!(conc.canonical_labels(), seq.canonical_labels());
+    }
+
+    #[test]
+    fn same_set_is_an_equivalence(ops in pairs(32, 100), probe in (0u32..32, 0u32..32, 0u32..32)) {
+        let conc = ConcurrentUnionFind::new(32);
+        for &(u, v) in &ops {
+            conc.union(u, v);
+        }
+        let (a, b, c) = probe;
+        // Reflexive, symmetric, transitive.
+        prop_assert!(conc.is_same_set(a, a));
+        prop_assert_eq!(conc.is_same_set(a, b), conc.is_same_set(b, a));
+        if conc.is_same_set(a, b) && conc.is_same_set(b, c) {
+            prop_assert!(conc.is_same_set(a, c));
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Sequential union-find with union by rank and path compression —
+//! near-constant amortized time per operation (inverse Ackermann).
+
+/// Sequential disjoint-set forest over `0..n`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    num_sets: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "element count exceeds u32");
+        Self {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            num_sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// The paper's `FindRoot(u)`, with full path compression.
+    pub fn find_root(&mut self, u: u32) -> u32 {
+        let mut root = u;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Second pass: point every traversed node at the root.
+        let mut cur = u;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// The paper's `Union(u, v)`; returns `true` if two sets were merged.
+    pub fn union(&mut self, u: u32, v: u32) -> bool {
+        let (ru, rv) = (self.find_root(u), self.find_root(v));
+        if ru == rv {
+            return false;
+        }
+        let (hi, lo) = match self.rank[ru as usize].cmp(&self.rank[rv as usize]) {
+            std::cmp::Ordering::Less => (rv, ru),
+            std::cmp::Ordering::Greater => (ru, rv),
+            std::cmp::Ordering::Equal => {
+                self.rank[ru as usize] += 1;
+                (ru, rv)
+            }
+        };
+        self.parent[lo as usize] = hi;
+        self.num_sets -= 1;
+        true
+    }
+
+    /// The paper's `IsSameSet(u, v)`.
+    pub fn is_same_set(&mut self, u: u32, v: u32) -> bool {
+        self.find_root(u) == self.find_root(v)
+    }
+
+    /// Canonical labeling: maps each element to the *minimum id* in its
+    /// set — the representation both union-find variants and the
+    /// differential tests compare on.
+    pub fn canonical_labels(&mut self) -> Vec<u32> {
+        let n = self.len();
+        let mut min_of_root = vec![u32::MAX; n];
+        for u in 0..n as u32 {
+            let r = self.find_root(u) as usize;
+            min_of_root[r] = min_of_root[r].min(u);
+        }
+        (0..n as u32)
+            .map(|u| min_of_root[self.find_root(u) as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_sets(), 5);
+        for u in 0..5 {
+            assert_eq!(uf.find_root(u), u);
+        }
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert!(uf.union(0, 3));
+        assert!(!uf.union(1, 2));
+        assert_eq!(uf.num_sets(), 1);
+        assert!(uf.is_same_set(0, 2));
+    }
+
+    #[test]
+    fn canonical_labels_are_min_ids() {
+        let mut uf = UnionFind::new(6);
+        uf.union(4, 2);
+        uf.union(2, 5);
+        uf.union(0, 1);
+        assert_eq!(uf.canonical_labels(), vec![0, 0, 2, 3, 2, 2]);
+    }
+
+    #[test]
+    fn path_compression_flattens() {
+        let mut uf = UnionFind::new(100);
+        for u in 1..100u32 {
+            uf.union(u - 1, u);
+        }
+        let root = uf.find_root(99);
+        // After compression each node points (near-)directly at the root.
+        for u in 0..100u32 {
+            uf.find_root(u);
+            assert_eq!(uf.parent[u as usize], root);
+        }
+    }
+
+    #[test]
+    fn empty_structure() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.num_sets(), 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Interactive parameter exploration — the paper's headline use case:
+//! "support interactive result exploration (with a response time of under
+//! a minute) on billion-edge graphs with a wide range of parameter
+//! values" (§1).
+//!
+//! Sweeps ε ∈ {0.1 … 0.9} × µ ∈ {2, 5, 10, 15} on a scale-free graph and
+//! prints how the clustering structure responds, with per-run times —
+//! a miniature of the paper's Figure 7 robustness study.
+//!
+//! ```sh
+//! cargo run --release --example parameter_sweep [n] [avg_degree]
+//! ```
+
+use ppscan::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let d: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+
+    println!("generating ROLL-style scale-free graph: n = {n}, avg degree ≈ {d} …");
+    let graph = ppscan::graph::gen::roll(n, d, 42);
+    println!(
+        "done: {} vertices, {} edges, max degree {}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.max_degree()
+    );
+
+    let config = PpScanConfig::default();
+    println!(
+        "kernel = {}, threads = {}",
+        config.kernel, config.threads
+    );
+    println!(
+        "\n{:>5} {:>4} {:>9} {:>9} {:>9} {:>11}",
+        "eps", "mu", "cores", "clusters", "hubs", "time"
+    );
+    for mu in [2usize, 5, 10, 15] {
+        for eps10 in 1..=9u32 {
+            let eps = eps10 as f64 / 10.0;
+            let params = ScanParams::new(eps, mu);
+            let t0 = std::time::Instant::now();
+            let out = ppscan_core::ppscan::ppscan(&graph, params, &config);
+            let dt = t0.elapsed();
+            let hubs = out
+                .clustering
+                .classify_unclustered(&graph)
+                .iter()
+                .filter(|c| matches!(c, UnclusteredClass::Hub))
+                .count();
+            println!(
+                "{:>5.1} {:>4} {:>9} {:>9} {:>9} {:>11?}",
+                eps,
+                mu,
+                out.clustering.num_cores(),
+                out.clustering.num_clusters(),
+                hubs,
+                dt
+            );
+        }
+        println!();
+    }
+}

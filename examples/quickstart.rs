@@ -1,0 +1,43 @@
+//! Quickstart: build a graph, cluster it with ppSCAN, inspect the result.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ppscan::prelude::*;
+
+fn main() {
+    // The golden two-community example: two 6-cliques joined by a bridge
+    // vertex (6) with a pendant vertex (13).
+    let graph = ppscan::graph::gen::scan_paper_example();
+    println!(
+        "graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // SCAN parameters: similarity threshold ε and core threshold µ.
+    let params = ScanParams::new(0.7, 2);
+
+    // Run parallel ppSCAN (defaults: all cores, widest SIMD kernel).
+    let output = ppscan::cluster(&graph, params);
+    let clustering = &output.clustering;
+
+    println!("result: {}", clustering.summary());
+    for (cid, members) in clustering.clusters() {
+        println!("  cluster {cid}: {members:?}");
+    }
+
+    // SCAN's signature feature: vertices outside every cluster are
+    // classified as hubs (bridging clusters) or outliers.
+    for (v, class) in clustering.classify_unclustered(&graph).iter().enumerate() {
+        match class {
+            UnclusteredClass::Hub => println!("  vertex {v}: HUB"),
+            UnclusteredClass::Outlier => println!("  vertex {v}: outlier"),
+            UnclusteredClass::Clustered => {}
+        }
+    }
+
+    // Per-stage timings (the paper's Figure 6 breakdown).
+    println!("stage timings: {:?}", output.timings.stages());
+}

@@ -1,0 +1,236 @@
+//! Command-line interface for the ppscan library: cluster a graph file,
+//! inspect statistics, generate synthetic datasets, convert formats.
+//!
+//! ```text
+//! ppscan-cli stats    <graph>
+//! ppscan-cli cluster  <graph> --eps 0.5 --mu 5 [--threads N] [--kernel K]
+//!                     [--output FILE] [--classify]
+//! ppscan-cli generate <roll|rmat|er|sbm> --out FILE [generator options]
+//! ppscan-cli convert  <in> <out>      # .txt ↔ .bin by extension
+//! ```
+//!
+//! Graph files ending in `.bin` use the compact binary CSR format;
+//! anything else is parsed as a SNAP-style edge list.
+
+use ppscan::prelude::*;
+use ppscan_core::ppscan::ppscan as run_ppscan;
+use ppscan_graph::{gen, io, CsrGraph, GraphStats};
+use std::io::Write as _;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("cluster") => cmd_cluster(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!(
+                "usage: ppscan-cli <stats|cluster|generate|convert> ...\n\
+                 run `ppscan-cli <command> --help` for details"
+            );
+            if args.is_empty() {
+                2
+            } else {
+                0
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown command: {other}");
+            2
+        }
+    };
+    exit(code);
+}
+
+fn load(path: &str) -> CsrGraph {
+    let result = if path.ends_with(".bin") {
+        io::read_binary_file(path)
+    } else {
+        io::read_edge_list_file(path)
+    };
+    result.unwrap_or_else(|e| {
+        eprintln!("failed to load {path}: {e}");
+        exit(1);
+    })
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_or_exit<T: std::str::FromStr>(s: &str, what: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("invalid {what}: {s}");
+        exit(2)
+    })
+}
+
+fn cmd_stats(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("usage: ppscan-cli stats <graph>");
+        return 2;
+    };
+    let g = load(path);
+    let s = GraphStats::of(&g);
+    println!("{}", GraphStats::table_header());
+    println!("{}", s.table_row(path));
+    println!("median degree : {}", s.median_degree);
+    println!("degree skew   : {:.1}", s.skew);
+    println!("SCAN workload : {} (2 Σ d²)", ppscan_graph::stats::scan_workload(&g));
+    println!("heap          : {:.1} MiB", g.heap_bytes() as f64 / (1 << 20) as f64);
+    0
+}
+
+fn cmd_cluster(args: &[String]) -> i32 {
+    if args.first().map_or(true, |a| a == "--help") {
+        eprintln!(
+            "usage: ppscan-cli cluster <graph> --eps E --mu M \
+             [--threads N] [--kernel merge|pivot-avx512|block-avx512|...] \
+             [--output FILE] [--classify]"
+        );
+        return if args.is_empty() { 2 } else { 0 };
+    }
+    let path = &args[0];
+    let eps: f64 = parse_or_exit(flag_value(args, "--eps").unwrap_or("0.5"), "--eps");
+    let mu: usize = parse_or_exit(flag_value(args, "--mu").unwrap_or("5"), "--mu");
+    let mut config = PpScanConfig::default();
+    if let Some(t) = flag_value(args, "--threads") {
+        config.threads = parse_or_exit(t, "--threads");
+    }
+    if let Some(k) = flag_value(args, "--kernel") {
+        config.kernel = Kernel::parse(k).unwrap_or_else(|| {
+            eprintln!("unknown kernel {k}");
+            exit(2)
+        });
+        if !config.kernel.available() {
+            eprintln!("kernel {} not supported on this CPU", config.kernel);
+            return 1;
+        }
+    }
+
+    let g = load(path);
+    eprintln!(
+        "loaded {}: {} vertices, {} edges",
+        path,
+        g.num_vertices(),
+        g.num_edges()
+    );
+    let t0 = std::time::Instant::now();
+    let out = run_ppscan(&g, ScanParams::new(eps, mu), &config);
+    eprintln!(
+        "ppSCAN(eps={eps}, mu={mu}, {} threads, {}) took {:?}",
+        config.threads,
+        config.kernel,
+        t0.elapsed()
+    );
+    println!("{}", out.clustering.summary());
+
+    if args.iter().any(|a| a == "--classify") {
+        let classes = out.clustering.classify_unclustered(&g);
+        let hubs = classes.iter().filter(|c| matches!(c, UnclusteredClass::Hub)).count();
+        let outliers = classes
+            .iter()
+            .filter(|c| matches!(c, UnclusteredClass::Outlier))
+            .count();
+        println!("hubs: {hubs}, outliers: {outliers}");
+    }
+
+    if let Some(path) = flag_value(args, "--output") {
+        let mut w = std::io::BufWriter::new(std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            exit(1)
+        }));
+        writeln!(w, "# vertex cluster_id (one line per membership)").unwrap();
+        for (cid, members) in out.clustering.clusters() {
+            for v in members {
+                writeln!(w, "{v} {cid}").unwrap();
+            }
+        }
+        eprintln!("memberships written to {path}");
+    }
+    0
+}
+
+fn cmd_generate(args: &[String]) -> i32 {
+    let usage = "usage: ppscan-cli generate <roll|rmat|er|sbm> --out FILE \
+                 [--n N] [--degree D] [--scale S] [--edges M] [--blocks B] \
+                 [--block-size K] [--p-in P] [--p-out Q] [--seed S]";
+    let Some(kind) = args.first() else {
+        eprintln!("{usage}");
+        return 2;
+    };
+    let Some(out) = flag_value(args, "--out") else {
+        eprintln!("{usage}");
+        return 2;
+    };
+    let seed: u64 = parse_or_exit(flag_value(args, "--seed").unwrap_or("42"), "--seed");
+    let n: usize = parse_or_exit(flag_value(args, "--n").unwrap_or("10000"), "--n");
+    let g = match kind.as_str() {
+        "roll" => {
+            let d: usize = parse_or_exit(flag_value(args, "--degree").unwrap_or("16"), "--degree");
+            gen::roll(n, d, seed)
+        }
+        "rmat" => {
+            let scale: u32 = parse_or_exit(flag_value(args, "--scale").unwrap_or("14"), "--scale");
+            let d: usize = parse_or_exit(flag_value(args, "--degree").unwrap_or("16"), "--degree");
+            gen::rmat_social(scale, d, seed)
+        }
+        "er" => {
+            let m: usize = parse_or_exit(flag_value(args, "--edges").unwrap_or("50000"), "--edges");
+            gen::erdos_renyi(n, m, seed)
+        }
+        "sbm" => {
+            let blocks: usize = parse_or_exit(flag_value(args, "--blocks").unwrap_or("8"), "--blocks");
+            let k: usize =
+                parse_or_exit(flag_value(args, "--block-size").unwrap_or("64"), "--block-size");
+            let p_in: f64 = parse_or_exit(flag_value(args, "--p-in").unwrap_or("0.3"), "--p-in");
+            let p_out: f64 = parse_or_exit(flag_value(args, "--p-out").unwrap_or("0.005"), "--p-out");
+            gen::planted_partition(blocks, k, p_in, p_out, seed)
+        }
+        other => {
+            eprintln!("unknown generator {other}\n{usage}");
+            return 2;
+        }
+    };
+    let result = if out.ends_with(".bin") {
+        io::write_binary_file(&g, out)
+    } else {
+        std::fs::File::create(out)
+            .and_then(|f| io::write_edge_list(&g, std::io::BufWriter::new(f)))
+    };
+    if let Err(e) = result {
+        eprintln!("failed to write {out}: {e}");
+        return 1;
+    }
+    eprintln!(
+        "wrote {out}: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
+    0
+}
+
+fn cmd_convert(args: &[String]) -> i32 {
+    let (Some(input), Some(output)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: ppscan-cli convert <in> <out>");
+        return 2;
+    };
+    let g = load(input);
+    let result = if output.ends_with(".bin") {
+        io::write_binary_file(&g, output)
+    } else {
+        std::fs::File::create(output)
+            .and_then(|f| io::write_edge_list(&g, std::io::BufWriter::new(f)))
+    };
+    if let Err(e) = result {
+        eprintln!("failed to write {output}: {e}");
+        return 1;
+    }
+    eprintln!("converted {input} → {output}");
+    0
+}

@@ -1,0 +1,112 @@
+//! End-to-end tests of the `ppscan-cli` binary: generate → stats →
+//! cluster → convert round trips through real process invocations.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ppscan-cli"))
+}
+
+fn tmpdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ppscan_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn generate_stats_cluster_roundtrip() {
+    let dir = tmpdir();
+    let graph_txt = dir.join("g.txt");
+    let graph_bin = dir.join("g.bin");
+    let clusters = dir.join("clusters.txt");
+
+    // generate an SBM graph as text
+    let out = cli()
+        .args([
+            "generate",
+            "sbm",
+            "--blocks",
+            "3",
+            "--block-size",
+            "30",
+            "--p-in",
+            "0.5",
+            "--p-out",
+            "0.01",
+            "--out",
+            graph_txt.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // stats
+    let out = cli().args(["stats", graph_txt.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SCAN workload"), "{stdout}");
+
+    // convert to binary
+    let out = cli()
+        .args([
+            "convert",
+            graph_txt.to_str().unwrap(),
+            graph_bin.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // cluster the binary graph with explicit options
+    let out = cli()
+        .args([
+            "cluster",
+            graph_bin.to_str().unwrap(),
+            "--eps",
+            "0.4",
+            "--mu",
+            "3",
+            "--threads",
+            "2",
+            "--kernel",
+            "merge",
+            "--classify",
+            "--output",
+            clusters.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("3 clusters"), "expected 3 clusters, got: {stdout}");
+
+    // membership file exists and is non-trivial
+    let body = std::fs::read_to_string(&clusters).unwrap();
+    assert!(body.lines().count() > 30, "membership file too small");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rejects_unknown_command_and_kernel() {
+    let out = cli().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    let dir = tmpdir();
+    let g = dir.join("k.txt");
+    std::fs::write(&g, "0 1\n1 2\n").unwrap();
+    let out = cli()
+        .args(["cluster", g.to_str().unwrap(), "--kernel", "warp-drive"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = cli().args(["stats", "/nonexistent/graph.txt"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("failed to load"));
+}

@@ -1,0 +1,63 @@
+//! Integration tests for the GS*-Index crate against the rest of the
+//! workspace: index queries must agree with every algorithm on every
+//! parameter setting, including after an I/O round trip.
+
+use ppscan::gsindex::GsIndex;
+use ppscan::prelude::*;
+use ppscan_core::verify;
+use ppscan_graph::{gen, io};
+
+#[test]
+fn index_agrees_with_all_algorithms() {
+    let g = gen::planted_partition(4, 22, 0.55, 0.03, 17);
+    let index = GsIndex::build(&g, 2);
+    for eps10 in [2u32, 5, 8] {
+        for mu in [2usize, 4, 7] {
+            let p = ScanParams::new(eps10 as f64 / 10.0, mu);
+            let from_index = index.query(p);
+            assert_eq!(from_index, ppscan_core::scan::scan(&g, p).clustering);
+            assert_eq!(from_index, ppscan_core::scanpp::scanpp(&g, p));
+            assert_eq!(
+                from_index,
+                ppscan_core::ppscan::ppscan(&g, p, &PpScanConfig::with_threads(2)).clustering
+            );
+            verify::check_clustering(&g, p, &from_index).unwrap();
+        }
+    }
+}
+
+#[test]
+fn index_survives_io_roundtrip_of_graph() {
+    let g = gen::roll(300, 10, 23);
+    let mut buf = Vec::new();
+    io::write_binary(&g, &mut buf).unwrap();
+    let g2 = io::read_binary(&buf[..]).unwrap();
+    // Index built on the reloaded graph answers identically.
+    let a = GsIndex::build(&g, 2);
+    let b = GsIndex::build(&g2, 2);
+    let p = ScanParams::new(0.4, 3);
+    assert_eq!(a.query(p), b.query(p));
+}
+
+#[test]
+fn index_queries_are_monotone_in_epsilon() {
+    let g = gen::roll(400, 12, 5);
+    let index = GsIndex::build(&g, 2);
+    let mut last = usize::MAX;
+    for eps10 in 1..=9u32 {
+        let c = index.query(ScanParams::new(eps10 as f64 / 10.0, 4));
+        assert!(c.num_cores() <= last);
+        last = c.num_cores();
+    }
+}
+
+#[test]
+fn index_handles_every_mu_up_to_max_degree() {
+    let g = gen::clique_chain(6, 2);
+    let index = GsIndex::build(&g, 1);
+    for mu in 1..=index.max_mu() + 2 {
+        let c = index.query(ScanParams::new(0.5, mu));
+        let expect = ppscan_core::pscan::pscan(&g, ScanParams::new(0.5, mu)).clustering;
+        assert_eq!(c, expect, "mu = {mu}");
+    }
+}

@@ -1,0 +1,102 @@
+//! Concurrency stress tests: repeated ppSCAN runs with adversarial
+//! scheduling (tiny degree thresholds → maximal task counts and barrier
+//! churn, thread counts exceeding the physical cores) must be
+//! deterministic and identical to the sequential reference. These runs
+//! shake out ordering bugs in the lock-free phases that single
+//! configurations can miss.
+
+use ppscan::prelude::*;
+use ppscan_core::verify;
+use ppscan_graph::gen;
+
+#[test]
+fn repeated_runs_are_deterministic() {
+    let g = gen::planted_partition(4, 30, 0.5, 0.03, 31);
+    let p = ScanParams::new(0.4, 3);
+    let reference = verify::reference_clustering(&g, p);
+    // Oversubscribed threads + one-vertex tasks: maximal interleaving.
+    let cfg = PpScanConfig::with_threads(8).degree_threshold(1);
+    for round in 0..25 {
+        let out = ppscan_core::ppscan::ppscan(&g, p, &cfg);
+        assert_eq!(out.clustering, reference, "nondeterminism on round {round}");
+    }
+}
+
+#[test]
+fn hub_heavy_graph_under_stress() {
+    // Star-of-cliques: one huge hub adjacent to everything plus dense
+    // cliques — worst case for degree skew in the scheduler.
+    let k = 8;
+    let cliques = 12;
+    let mut b = ppscan_graph::GraphBuilder::new();
+    let hub = (cliques * k) as u32;
+    for c in 0..cliques {
+        let base = (c * k) as u32;
+        for i in 0..k as u32 {
+            for j in (i + 1)..k as u32 {
+                b.push_edge(base + i, base + j);
+            }
+            b.push_edge(hub, base + i);
+        }
+    }
+    let g = b.build();
+    for eps in [0.2, 0.5, 0.8] {
+        for mu in [2usize, 5] {
+            let p = ScanParams::new(eps, mu);
+            let reference = verify::reference_clustering(&g, p);
+            for threads in [1usize, 4, 8] {
+                let cfg = PpScanConfig::with_threads(threads).degree_threshold(4);
+                let out = ppscan_core::ppscan::ppscan(&g, p, &cfg);
+                assert_eq!(
+                    out.clustering, reference,
+                    "eps={eps} mu={mu} threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_union_find_under_clustering_load() {
+    // A graph whose clustering produces one giant component: maximal
+    // union-find contention in the core-clustering phase.
+    let g = gen::complete(120);
+    let p = ScanParams::new(0.5, 3);
+    let reference = verify::reference_clustering(&g, p);
+    assert_eq!(reference.num_clusters(), 1);
+    for _ in 0..10 {
+        let cfg = PpScanConfig::with_threads(8).degree_threshold(1);
+        let out = ppscan_core::ppscan::ppscan(&g, p, &cfg);
+        assert_eq!(out.clustering, reference);
+    }
+}
+
+#[test]
+fn all_baselines_stress_identical_on_dense_overlapping_clusters() {
+    // Overlapping-communities graph: many non-cores belong to several
+    // clusters, stressing the membership-pair paths of every algorithm.
+    let mut b = ppscan_graph::GraphBuilder::new();
+    // Ring of cliques sharing single vertices.
+    let k = 6;
+    let cliques = 10;
+    for c in 0..cliques {
+        let base = (c * (k - 1)) as u32;
+        for i in 0..k as u32 {
+            for j in (i + 1)..k as u32 {
+                b.push_edge(base + i, base + j);
+            }
+        }
+    }
+    let g = b.build();
+    let p = ScanParams::new(0.6, 3);
+    let reference = verify::reference_clustering(&g, p);
+    assert_eq!(
+        ppscan_core::pscan::pscan(&g, p).clustering,
+        reference
+    );
+    assert_eq!(ppscan_core::scanpp::scanpp(&g, p), reference);
+    assert_eq!(ppscan_core::scanxp::scanxp(&g, p, 4), reference);
+    assert_eq!(ppscan_core::anyscan::anyscan(&g, p, 4), reference);
+    let cfg = PpScanConfig::with_threads(4).degree_threshold(2);
+    assert_eq!(ppscan_core::ppscan::ppscan(&g, p, &cfg).clustering, reference);
+}
