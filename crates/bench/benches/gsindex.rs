@@ -1,44 +1,48 @@
-//! Criterion microbenchmarks for the GS*-Index: construction cost (the
-//! exhaustive similarity pass the ppSCAN paper criticizes, §3.3) versus
-//! per-query cost (output-proportional), and the ppSCAN recomputation it
-//! competes with.
+//! Microbenchmarks for the GS*-Index: construction cost (the exhaustive
+//! similarity pass the ppSCAN paper criticizes, §3.3) versus per-query
+//! cost (output-proportional), and the ppSCAN recomputation it competes
+//! with.
+//!
+//! Plain `harness = false` binary (no criterion in the hermetic build).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppscan_bench::{best_of, secs, Table};
 use ppscan_core::params::ScanParams;
 use ppscan_core::ppscan::{ppscan, PpScanConfig};
-use ppscan_gsindex::GsIndex;
 use ppscan_graph::gen;
+use ppscan_gsindex::GsIndex;
 use std::hint::black_box;
 
-fn bench_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gsindex/build");
-    group.sample_size(10);
+fn main() {
+    let mut table = Table::new(&["benchmark", "case", "best"]);
+
     for n in [2_000usize, 10_000] {
         let g = gen::roll(n, 16, 3);
-        group.bench_with_input(BenchmarkId::new("roll-d16", n), &n, |b, _| {
-            b.iter(|| black_box(GsIndex::build(&g, 2)));
-        });
+        let (d, _) = best_of(|| black_box(GsIndex::build(&g, 2)));
+        table.row(vec![
+            "gsindex/build".into(),
+            format!("roll-d16 n={n}"),
+            secs(d),
+        ]);
     }
-    group.finish();
-}
 
-fn bench_query_vs_recompute(c: &mut Criterion) {
     let g = gen::roll(10_000, 16, 3);
     let index = GsIndex::build(&g, 2);
     let cfg = PpScanConfig::with_threads(2);
-    let mut group = c.benchmark_group("gsindex/answer");
-    group.sample_size(20);
     for eps10 in [2u32, 5, 8] {
         let p = ScanParams::new(eps10 as f64 / 10.0, 5);
-        group.bench_with_input(BenchmarkId::new("index-query", eps10), &p, |b, &p| {
-            b.iter(|| black_box(index.query(p)));
-        });
-        group.bench_with_input(BenchmarkId::new("ppscan-recompute", eps10), &p, |b, &p| {
-            b.iter(|| black_box(ppscan(&g, p, &cfg)));
-        });
+        let (d, _) = best_of(|| black_box(index.query(p)));
+        table.row(vec![
+            "gsindex/answer".into(),
+            format!("index-query eps=0.{eps10}"),
+            secs(d),
+        ]);
+        let (d, _) = best_of(|| black_box(ppscan(&g, p, &cfg)));
+        table.row(vec![
+            "gsindex/answer".into(),
+            format!("ppscan-recompute eps=0.{eps10}"),
+            secs(d),
+        ]);
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_build, bench_query_vs_recompute);
-criterion_main!(benches);
+    table.print(false);
+}

@@ -1,21 +1,25 @@
-//! Criterion microbenchmarks for the set-intersection kernels (§5,
-//! §6.2.2): merge vs galloping vs pivot scalar/AVX2/AVX-512, across array
-//! sizes, overlap densities and early-termination regimes.
+//! Microbenchmarks for the set-intersection kernels (§5, §6.2.2): merge
+//! vs galloping vs pivot scalar/AVX2/AVX-512, across array sizes, overlap
+//! densities and early-termination regimes.
 //!
 //! The paper's claim to verify: the pivot-based vectorized kernel beats
 //! the merge kernel by up to ~4× on intersection-heavy regimes (long
 //! arrays, small ε ⇒ low `min_cn` that is *not* trivially reached), with
 //! AVX-512 ahead of AVX2.
+//!
+//! Plain `harness = false` binary (no criterion in the hermetic build).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ppscan_bench::Table;
+use ppscan_graph::rng::SplitMix64;
 use ppscan_intersect::Kernel;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 /// Sorted random array of `len` ids drawn from `0..universe`.
-fn sorted_ids(len: usize, universe: u32, rng: &mut StdRng) -> Vec<u32> {
-    let mut v: Vec<u32> = (0..len * 2).map(|_| rng.gen_range(0..universe)).collect();
+fn sorted_ids(len: usize, universe: u32, rng: &mut SplitMix64) -> Vec<u32> {
+    let mut v: Vec<u32> = (0..len * 2)
+        .map(|_| rng.gen_index(universe as usize) as u32)
+        .collect();
     v.sort_unstable();
     v.dedup();
     v.truncate(len);
@@ -26,71 +30,81 @@ fn kernels() -> Vec<Kernel> {
     Kernel::ALL.into_iter().filter(|k| k.available()).collect()
 }
 
-/// Dense overlap (~50% match rate), decisions require deep scans.
-fn bench_dense_overlap(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(1);
-    let mut group = c.benchmark_group("intersect/dense");
+/// Best wall-clock per check over a few thousand repetitions.
+fn time_check(k: Kernel, a: &[u32], b: &[u32], min_cn: u64) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..5 {
+        let iters = 2000;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(k.check(black_box(a), black_box(b), min_cn));
+        }
+        best = best.min(t0.elapsed() / iters);
+    }
+    best
+}
+
+fn nanos(d: Duration) -> String {
+    format!("{}", d.as_nanos())
+}
+
+fn main() {
+    let mut table = Table::new(&["regime", "len", "kernel", "ns/check"]);
+
+    // Dense overlap (~50% match rate), decisions require deep scans.
+    let mut rng = SplitMix64::seed_from_u64(1);
     for len in [64usize, 512, 4096] {
         let a = sorted_ids(len, (len * 2) as u32, &mut rng);
         let b = sorted_ids(len, (len * 2) as u32, &mut rng);
-        // min_cn high enough to forbid trivial Sim, low enough to need
-        // a real scan: half of the expected overlap.
+        // min_cn high enough to forbid trivial Sim, low enough to need a
+        // real scan: half of the expected overlap.
         let min_cn = (len / 4) as u64;
-        group.throughput(Throughput::Elements((a.len() + b.len()) as u64));
         for k in kernels() {
-            group.bench_with_input(BenchmarkId::new(k.name(), len), &len, |bch, _| {
-                bch.iter(|| black_box(k.check(black_box(&a), black_box(&b), min_cn)));
-            });
+            let d = time_check(k, &a, &b, min_cn);
+            table.row(vec![
+                "dense".into(),
+                len.to_string(),
+                k.name().into(),
+                nanos(d),
+            ]);
         }
     }
-    group.finish();
-}
 
-/// Sparse overlap with early NSim termination: the `du`/`dv` bounds
-/// collapse quickly — the regime pruning creates at large ε.
-fn bench_early_termination(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(2);
-    let mut group = c.benchmark_group("intersect/early-nsim");
+    // Sparse overlap with early NSim termination: the `du`/`dv` bounds
+    // collapse quickly — the regime pruning creates at large ε.
+    let mut rng = SplitMix64::seed_from_u64(2);
     for len in [512usize, 4096] {
-        // Disjoint ranges: zero matches.
         let a: Vec<u32> = sorted_ids(len, len as u32 * 4, &mut rng);
         let b: Vec<u32> = a.iter().map(|&x| x + len as u32 * 8).collect();
         let min_cn = (len / 2) as u64;
-        group.throughput(Throughput::Elements((a.len() + b.len()) as u64));
         for k in kernels() {
-            group.bench_with_input(BenchmarkId::new(k.name(), len), &len, |bch, _| {
-                bch.iter(|| black_box(k.check(black_box(&a), black_box(&b), min_cn)));
-            });
+            let d = time_check(k, &a, &b, min_cn);
+            table.row(vec![
+                "early-nsim".into(),
+                len.to_string(),
+                k.name().into(),
+                nanos(d),
+            ]);
         }
     }
-    group.finish();
-}
 
-/// Skewed sizes (degree-1000 hub vs degree-32 spoke): where galloping
-/// should shine and the pivot kernels must stay competitive.
-fn bench_skewed_sizes(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(3);
-    let mut group = c.benchmark_group("intersect/skewed");
+    // Skewed sizes (degree-16384 hub vs small spoke): where galloping
+    // should shine and the pivot kernels must stay competitive.
+    let mut rng = SplitMix64::seed_from_u64(3);
     let big = sorted_ids(16_384, 80_000, &mut rng);
     for small_len in [16usize, 128] {
         let small = sorted_ids(small_len, 80_000, &mut rng);
         let min_cn = 4u64;
         for k in kernels() {
-            group.bench_with_input(
-                BenchmarkId::new(k.name(), small_len),
-                &small_len,
-                |bch, _| {
-                    bch.iter(|| black_box(k.check(black_box(&small), black_box(&big), min_cn)));
-                },
-            );
+            let d = time_check(k, &small, &big, min_cn);
+            table.row(vec![
+                "skewed".into(),
+                small_len.to_string(),
+                k.name().into(),
+                nanos(d),
+            ]);
         }
     }
-    group.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_dense_overlap, bench_early_termination, bench_skewed_sizes
+    table.print(false);
 }
-criterion_main!(benches);

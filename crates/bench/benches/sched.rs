@@ -1,39 +1,37 @@
-//! Criterion microbenchmarks for the degree-based task scheduler (§4.4):
-//! chunking cost (the paper claims "negligible overhead": one add per
-//! vertex) and end-to-end load balance on skewed degree distributions
-//! versus naive uniform chunking.
+//! Microbenchmarks for the degree-based task scheduler (§4.4): chunking
+//! cost (the paper claims "negligible overhead": one add per vertex) and
+//! end-to-end load balance on skewed degree distributions versus naive
+//! uniform chunking.
+//!
+//! Plain `harness = false` binary (no criterion in the hermetic build):
+//! best-of-N wall-clock timing via `ppscan_bench::best_of`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppscan_bench::{secs, Table};
+use ppscan_graph::rng::SplitMix64;
 use ppscan_sched::{chunk_by_weight, WorkerPool, DEFAULT_DEGREE_THRESHOLD};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+fn best_of(iters: usize, mut f: impl FnMut()) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed());
+    }
+    best
+}
 
 /// Power-law-ish degree array (many small, few huge).
 fn skewed_degrees(n: usize, seed: u64) -> Vec<u64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     (0..n)
         .map(|_| {
-            let r: f64 = rng.gen_range(0.0001f64..1.0);
+            let r = rng.gen_f64().max(0.0001);
             (4.0 / r.powf(0.8)) as u64
         })
         .collect()
-}
-
-fn bench_chunking_cost(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sched/chunking");
-    for n in [100_000usize, 1_000_000] {
-        let deg = skewed_degrees(n, 7);
-        group.bench_with_input(BenchmarkId::new("chunk_by_weight", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(chunk_by_weight(n, DEFAULT_DEGREE_THRESHOLD, |v| {
-                    deg[v as usize]
-                }))
-            });
-        });
-    }
-    group.finish();
 }
 
 /// Simulated vertex computation: spin proportional to degree.
@@ -48,41 +46,59 @@ fn simulate(deg: &[u64], range: std::ops::Range<u32>, sink: &AtomicU64) {
     sink.fetch_add(acc, Ordering::Relaxed);
 }
 
-fn bench_load_balance(c: &mut Criterion) {
+fn main() {
+    let mut table = Table::new(&["benchmark", "case", "best"]);
+
+    for n in [100_000usize, 1_000_000] {
+        let deg = skewed_degrees(n, 7);
+        let d = best_of(5, || {
+            black_box(chunk_by_weight(n, DEFAULT_DEGREE_THRESHOLD, |v| {
+                deg[v as usize]
+            }));
+        });
+        table.row(vec!["sched/chunking".into(), format!("n={n}"), secs(d)]);
+    }
+
     let n = 30_000usize;
     let deg = skewed_degrees(n, 11);
     let threads = std::thread::available_parallelism().map_or(4, |m| m.get());
     let pool = WorkerPool::new(threads);
-    let mut group = c.benchmark_group("sched/load-balance");
-    group.sample_size(10);
 
-    group.bench_function("degree-weighted", |b| {
-        b.iter(|| {
-            let sink = AtomicU64::new(0);
-            pool.run_weighted(n, DEFAULT_DEGREE_THRESHOLD, |v| deg[v as usize], |r| {
-                simulate(&deg, r, &sink)
-            });
-            black_box(sink.into_inner())
-        });
+    let d = best_of(5, || {
+        let sink = AtomicU64::new(0);
+        pool.run_weighted(
+            n,
+            DEFAULT_DEGREE_THRESHOLD,
+            |v| deg[v as usize],
+            |r| simulate(&deg, r, &sink),
+        );
+        black_box(sink.into_inner());
     });
-    group.bench_function("uniform-chunks", |b| {
-        // Same task count as the weighted scheduler would produce, but
-        // cut uniformly by vertex count — skew lands whole hubs in
-        // single tasks with no compensation.
-        let weighted_tasks = chunk_by_weight(n, DEFAULT_DEGREE_THRESHOLD, |v| deg[v as usize]);
-        let per = n.div_ceil(weighted_tasks.len().max(1));
-        let uniform: Vec<std::ops::Range<u32>> = (0..n)
-            .step_by(per)
-            .map(|s| s as u32..((s + per).min(n)) as u32)
-            .collect();
-        b.iter(|| {
-            let sink = AtomicU64::new(0);
-            pool.run_chunks(&uniform, |r| simulate(&deg, r, &sink));
-            black_box(sink.into_inner())
-        });
+    table.row(vec![
+        "sched/load-balance".into(),
+        "degree-weighted".into(),
+        secs(d),
+    ]);
+
+    // Same task count as the weighted scheduler would produce, but cut
+    // uniformly by vertex count — skew lands whole hubs in single tasks
+    // with no compensation.
+    let weighted_tasks = chunk_by_weight(n, DEFAULT_DEGREE_THRESHOLD, |v| deg[v as usize]);
+    let per = n.div_ceil(weighted_tasks.len().max(1));
+    let uniform: Vec<std::ops::Range<u32>> = (0..n)
+        .step_by(per)
+        .map(|s| s as u32..((s + per).min(n)) as u32)
+        .collect();
+    let d = best_of(5, || {
+        let sink = AtomicU64::new(0);
+        pool.run_chunks(&uniform, |r| simulate(&deg, r, &sink));
+        black_box(sink.into_inner());
     });
-    group.finish();
+    table.row(vec![
+        "sched/load-balance".into(),
+        "uniform-chunks".into(),
+        secs(d),
+    ]);
+
+    table.print(false);
 }
-
-criterion_group!(benches, bench_chunking_cost, bench_load_balance);
-criterion_main!(benches);

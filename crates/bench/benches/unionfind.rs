@@ -1,77 +1,90 @@
-//! Criterion microbenchmarks for the union-find structures: sequential
-//! (pSCAN's) vs wait-free concurrent (ppSCAN's), single-threaded overhead
-//! and multi-threaded throughput — quantifying the §6.3 observation that
+//! Microbenchmarks for the union-find structures: sequential (pSCAN's)
+//! vs wait-free concurrent (ppSCAN's), single-threaded overhead and
+//! multi-threaded throughput — quantifying the §6.3 observation that
 //! "core and non-core clustering involves concurrent lock-free operations
 //! on union-find-sets, [whose] overhead increases with the number of
 //! threads".
+//!
+//! Plain `harness = false` binary (no criterion in the hermetic build).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ppscan_bench::{secs, Table};
+use ppscan_graph::rng::SplitMix64;
 use ppscan_unionfind::{ConcurrentUnionFind, UnionFind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 fn random_pairs(n: u32, ops: usize, seed: u64) -> Vec<(u32, u32)> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     (0..ops)
-        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .map(|_| {
+            (
+                rng.gen_index(n as usize) as u32,
+                rng.gen_index(n as usize) as u32,
+            )
+        })
         .collect()
 }
 
-fn bench_single_thread(c: &mut Criterion) {
-    let n = 100_000u32;
-    let pairs = random_pairs(n, 200_000, 3);
-    let mut group = c.benchmark_group("unionfind/single-thread");
-    group.throughput(Throughput::Elements(pairs.len() as u64));
-    group.bench_function("sequential", |b| {
-        b.iter(|| {
-            let mut uf = UnionFind::new(n as usize);
-            for &(u, v) in &pairs {
-                black_box(uf.union(u, v));
-            }
-        });
-    });
-    group.bench_function("concurrent(1 thread)", |b| {
-        b.iter(|| {
-            let uf = ConcurrentUnionFind::new(n as usize);
-            for &(u, v) in &pairs {
-                black_box(uf.union(u, v));
-            }
-        });
-    });
-    group.finish();
+fn best_of(iters: usize, mut f: impl FnMut()) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed());
+    }
+    best
 }
 
-fn bench_multi_thread(c: &mut Criterion) {
+fn main() {
     let n = 100_000u32;
+    let mut table = Table::new(&["benchmark", "case", "best"]);
+
+    let pairs = random_pairs(n, 200_000, 3);
+    let d = best_of(5, || {
+        let mut uf = UnionFind::new(n as usize);
+        for &(u, v) in &pairs {
+            black_box(uf.union(u, v));
+        }
+    });
+    table.row(vec![
+        "unionfind/single-thread".into(),
+        "sequential".into(),
+        secs(d),
+    ]);
+    let d = best_of(5, || {
+        let uf = ConcurrentUnionFind::new(n as usize);
+        for &(u, v) in &pairs {
+            black_box(uf.union(u, v));
+        }
+    });
+    table.row(vec![
+        "unionfind/single-thread".into(),
+        "concurrent(1 thread)".into(),
+        secs(d),
+    ]);
+
     let pairs = random_pairs(n, 200_000, 5);
-    let mut group = c.benchmark_group("unionfind/concurrent");
-    group.sample_size(20);
-    group.throughput(Throughput::Elements(pairs.len() as u64));
     for threads in [1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("threads", threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    let uf = ConcurrentUnionFind::new(n as usize);
-                    let per = pairs.len().div_ceil(threads);
-                    std::thread::scope(|s| {
-                        for chunk in pairs.chunks(per) {
-                            let uf = &uf;
-                            s.spawn(move || {
-                                for &(u, v) in chunk {
-                                    black_box(uf.union(u, v));
-                                }
-                            });
+        let d = best_of(5, || {
+            let uf = ConcurrentUnionFind::new(n as usize);
+            let per = pairs.len().div_ceil(threads);
+            std::thread::scope(|s| {
+                for chunk in pairs.chunks(per) {
+                    let uf = &uf;
+                    s.spawn(move || {
+                        for &(u, v) in chunk {
+                            black_box(uf.union(u, v));
                         }
                     });
-                });
-            },
-        );
+                }
+            });
+        });
+        table.row(vec![
+            "unionfind/concurrent".into(),
+            format!("threads={threads}"),
+            secs(d),
+        ]);
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_single_thread, bench_multi_thread);
-criterion_main!(benches);
+    table.print(false);
+}

@@ -11,24 +11,30 @@
 
 use ppscan_bench::{best_of, secs, HarnessArgs, Table};
 use ppscan_core::pscan::pscan_with_order;
-use ppscan_intersect::counters;
+use ppscan_intersect::counters::CounterScope;
 
 fn main() {
     let args = HarnessArgs::parse();
     let mut table = Table::new(&[
-        "dataset", "eps", "inv (ordered)", "inv (plain)", "overhead", "t ordered", "t plain",
+        "dataset",
+        "eps",
+        "inv (ordered)",
+        "inv (plain)",
+        "overhead",
+        "t ordered",
+        "t plain",
     ]);
     for (d, g) in ppscan_bench::load_datasets(&args) {
         for &eps in &args.eps_list {
             let p = args.params(eps);
-            let before = counters::snapshot();
-            let (t_ord, _) = best_of(|| pscan_with_order(&g, p, true));
-            let mid = counters::snapshot();
-            let (t_plain, _) = best_of(|| pscan_with_order(&g, p, false));
-            let after = counters::snapshot();
+            let scope = CounterScope::new();
+            let (d_ord, (t_ord, _)) = scope.measure(|| best_of(|| pscan_with_order(&g, p, true)));
+            let scope = CounterScope::new();
+            let (d_plain, (t_plain, _)) =
+                scope.measure(|| best_of(|| pscan_with_order(&g, p, false)));
             // best_of runs RUNS times; normalize the counters per run.
-            let inv_ord = mid.since(&before).compsim_invocations / ppscan_bench::RUNS as u64;
-            let inv_plain = after.since(&mid).compsim_invocations / ppscan_bench::RUNS as u64;
+            let inv_ord = d_ord.compsim_invocations / ppscan_bench::RUNS as u64;
+            let inv_plain = d_plain.compsim_invocations / ppscan_bench::RUNS as u64;
             table.row(vec![
                 d.name().into(),
                 format!("{eps:.1}"),

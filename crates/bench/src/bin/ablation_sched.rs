@@ -46,7 +46,10 @@ fn main() {
                 d.name().into(),
                 label,
                 secs(t),
-                format!("{:+.1}%", (t.as_secs_f64() / tuned.as_secs_f64() - 1.0) * 100.0),
+                format!(
+                    "{:+.1}%",
+                    (t.as_secs_f64() / tuned.as_secs_f64() - 1.0) * 100.0
+                ),
             ]);
         }
     }

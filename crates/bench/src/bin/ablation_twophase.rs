@@ -10,28 +10,35 @@
 
 use ppscan_bench::{secs, HarnessArgs, Table};
 use ppscan_core::ppscan::{ppscan_ablation, PpScanConfig};
-use ppscan_intersect::counters;
+use ppscan_intersect::counters::CounterScope;
 
 fn main() {
     let args = HarnessArgs::parse();
-    let cfg = PpScanConfig::with_threads(
-        std::thread::available_parallelism().map_or(4, |n| n.get()),
-    );
+    let cfg =
+        PpScanConfig::with_threads(std::thread::available_parallelism().map_or(4, |n| n.get()));
     let mut table = Table::new(&[
-        "dataset", "eps", "inv (2-phase)", "inv (1-phase)", "saved", "t 2-phase", "t 1-phase",
+        "dataset",
+        "eps",
+        "inv (2-phase)",
+        "inv (1-phase)",
+        "saved",
+        "t 2-phase",
+        "t 1-phase",
     ]);
     for (d, g) in ppscan_bench::load_datasets(&args) {
         for &eps in &args.eps_list {
             let p = args.params(eps);
             let run = |skip: bool| {
-                let before = counters::snapshot();
-                let mut best = std::time::Duration::MAX;
-                for _ in 0..ppscan_bench::RUNS {
-                    let o = ppscan_ablation(&g, p, &cfg, skip);
-                    best = best.min(o.timings.core_cluster);
-                }
-                let inv = counters::snapshot().since(&before).compsim_invocations
-                    / ppscan_bench::RUNS as u64;
+                let scope = CounterScope::new();
+                let (delta, best) = scope.measure(|| {
+                    let mut best = std::time::Duration::MAX;
+                    for _ in 0..ppscan_bench::RUNS {
+                        let o = ppscan_ablation(&g, p, &cfg, skip);
+                        best = best.min(o.timings.core_cluster);
+                    }
+                    best
+                });
+                let inv = delta.compsim_invocations / ppscan_bench::RUNS as u64;
                 (inv, best)
             };
             let (inv2, t2) = run(false);
@@ -41,10 +48,7 @@ fn main() {
                 format!("{eps:.1}"),
                 inv2.to_string(),
                 inv1.to_string(),
-                format!(
-                    "{:.1}%",
-                    (1.0 - inv2 as f64 / inv1.max(1) as f64) * 100.0
-                ),
+                format!("{:.1}%", (1.0 - inv2 as f64 / inv1.max(1) as f64) * 100.0),
                 secs(t2),
                 secs(t1),
             ]);

@@ -26,7 +26,13 @@ fn main() {
     }
 
     let mut table = Table::new(&[
-        "dataset", "algo", "eps", "similarity", "workload-red", "other", "total",
+        "dataset",
+        "algo",
+        "eps",
+        "similarity",
+        "workload-red",
+        "other",
+        "total",
     ]);
     for (d, g) in ppscan_bench::load_datasets(&args) {
         for &eps in &args.eps_list {
@@ -46,6 +52,9 @@ fn main() {
             }
         }
     }
-    println!("\nFigure 1: SCAN vs pSCAN time breakdown (mu = {})", args.mu);
+    println!(
+        "\nFigure 1: SCAN vs pSCAN time breakdown (mu = {})",
+        args.mu
+    );
     table.print(args.csv);
 }

@@ -10,26 +10,30 @@
 use ppscan_bench::{HarnessArgs, Table};
 use ppscan_core::ppscan::{ppscan, PpScanConfig};
 use ppscan_core::pscan;
-use ppscan_intersect::counters;
+use ppscan_intersect::counters::CounterScope;
 
 fn main() {
     let args = HarnessArgs::parse();
-    let cfg = PpScanConfig::with_threads(
-        std::thread::available_parallelism().map_or(4, |n| n.get()),
-    );
+    let cfg =
+        PpScanConfig::with_threads(std::thread::available_parallelism().map_or(4, |n| n.get()));
     let mut table = Table::new(&[
-        "dataset", "eps", "pSCAN inv", "ppSCAN inv", "pSCAN norm", "ppSCAN norm",
+        "dataset",
+        "eps",
+        "pSCAN inv",
+        "ppSCAN inv",
+        "pSCAN norm",
+        "ppSCAN norm",
     ]);
     for (d, g) in ppscan_bench::load_datasets(&args) {
         let edges = g.num_edges() as f64;
         for &eps in &args.eps_list {
             let p = args.params(eps);
-            let before = counters::snapshot();
-            let _ = pscan::pscan(&g, p);
-            let pscan_inv = counters::snapshot().since(&before).compsim_invocations;
-            let before = counters::snapshot();
-            let _ = ppscan(&g, p, &cfg);
-            let ppscan_inv = counters::snapshot().since(&before).compsim_invocations;
+            let scope = CounterScope::new();
+            let (delta, _) = scope.measure(|| pscan::pscan(&g, p));
+            let pscan_inv = delta.compsim_invocations;
+            let scope = CounterScope::new();
+            let (delta, _) = scope.measure(|| ppscan(&g, p, &cfg));
+            let ppscan_inv = delta.compsim_invocations;
             table.row(vec![
                 d.name().into(),
                 format!("{eps:.1}"),

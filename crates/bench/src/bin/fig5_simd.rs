@@ -36,7 +36,11 @@ fn main() {
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
     let baseline_cfg = PpScanConfig::with_threads(threads).kernel(Kernel::MergeEarly);
 
-    let mut header = vec!["dataset".to_string(), "eps".to_string(), "ppSCAN-NO (s)".to_string()];
+    let mut header = vec![
+        "dataset".to_string(),
+        "eps".to_string(),
+        "ppSCAN-NO (s)".to_string(),
+    ];
     let mut isa_cfgs = Vec::new();
     // The paper's Algorithm 6 pivot kernels (CPU = AVX2, KNL = AVX-512)
     // plus this reproduction's block-kernel extension (see
@@ -67,7 +71,10 @@ fn main() {
             ];
             for cfg in &isa_cfgs {
                 let t = core_checking_time(&g, p, cfg);
-                row.push(format!("{:.2}x", base.as_secs_f64() / t.as_secs_f64().max(1e-9)));
+                row.push(format!(
+                    "{:.2}x",
+                    base.as_secs_f64() / t.as_secs_f64().max(1e-9)
+                ));
             }
             table.row(row);
         }

@@ -25,7 +25,14 @@ fn main() {
     let eps = args.eps_list[0];
 
     let mut table = Table::new(&[
-        "dataset", "threads", "prune", "check", "core-cl", "noncore-cl", "total", "self-speedup",
+        "dataset",
+        "threads",
+        "prune",
+        "check",
+        "core-cl",
+        "noncore-cl",
+        "total",
+        "self-speedup",
     ]);
     for (d, g) in ppscan_bench::load_datasets(&args) {
         let mut t1: Option<Duration> = None;
@@ -51,7 +58,10 @@ fn main() {
                 secs(best.core_cluster),
                 secs(best.noncore_cluster),
                 secs(best_total),
-                format!("{:.2}x", base.as_secs_f64() / best_total.as_secs_f64().max(1e-9)),
+                format!(
+                    "{:.2}x",
+                    base.as_secs_f64() / best_total.as_secs_f64().max(1e-9)
+                ),
             ]);
         }
     }

@@ -20,9 +20,8 @@ fn main() {
     if args.eps_list == [0.2, 0.4, 0.6, 0.8] && !args.quick {
         args.eps_list = (1..=9).map(|k| k as f64 / 10.0).collect();
     }
-    let cfg = PpScanConfig::with_threads(
-        std::thread::available_parallelism().map_or(4, |n| n.get()),
-    );
+    let cfg =
+        PpScanConfig::with_threads(std::thread::available_parallelism().map_or(4, |n| n.get()));
 
     let mut header = vec!["dataset".to_string(), "eps".to_string()];
     header.extend(MUS.iter().map(|mu| format!("mu={mu} (s)")));

@@ -24,7 +24,11 @@ fn main() {
     eprintln!("generating ROLL suite with |E| ≈ {budget} …");
     let suite = ppscan_graph::datasets::roll_suite(budget);
     for (name, g) in &suite {
-        eprintln!("  {name}: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+        eprintln!(
+            "  {name}: {} vertices, {} edges",
+            g.num_vertices(),
+            g.num_edges()
+        );
     }
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
 

@@ -46,7 +46,8 @@ fn main() {
             let (tr, pp_result) = best_of(|| ppscan(&g, p, &cfg));
             pp_total += tr;
             assert_eq!(
-                idx_result, pp_result.clustering,
+                idx_result,
+                pp_result.clustering,
                 "{}: index and ppSCAN disagree at eps={eps} mu={mu}",
                 d.name()
             );

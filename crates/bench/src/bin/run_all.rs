@@ -19,7 +19,11 @@ const BINS: [&str; 11] = [
     "fig8_roll",
     "ablation_edorder",
 ];
-const EXTRA_BINS: [&str; 3] = ["ablation_twophase", "ablation_sched", "parameter_exploration"];
+const EXTRA_BINS: [&str; 3] = [
+    "ablation_twophase",
+    "ablation_sched",
+    "parameter_exploration",
+];
 
 fn main() {
     let forwarded: Vec<String> = std::env::args().skip(1).collect();

@@ -11,7 +11,15 @@ use ppscan_graph::stats::GraphStats;
 fn main() {
     let args = HarnessArgs::parse();
     let mut table = Table::new(&[
-        "Name", "|V|", "|E|", "d", "max d", "paper |V|", "paper |E|", "paper d", "paper max d",
+        "Name",
+        "|V|",
+        "|E|",
+        "d",
+        "max d",
+        "paper |V|",
+        "paper |E|",
+        "paper d",
+        "paper max d",
     ]);
     for (d, g) in ppscan_bench::load_datasets(&args) {
         let s = GraphStats::of(&g);

@@ -30,15 +30,21 @@ pub fn run(figure: &str, platform: &str, kernel: Kernel, threads: usize) {
             Kernel::auto()
         );
     }
-    let kernel = if kernel.available() { kernel } else { Kernel::auto() };
+    let kernel = if kernel.available() {
+        kernel
+    } else {
+        Kernel::auto()
+    };
     let cfg = PpScanConfig::with_threads(threads).kernel(kernel);
 
-    let mut table = Table::new(&["dataset", "eps", "SCAN", "pSCAN", "anySCAN", "SCAN-XP", "ppSCAN"]);
+    let mut table = Table::new(&[
+        "dataset", "eps", "SCAN", "pSCAN", "anySCAN", "SCAN-XP", "ppSCAN",
+    ]);
     for (d, g) in crate::load_datasets(&args) {
         let mut tle = [false; 4]; // scan, pscan, anyscan, scanxp
         for &eps in &args.eps_list {
             let p = args.params(eps);
-            let mut cell = |idx: usize, f: &mut dyn FnMut() -> ()| -> String {
+            let mut cell = |idx: usize, f: &mut dyn FnMut()| -> String {
                 if tle[idx] {
                     return "TLE".into();
                 }

@@ -25,7 +25,7 @@ use ppscan_graph::{CsrGraph, VertexId};
 use ppscan_intersect::{Kernel, Similarity};
 use ppscan_sched::WorkerPool;
 use ppscan_unionfind::UnionFind;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Block size (vertices per unit of scheduled work), matching anySCAN's
 /// block-oriented processing.
@@ -52,7 +52,9 @@ pub fn anyscan(g: &CsrGraph, params: ScanParams, threads: usize) -> Clustering {
         .step_by(BLOCK)
         .map(|b| b as u32..((b + BLOCK).min(n)) as u32)
         .collect();
+    let scopes = ppscan_intersect::counters::inherit();
     pool.run_chunks(&blocks, |range| {
+        let _counters = scopes.attach();
         // anySCAN's allocation overhead: fresh buffers per block.
         let mut local_roles: Vec<(VertexId, Role)> = Vec::new();
         let mut local_core_edges: Vec<(VertexId, VertexId)> = Vec::new();
@@ -109,13 +111,13 @@ pub fn anyscan(g: &CsrGraph, params: ScanParams, threads: usize) -> Clustering {
                 local_roles.push((u, Role::NonCore));
             }
         }
-        let mut m = merged.lock();
+        let mut m = merged.lock().unwrap();
         m.roles.extend_from_slice(&local_roles);
         m.core_edges.extend_from_slice(&local_core_edges);
     });
 
     // Sequential merge phase (anySCAN's summarization step).
-    let m = merged.into_inner();
+    let m = merged.into_inner().unwrap();
     let mut roles = vec![Role::NonCore; n];
     for (u, r) in m.roles {
         roles[u as usize] = r;
@@ -177,15 +179,15 @@ mod tests {
     fn duplicates_work_relative_to_ppscan() {
         // anySCAN recomputes both directions: strictly more invocations
         // than pSCAN's reuse-based count on a clustered graph.
-        use ppscan_intersect::counters;
+        use ppscan_intersect::counters::CounterScope;
         let g = gen::planted_partition(4, 25, 0.6, 0.02, 3);
         let p = ScanParams::new(0.4, 3);
-        let before = counters::snapshot();
-        let _ = anyscan(&g, p, 2);
-        let any_inv = counters::snapshot().since(&before).compsim_invocations;
-        let before = counters::snapshot();
-        let _ = pscan(&g, p);
-        let pscan_inv = counters::snapshot().since(&before).compsim_invocations;
+        let scope = CounterScope::new();
+        let (delta, _) = scope.measure(|| anyscan(&g, p, 2));
+        let any_inv = delta.compsim_invocations;
+        let scope = CounterScope::new();
+        let (delta, _) = scope.measure(|| pscan(&g, p));
+        let pscan_inv = delta.compsim_invocations;
         assert!(
             any_inv > pscan_inv,
             "anySCAN {any_inv} vs pSCAN {pscan_inv} invocations"

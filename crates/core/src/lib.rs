@@ -34,13 +34,14 @@
 
 pub mod anyscan;
 pub mod params;
-pub mod pscan;
 pub mod ppscan;
+pub mod pscan;
 pub mod result;
 pub mod scan;
 pub mod scanpp;
 pub mod scanxp;
 pub mod simstore;
+pub mod stress;
 pub mod timing;
 pub mod verify;
 

@@ -3,12 +3,12 @@
 //! initialization, and pipelined non-core clustering.
 
 use super::shared::Shared;
-use parking_lot::Mutex;
 use ppscan_graph::VertexId;
 use ppscan_intersect::Similarity;
 use ppscan_sched::WorkerPool;
 use ppscan_unionfind::ConcurrentUnionFind;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
 
 /// Phases `ClusterCoreWithoutCompSim` + `ClusterCoreWithCompSim`
 /// (Algorithm 4 lines 9–16). Returns the disjoint sets of cores.
@@ -58,7 +58,9 @@ pub(crate) fn cluster_cores(
     }
 
     // Phase: ClusterCoreWithCompSim(u).
+    let scopes = ppscan_intersect::counters::inherit();
     pool.run_weighted(n, degree_threshold, core_weight, |range| {
+        let _counters = scopes.attach();
         for u in range {
             if !shared.is_core(u) {
                 continue;
@@ -130,6 +132,7 @@ pub(crate) fn cluster_noncores(
     // the global array once per task — the paper's pipelined design of
     // overlapping pair computation with the copy-back.
     let global_pairs: Mutex<Vec<(VertexId, u32)>> = Mutex::new(Vec::new());
+    let scopes = ppscan_intersect::counters::inherit();
     pool.run_weighted(
         n,
         degree_threshold,
@@ -141,6 +144,7 @@ pub(crate) fn cluster_noncores(
             }
         },
         |range| {
+            let _counters = scopes.attach();
             let mut local: Vec<(VertexId, u32)> = Vec::new();
             for u in range {
                 if !shared.is_core(u) {
@@ -165,7 +169,7 @@ pub(crate) fn cluster_noncores(
                 }
             }
             if !local.is_empty() {
-                global_pairs.lock().append(&mut local);
+                global_pairs.lock().unwrap().append(&mut local);
             }
         },
     );
@@ -180,5 +184,5 @@ pub(crate) fn cluster_noncores(
             }
         })
         .collect();
-    (core_label, global_pairs.into_inner())
+    (core_label, global_pairs.into_inner().unwrap())
 }

@@ -31,14 +31,14 @@
 
 pub(crate) mod cluster;
 pub(crate) mod roles;
-mod shared;
+pub(crate) mod shared;
 
 use crate::params::ScanParams;
 use crate::result::Clustering;
 use crate::timing::StageTimings;
 use ppscan_graph::CsrGraph;
 use ppscan_intersect::Kernel;
-use ppscan_sched::{WorkerPool, DEFAULT_DEGREE_THRESHOLD};
+use ppscan_sched::{ExecutionStrategy, WorkerPool, DEFAULT_DEGREE_THRESHOLD};
 use std::time::Instant;
 
 /// Execution configuration for ppSCAN.
@@ -51,6 +51,11 @@ pub struct PpScanConfig {
     pub kernel: Kernel,
     /// Degree-sum threshold of the task scheduler (paper: 32768).
     pub degree_threshold: u64,
+    /// How every phase's tasks are ordered and interleaved. `Parallel`
+    /// for production; `SequentialDeterministic` as the reference
+    /// schedule; `AdversarialSeeded` to replay hostile interleavings from
+    /// a seed (the differential stress driver sweeps all three).
+    pub strategy: ExecutionStrategy,
 }
 
 impl Default for PpScanConfig {
@@ -59,6 +64,7 @@ impl Default for PpScanConfig {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             kernel: Kernel::auto(),
             degree_threshold: DEFAULT_DEGREE_THRESHOLD,
+            strategy: ExecutionStrategy::Parallel,
         }
     }
 }
@@ -81,6 +87,12 @@ impl PpScanConfig {
     /// Builder-style scheduler threshold override.
     pub fn degree_threshold(mut self, t: u64) -> Self {
         self.degree_threshold = t;
+        self
+    }
+
+    /// Builder-style execution-strategy override.
+    pub fn strategy(mut self, strategy: ExecutionStrategy) -> Self {
+        self.strategy = strategy;
         self
     }
 }
@@ -109,8 +121,8 @@ pub fn ppscan_ablation(
     config: &PpScanConfig,
     skip_cluster_phase_one: bool,
 ) -> PpScanOutput {
-    let pool = WorkerPool::new(config.threads);
-    let shared = shared::Shared::new(g, params, config.kernel);
+    let pool = WorkerPool::with_strategy(config.threads, config.strategy);
+    let shared = shared::Shared::new(g, params, config.kernel, config.strategy);
     let mut timings = StageTimings::default();
 
     // ---- Role computing (Algorithm 3) ----
@@ -119,17 +131,33 @@ pub fn ppscan_ablation(
     timings.prune = t0.elapsed();
 
     let t0 = Instant::now();
-    roles::check_core(&shared, &pool, config.degree_threshold, /*only_greater=*/ true);
-    roles::check_core(&shared, &pool, config.degree_threshold, /*only_greater=*/ false);
+    roles::check_core(
+        &shared,
+        &pool,
+        config.degree_threshold,
+        /*only_greater=*/ true,
+    );
+    roles::check_core(
+        &shared,
+        &pool,
+        config.degree_threshold,
+        /*only_greater=*/ false,
+    );
     timings.check_core = t0.elapsed();
 
     // ---- Core and non-core clustering (Algorithm 4) ----
     let t0 = Instant::now();
-    let uf = cluster::cluster_cores(&shared, &pool, config.degree_threshold, skip_cluster_phase_one);
+    let uf = cluster::cluster_cores(
+        &shared,
+        &pool,
+        config.degree_threshold,
+        skip_cluster_phase_one,
+    );
     timings.core_cluster = t0.elapsed();
 
     let t0 = Instant::now();
-    let (core_label, pairs) = cluster::cluster_noncores(&shared, &pool, config.degree_threshold, &uf);
+    let (core_label, pairs) =
+        cluster::cluster_noncores(&shared, &pool, config.degree_threshold, &uf);
     timings.noncore_cluster = t0.elapsed();
 
     let clustering = Clustering::from_raw(shared.roles_vec(), core_label, pairs);

@@ -69,6 +69,9 @@ pub(crate) fn check_core(
 ) {
     let g = shared.g;
     let n = g.num_vertices();
+    // Counter scopes active on the caller thread must follow the work
+    // onto the pool's workers.
+    let scopes = ppscan_intersect::counters::inherit();
     pool.run_weighted(
         n,
         degree_threshold,
@@ -82,9 +85,13 @@ pub(crate) fn check_core(
             }
         },
         |range| {
+            let _counters = scopes.attach();
+            // Per-task scratch reused across the range's vertices: the
+            // slots the counting loop saw as Unknown.
+            let mut pending: Vec<usize> = Vec::new();
             for u in range {
                 if shared.role_unknown(u) {
-                    check_core_vertex(shared, u, only_greater);
+                    check_core_vertex(shared, u, only_greater, &mut pending);
                 }
             }
         },
@@ -92,14 +99,32 @@ pub(crate) fn check_core(
 }
 
 /// Algorithm 3 lines 21–33 for one vertex.
-fn check_core_vertex(shared: &Shared<'_>, u: VertexId, only_greater: bool) {
+///
+/// `pending` is caller-provided scratch (cleared here) listing the edge
+/// slots the first loop saw as `Unknown`. The second loop walks exactly
+/// those slots and **re-reads** each one: a label published by a
+/// concurrent thread between the two loops is *counted* rather than
+/// skipped. (The pre-fix code skipped every already-known slot in the
+/// second loop, so a label that became known between the loops was never
+/// folded into `sd`/`ed` and the final role decision could be wrong —
+/// the consolidation race.) With the re-read, every edge slot of `u` is
+/// counted exactly once, so after a full consolidating pass `sd == ed`
+/// holds exactly.
+fn check_core_vertex(
+    shared: &Shared<'_>,
+    u: VertexId,
+    only_greater: bool,
+    pending: &mut Vec<usize>,
+) {
     let g = shared.g;
     let mu = shared.params.mu as i64;
     let mut sd = 0i64;
     let mut ed = g.degree(u) as i64;
+    pending.clear();
 
     // First loop (lines 22–30): initialize the local bounds from labels
-    // already decided by pruning, neighbors, or earlier phases.
+    // already decided by pruning, neighbors, or earlier phases; remember
+    // the undecided slots.
     for eo in g.neighbor_range(u) {
         match shared.sim.get(eo) {
             Similarity::Sim => {
@@ -116,21 +141,35 @@ fn check_core_vertex(shared: &Shared<'_>, u: VertexId, only_greater: bool) {
                     return;
                 }
             }
-            Similarity::Unknown => {}
+            Similarity::Unknown => pending.push(eo),
         }
     }
 
-    // Second loop (lines 31–33): compute the remaining unknown labels —
-    // only the u < v ones during core checking.
-    for eo in g.neighbor_range(u) {
+    // The racy window: between the counting loop above and the settling
+    // loop below, concurrent threads may publish labels for the slots we
+    // saw as Unknown. Under the adversarial strategy, dwell here.
+    if !pending.is_empty() {
+        shared.adversarial_pause(u);
+    }
+    shared.between_loops(u);
+
+    // Second loop (lines 31–33): settle every slot the first loop left
+    // open — computing it ourselves, or counting the label a concurrent
+    // thread published in the meantime. During core checking
+    // (`only_greater`) the `u < v` constraint still bounds what *we*
+    // compute, but freshly-published labels are counted regardless of
+    // direction: they are final, and ignoring them is exactly the race.
+    for &eo in pending.iter() {
         let v = g.edge_dst(eo);
-        if only_greater && v <= u {
-            continue;
-        }
-        if shared.sim.get(eo) != Similarity::Unknown {
-            continue;
-        }
-        let label = shared.comp_sim_both(u, v, eo);
+        let label = match shared.sim.get(eo) {
+            Similarity::Unknown => {
+                if only_greater && v <= u {
+                    continue;
+                }
+                shared.comp_sim_both(u, v, eo)
+            }
+            published => published,
+        };
         match label {
             Similarity::Sim => {
                 sd += 1;
@@ -154,8 +193,16 @@ fn check_core_vertex(shared: &Shared<'_>, u: VertexId, only_greater: bool) {
     // unless the u < v constraint skipped edges, in which case the role
     // stays unknown for the consolidating phase.
     if !only_greater {
-        // ed == sd here (every edge known), so sd < mu ⇒ NonCore.
-        debug_assert_eq!(sd, ed, "exact bounds must coincide");
+        // Every slot was counted exactly once (first loop or pending
+        // walk), so the bounds coincide: sd == ed == |similar edges|.
+        // Under the deterministic reference schedule this is promoted to
+        // a hard assert — any violation is a counting bug, not schedule
+        // noise.
+        if shared.strict_invariants {
+            assert_eq!(sd, ed, "exact bounds must coincide for vertex {u}");
+        } else {
+            debug_assert_eq!(sd, ed, "exact bounds must coincide");
+        }
         shared.set_role(u, if sd >= mu { Role::Core } else { Role::NonCore });
     }
 }
@@ -174,7 +221,12 @@ mod tests {
     /// Runs only the role-computing step and returns the roles.
     fn roles_of(g: &ppscan_graph::CsrGraph, eps: f64, mu: usize, threads: usize) -> Vec<Role> {
         let params = ScanParams::new(eps, mu);
-        let shared = Shared::new(g, params, Kernel::MergeEarly);
+        let shared = Shared::new(
+            g,
+            params,
+            Kernel::MergeEarly,
+            ppscan_sched::ExecutionStrategy::Parallel,
+        );
         let pool = WorkerPool::new(threads);
         prune_sim(&shared, &pool, 64);
         check_core(&shared, &pool, 64, true);
@@ -213,7 +265,12 @@ mod tests {
         // pruning phase alone fixes every role to Core.
         let g = gen::complete(8);
         let params = ScanParams::new(0.1, 2);
-        let shared = Shared::new(&g, params, Kernel::MergeEarly);
+        let shared = Shared::new(
+            &g,
+            params,
+            Kernel::MergeEarly,
+            ppscan_sched::ExecutionStrategy::Parallel,
+        );
         let pool = WorkerPool::new(2);
         prune_sim(&shared, &pool, 64);
         for u in g.vertices() {
@@ -225,16 +282,56 @@ mod tests {
     fn check_core_skips_decided_vertices() {
         // After pruning decided everything, the check/consolidate phases
         // must not invoke a single intersection.
-        use ppscan_intersect::counters;
+        use ppscan_intersect::counters::CounterScope;
         let g = gen::complete(10);
         let params = ScanParams::new(0.1, 2);
-        let shared = Shared::new(&g, params, Kernel::MergeEarly);
+        let shared = Shared::new(
+            &g,
+            params,
+            Kernel::MergeEarly,
+            ppscan_sched::ExecutionStrategy::Parallel,
+        );
         let pool = WorkerPool::new(2);
         prune_sim(&shared, &pool, 64);
-        let before = counters::snapshot();
-        check_core(&shared, &pool, 64, true);
-        check_core(&shared, &pool, 64, false);
-        let delta = counters::snapshot().since(&before);
+        let scope = CounterScope::new();
+        let (delta, _) = scope.measure(|| {
+            check_core(&shared, &pool, 64, true);
+            check_core(&shared, &pool, 64, false);
+        });
         assert_eq!(delta.compsim_invocations, 0);
+    }
+
+    #[test]
+    fn label_published_in_consolidation_window_is_counted() {
+        // Deterministic schedule-injection regression for the
+        // consolidation race: a concurrent thread publishes a similarity
+        // label in the window between `check_core_vertex`'s counting loop
+        // and its settling loop. The pre-fix settling loop skipped every
+        // already-known slot, so the published label was never folded
+        // into `sd`/`ed`: on this graph (K5, ε = 0.5, µ = 4, every edge
+        // similar, so vertex 0 is exactly-borderline Core) that left
+        // `sd = 3 ≠ ed = 4` — a wrong NonCore role, caught by the
+        // `sd == ed` invariant. The fixed loop re-reads the slot and
+        // counts the published label, deciding Core.
+        use ppscan_sched::ExecutionStrategy;
+        let g = gen::complete(5);
+        let params = ScanParams::new(0.5, 4);
+        let mut shared = Shared::new(&g, params, Kernel::MergeEarly, ExecutionStrategy::Parallel);
+        let eo = g.edge_offset(0, 1).unwrap();
+        let rev = g.edge_offset(1, 0).unwrap();
+        shared.between_loops_hook = Some(Box::new(move |sim, u| {
+            if u == 0 {
+                // The "concurrent thread": CompSim(1, 0) publishing both
+                // directed slots, exactly inside the racy window.
+                sim.set(eo, ppscan_intersect::Similarity::Sim);
+                sim.set(rev, ppscan_intersect::Similarity::Sim);
+            }
+        }));
+        let mut pending = Vec::new();
+        check_core_vertex(&shared, 0, /*only_greater=*/ false, &mut pending);
+        assert!(
+            shared.is_core(0),
+            "borderline core vertex must count the label published in the window"
+        );
     }
 }

@@ -304,11 +304,10 @@ mod tests {
     fn prunes_relative_to_scan() {
         // pSCAN must invoke strictly fewer intersections than exhaustive
         // similarity computation (2 per undirected edge).
-        use ppscan_intersect::counters;
+        use ppscan_intersect::counters::CounterScope;
         let g = gen::roll(400, 16, 3);
-        let before = counters::snapshot();
-        let _ = pscan(&g, ScanParams::new(0.6, 5));
-        let delta = counters::snapshot().since(&before);
+        let scope = CounterScope::new();
+        let (delta, _) = scope.measure(|| pscan(&g, ScanParams::new(0.6, 5)));
         assert!(
             delta.compsim_invocations < g.num_directed_edges() as u64,
             "pSCAN did {} invocations on {} directed edges — no pruning?",

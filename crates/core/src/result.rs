@@ -229,10 +229,7 @@ mod tests {
         assert_eq!(c.memberships(2), vec![0, 3]);
         assert!(c.memberships(5).is_empty());
         assert!(!c.is_clustered(5));
-        assert_eq!(
-            c.clusters(),
-            vec![(0, vec![0, 1, 2]), (3, vec![2, 3, 4])]
-        );
+        assert_eq!(c.clusters(), vec![(0, vec![0, 1, 2]), (3, vec![2, 3, 4])]);
     }
 
     #[test]

@@ -50,8 +50,7 @@ pub fn scanpp(g: &CsrGraph, params: ScanParams) -> Clustering {
         check_vertex(g, &params, &sim, &mut role, pivot);
         // Batch evaluation: resolve every unvisited DTAR member now,
         // sharing the similarities cached by earlier members.
-        for idx in 0..dtar_buf.len() {
-            let w = dtar_buf[idx];
+        for &w in dtar_buf.iter() {
             if role[w as usize].is_none() {
                 check_vertex(g, &params, &sim, &mut role, w);
             }
@@ -150,16 +149,16 @@ mod tests {
 
     #[test]
     fn invocations_between_pscan_and_scan() {
-        use ppscan_intersect::counters;
+        use ppscan_intersect::counters::CounterScope;
         let g = gen::planted_partition(4, 25, 0.5, 0.02, 5);
         let p = ScanParams::new(0.5, 3);
 
-        let before = counters::snapshot();
-        let _ = scanpp(&g, p);
-        let spp = counters::snapshot().since(&before).compsim_invocations;
-        let before = counters::snapshot();
-        let _ = pscan(&g, p);
-        let psc = counters::snapshot().since(&before).compsim_invocations;
+        let scope = CounterScope::new();
+        let (delta, _) = scope.measure(|| scanpp(&g, p));
+        let spp = delta.compsim_invocations;
+        let scope = CounterScope::new();
+        let (delta, _) = scope.measure(|| pscan(&g, p));
+        let psc = delta.compsim_invocations;
 
         // Exactly-once sharing: |E| invocations, which exceeds pruned
         // pSCAN and undercuts exhaustive SCAN's 2|E|.

@@ -20,8 +20,8 @@ use ppscan_graph::{CsrGraph, VertexId};
 use ppscan_intersect::{merge, Similarity};
 use ppscan_sched::WorkerPool;
 use ppscan_unionfind::ConcurrentUnionFind;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
 
 /// Runs the SCAN-XP style exhaustive parallel baseline.
 pub fn scanxp(g: &CsrGraph, params: ScanParams, threads: usize) -> Clustering {
@@ -30,11 +30,13 @@ pub fn scanxp(g: &CsrGraph, params: ScanParams, threads: usize) -> Clustering {
     let sim = SimStore::new(g.num_directed_edges());
 
     // Exhaustive similarity computation, one pass over undirected edges.
+    let scopes = ppscan_intersect::counters::inherit();
     pool.run_weighted(
         n,
         ppscan_sched::DEFAULT_DEGREE_THRESHOLD,
         |u| g.degree(u) as u64,
         |range| {
+            let _counters = scopes.attach();
             for u in range {
                 let nu = g.neighbors(u);
                 for eo in g.neighbor_range(u) {
@@ -105,7 +107,7 @@ pub fn scanxp(g: &CsrGraph, params: ScanParams, threads: usize) -> Clustering {
             }
         }
         if !local.is_empty() {
-            pairs.lock().append(&mut local);
+            pairs.lock().unwrap().append(&mut local);
         }
     });
 
@@ -118,7 +120,7 @@ pub fn scanxp(g: &CsrGraph, params: ScanParams, threads: usize) -> Clustering {
             }
         })
         .collect();
-    Clustering::from_raw(roles, core_label, pairs.into_inner())
+    Clustering::from_raw(roles, core_label, pairs.into_inner().unwrap())
 }
 
 #[cfg(test)]
@@ -151,13 +153,13 @@ mod tests {
     fn workload_independent_of_epsilon() {
         // SCAN-XP scans the same number of elements regardless of ε —
         // the no-pruning signature of Figures 2/3.
-        use ppscan_intersect::counters;
+        use ppscan_intersect::counters::CounterScope;
         let g = gen::roll(300, 10, 4);
         let mut scanned = Vec::new();
         for eps in [0.2, 0.8] {
-            let before = counters::snapshot();
-            let _ = scanxp(&g, ScanParams::new(eps, 5), 2);
-            scanned.push(counters::snapshot().since(&before).elements_scanned);
+            let scope = CounterScope::new();
+            let (delta, _) = scope.measure(|| scanxp(&g, ScanParams::new(eps, 5), 2));
+            scanned.push(delta.elements_scanned);
         }
         assert_eq!(scanned[0], scanned[1]);
     }

@@ -21,7 +21,9 @@ impl SimStore {
     /// All labels start `Unknown`.
     pub fn new(num_directed_edges: usize) -> Self {
         let mut labels = Vec::with_capacity(num_directed_edges);
-        labels.resize_with(num_directed_edges, || AtomicU8::new(Similarity::Unknown as u8));
+        labels.resize_with(num_directed_edges, || {
+            AtomicU8::new(Similarity::Unknown as u8)
+        });
         Self { labels }
     }
 
@@ -70,7 +72,12 @@ impl SimStore {
 
 impl std::fmt::Debug for SimStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SimStore({} slots, {} known)", self.len(), self.num_known())
+        write!(
+            f,
+            "SimStore({} slots, {} known)",
+            self.len(),
+            self.num_known()
+        )
     }
 }
 

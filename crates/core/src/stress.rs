@@ -1,0 +1,416 @@
+//! Differential stress driver: sweeps algorithm × kernel × thread count ×
+//! schedule strategy × (ε, µ) over seeded random graphs, validating every
+//! result against the from-first-principles reference (`verify`). On a
+//! mismatch it **shrinks** the failing graph to a (locally) minimal edge
+//! list and reports a replayable case — schedule bugs become one-command
+//! reproductions instead of once-in-a-hundred CI flakes.
+//!
+//! # Replaying a failure
+//!
+//! A failure prints a banner like
+//!
+//! ```text
+//! stress failure: case_seed=0xd1ab0003 algorithm=ppscan kernel=merge-early
+//! threads=4 strategy=adversarial(3735928559) eps=0.5 mu=3
+//! shrunk graph (7 vertices): [(0, 1), (0, 2), ...]
+//! replay: ppscan_core::stress::replay_case(0xd1ab0003, &config)
+//! ```
+//!
+//! and the shrunk edge list is embedded in the [`FailingCase`], so the
+//! exact graph is available even without the generator. `replay_case`
+//! re-runs every configuration of one case under the same `StressConfig`;
+//! the failing configuration is fully pinned by the banner fields.
+
+use crate::params::ScanParams;
+use crate::ppscan::{ppscan, PpScanConfig};
+use crate::result::Clustering;
+use crate::verify;
+use ppscan_graph::builder::from_edges;
+use ppscan_graph::rng::SplitMix64;
+use ppscan_graph::{gen, CsrGraph, VertexId};
+use ppscan_intersect::Kernel;
+use ppscan_sched::ExecutionStrategy;
+
+/// A boxed algorithm runner used by the baseline differential checks.
+type RunFn = Box<dyn Fn(&CsrGraph) -> Clustering>;
+/// Edge-list failure predicate used by the shrinker.
+type FailsFn<'a> = &'a dyn Fn(&[(VertexId, VertexId)]) -> bool;
+
+/// What the stress driver sweeps. The defaults satisfy the harness's
+/// acceptance envelope: 3 thread counts × all 3 strategies × 2 kernels.
+#[derive(Clone, Debug)]
+pub struct StressConfig {
+    /// Base seed; case `i` uses `master_seed + i`.
+    pub master_seed: u64,
+    /// Number of random graphs to sweep.
+    pub cases: u64,
+    /// Thread counts for the parallel algorithms.
+    pub thread_counts: Vec<usize>,
+    /// Schedule strategies for ppSCAN.
+    pub strategies: Vec<ExecutionStrategy>,
+    /// `CompSim` kernels for ppSCAN.
+    pub kernels: Vec<Kernel>,
+    /// (ε, µ) grid.
+    pub params: Vec<(f64, usize)>,
+    /// Also differential-test the sequential baselines (SCAN, pSCAN,
+    /// SCAN++) and the parallel non-ppSCAN baselines per case.
+    pub check_baselines: bool,
+    /// Scheduler degree threshold — deliberately tiny so every few
+    /// vertices form a task and the schedule space is rich.
+    pub degree_threshold: u64,
+    /// Reruns per configuration when probing a schedule-dependent
+    /// failure during shrinking (a racy mismatch may need several
+    /// attempts to re-manifest).
+    pub repeats: usize,
+    /// Maximum predicate evaluations the shrinker may spend.
+    pub shrink_budget: usize,
+}
+
+impl Default for StressConfig {
+    fn default() -> Self {
+        Self {
+            master_seed: 0xd1ab_0000,
+            cases: 6,
+            thread_counts: vec![1, 2, 4],
+            strategies: vec![
+                ExecutionStrategy::Parallel,
+                ExecutionStrategy::SequentialDeterministic,
+                ExecutionStrategy::AdversarialSeeded { seed: 0xdead_beef },
+            ],
+            kernels: vec![Kernel::MergeEarly, Kernel::auto()],
+            params: vec![(0.3, 2), (0.5, 3), (0.8, 4)],
+            check_baselines: true,
+            degree_threshold: 8,
+            repeats: 3,
+            shrink_budget: 120,
+        }
+    }
+}
+
+/// A reproduced-and-shrunk differential failure.
+#[derive(Clone, Debug)]
+pub struct FailingCase {
+    /// Seed regenerating the original (pre-shrink) graph via
+    /// [`case_graph`].
+    pub case_seed: u64,
+    /// Which algorithm diverged from the reference.
+    pub algorithm: &'static str,
+    /// ppSCAN kernel (ppSCAN failures only).
+    pub kernel: Option<Kernel>,
+    /// Thread count (parallel algorithms only).
+    pub threads: Option<usize>,
+    /// Schedule strategy (ppSCAN failures only).
+    pub strategy: Option<ExecutionStrategy>,
+    /// Failing ε.
+    pub eps: f64,
+    /// Failing µ.
+    pub mu: usize,
+    /// Shrunk failing graph as an undirected edge list.
+    pub edges: Vec<(VertexId, VertexId)>,
+    /// First divergence detail from the verifier.
+    pub detail: String,
+}
+
+impl std::fmt::Display for FailingCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stress failure: case_seed={:#x} algorithm={}",
+            self.case_seed, self.algorithm
+        )?;
+        if let Some(k) = self.kernel {
+            write!(f, " kernel={k}")?;
+        }
+        if let Some(t) = self.threads {
+            write!(f, " threads={t}")?;
+        }
+        if let Some(s) = self.strategy {
+            write!(f, " strategy={s}")?;
+        }
+        writeln!(f, " eps={} mu={}", self.eps, self.mu)?;
+        writeln!(f, "shrunk graph: {:?}", self.edges)?;
+        writeln!(f, "detail: {}", self.detail)?;
+        write!(
+            f,
+            "replay: ppscan_core::stress::replay_case({:#x}, &config)",
+            self.case_seed
+        )
+    }
+}
+
+/// Aggregate statistics of a green sweep.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StressStats {
+    /// Graphs swept.
+    pub cases: u64,
+    /// Individual (algorithm, kernel, threads, strategy, ε, µ) runs
+    /// compared against the reference.
+    pub configs_checked: u64,
+}
+
+/// Deterministically generates case `case_seed`'s graph: a seeded pick
+/// among Erdős–Rényi, ROLL scale-free and planted-partition families,
+/// sized small enough that the naive reference stays fast but large
+/// enough that consolidation has real work.
+pub fn case_graph(case_seed: u64) -> CsrGraph {
+    let mut rng = SplitMix64::seed_from_u64(case_seed);
+    match rng.gen_index(3) {
+        0 => {
+            let n = rng.gen_range(12..60);
+            let m = n * rng.gen_range(1..5);
+            gen::erdos_renyi(n, m, rng.next_u64())
+        }
+        1 => {
+            let n = rng.gen_range(40..120);
+            let d = 4 + 2 * rng.gen_index(4);
+            gen::roll(n, d, rng.next_u64())
+        }
+        _ => {
+            let blocks = rng.gen_range(2..5);
+            let size = rng.gen_range(8..20);
+            let p_in = 0.45 + 0.3 * rng.gen_f64();
+            gen::planted_partition(blocks, size, p_in, 0.05, rng.next_u64())
+        }
+    }
+}
+
+/// Runs the full sweep. `Ok` carries coverage statistics; `Err` carries
+/// the first failing configuration, already shrunk and replayable.
+pub fn run_stress(cfg: &StressConfig) -> Result<StressStats, Box<FailingCase>> {
+    let mut stats = StressStats::default();
+    for i in 0..cfg.cases {
+        stats.configs_checked += replay_case(cfg.master_seed.wrapping_add(i), cfg)?;
+        stats.cases += 1;
+    }
+    Ok(stats)
+}
+
+/// Re-runs every configuration of one case (the unit a failure banner
+/// points back at). Returns the number of configurations checked.
+pub fn replay_case(case_seed: u64, cfg: &StressConfig) -> Result<u64, Box<FailingCase>> {
+    let g = case_graph(case_seed);
+    let mut checked = 0u64;
+    for &(eps, mu) in &cfg.params {
+        let p = ScanParams::new(eps, mu);
+        let reference = verify::reference_clustering(&g, p);
+
+        if cfg.check_baselines {
+            checked += check_baselines(case_seed, &g, p, &reference, cfg)?;
+        }
+
+        for &kernel in &cfg.kernels {
+            if !kernel.available() {
+                continue;
+            }
+            for &threads in &cfg.thread_counts {
+                for &strategy in &cfg.strategies {
+                    checked += 1;
+                    let run_cfg = PpScanConfig::with_threads(threads)
+                        .kernel(kernel)
+                        .strategy(strategy)
+                        .degree_threshold(cfg.degree_threshold);
+                    let got = ppscan(&g, p, &run_cfg).clustering;
+                    if got != reference {
+                        return Err(report(
+                            case_seed,
+                            &g,
+                            "ppscan",
+                            Some(kernel),
+                            Some(threads),
+                            Some(strategy),
+                            eps,
+                            mu,
+                            &got,
+                            cfg,
+                            &|g| ppscan(g, p, &run_cfg).clustering,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(checked)
+}
+
+/// Differential checks of the non-ppSCAN implementations for one
+/// parameter point.
+fn check_baselines(
+    case_seed: u64,
+    g: &CsrGraph,
+    p: ScanParams,
+    reference: &Clustering,
+    cfg: &StressConfig,
+) -> Result<u64, Box<FailingCase>> {
+    let threads = cfg.thread_counts.last().copied().unwrap_or(2);
+    let runs: [(&'static str, Option<usize>, RunFn); 5] = [
+        (
+            "scan",
+            None,
+            Box::new(move |g| crate::scan::scan(g, p).clustering),
+        ),
+        (
+            "pscan",
+            None,
+            Box::new(move |g| crate::pscan::pscan(g, p).clustering),
+        ),
+        (
+            "scanpp",
+            None,
+            Box::new(move |g| crate::scanpp::scanpp(g, p)),
+        ),
+        (
+            "scanxp",
+            Some(threads),
+            Box::new(move |g| crate::scanxp::scanxp(g, p, threads)),
+        ),
+        (
+            "anyscan",
+            Some(threads),
+            Box::new(move |g| crate::anyscan::anyscan(g, p, threads)),
+        ),
+    ];
+    for (name, t, run) in &runs {
+        let got = run(g);
+        if got != *reference {
+            return Err(report(
+                case_seed,
+                g,
+                name,
+                None,
+                *t,
+                None,
+                p.epsilon.as_f64(),
+                p.mu,
+                &got,
+                cfg,
+                run.as_ref(),
+            ));
+        }
+    }
+    Ok(runs.len() as u64)
+}
+
+/// Builds the failure report: shrinks the graph under the failing
+/// configuration, then packages the banner fields.
+#[allow(clippy::too_many_arguments)]
+fn report(
+    case_seed: u64,
+    g: &CsrGraph,
+    algorithm: &'static str,
+    kernel: Option<Kernel>,
+    threads: Option<usize>,
+    strategy: Option<ExecutionStrategy>,
+    eps: f64,
+    mu: usize,
+    got: &Clustering,
+    cfg: &StressConfig,
+    run: &dyn Fn(&CsrGraph) -> Clustering,
+) -> Box<FailingCase> {
+    let p = ScanParams::new(eps, mu);
+    let detail = verify::check_clustering(g, p, got)
+        .err()
+        .unwrap_or_else(|| "clustering differs from reference".into());
+
+    let edges: Vec<(VertexId, VertexId)> = g.undirected_edges().collect();
+    let mut budget = cfg.shrink_budget;
+    let fails = |edges: &[(VertexId, VertexId)]| {
+        let g = from_edges(edges);
+        let reference = verify::reference_clustering(&g, p);
+        (0..cfg.repeats.max(1)).any(|_| run(&g) != reference)
+    };
+    let edges = shrink_edges(edges, &mut budget, &fails);
+
+    Box::new(FailingCase {
+        case_seed,
+        algorithm,
+        kernel,
+        threads,
+        strategy,
+        eps,
+        mu,
+        edges,
+        detail,
+    })
+}
+
+/// ddmin-style greedy edge minimization: repeatedly drop chunks of edges
+/// (halving the chunk size down to single edges) while the failure still
+/// reproduces, within `budget` predicate evaluations. The result is
+/// 1-minimal w.r.t. the chunks tried, not globally minimal — good enough
+/// to turn a 500-edge reproduction into a screenful.
+fn shrink_edges(
+    mut edges: Vec<(VertexId, VertexId)>,
+    budget: &mut usize,
+    fails: FailsFn<'_>,
+) -> Vec<(VertexId, VertexId)> {
+    let mut chunk = (edges.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < edges.len() && *budget > 0 {
+            let mut candidate = edges.clone();
+            let end = (i + chunk).min(candidate.len());
+            candidate.drain(i..end);
+            *budget -= 1;
+            if !candidate.is_empty() && fails(&candidate) {
+                edges = candidate;
+            } else {
+                i = end;
+            }
+        }
+        if chunk == 1 || *budget == 0 {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_graphs_are_deterministic() {
+        for seed in [0u64, 1, 0xd1ab_0000] {
+            assert_eq!(case_graph(seed), case_graph(seed));
+        }
+    }
+
+    #[test]
+    fn shrinker_minimizes_against_a_simple_predicate() {
+        // Predicate: fails whenever edge (2, 3) is present. The shrinker
+        // must reduce any superset to exactly that edge.
+        let edges: Vec<(VertexId, VertexId)> = vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5)];
+        let fails = |e: &[(VertexId, VertexId)]| e.contains(&(2, 3));
+        let mut budget = 100;
+        let shrunk = shrink_edges(edges, &mut budget, &fails);
+        assert_eq!(shrunk, vec![(2, 3)]);
+    }
+
+    #[test]
+    fn shrinker_respects_budget() {
+        let edges: Vec<(VertexId, VertexId)> = (0..100).map(|i| (i, i + 1)).collect();
+        let mut budget = 3;
+        let _ = shrink_edges(edges, &mut budget, &|_| true);
+        assert_eq!(budget, 0);
+    }
+
+    #[test]
+    fn failing_case_banner_is_replayable() {
+        let case = FailingCase {
+            case_seed: 0xd1ab_0003,
+            algorithm: "ppscan",
+            kernel: Some(Kernel::MergeEarly),
+            threads: Some(4),
+            strategy: Some(ExecutionStrategy::AdversarialSeeded { seed: 7 }),
+            eps: 0.5,
+            mu: 3,
+            edges: vec![(0, 1)],
+            detail: "role mismatch at vertex 0".into(),
+        };
+        let banner = case.to_string();
+        assert!(banner.contains("case_seed=0xd1ab0003"), "{banner}");
+        assert!(banner.contains("strategy=adversarial(7)"), "{banner}");
+        assert!(banner.contains("replay_case(0xd1ab0003"), "{banner}");
+    }
+}

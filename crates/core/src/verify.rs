@@ -31,7 +31,11 @@ pub fn reference_clustering(g: &CsrGraph, params: ScanParams) -> Clustering {
     // Roles.
     let roles: Vec<Role> = (0..n as VertexId)
         .map(|u| {
-            let cnt = g.neighbors(u).iter().filter(|&&v| similar(g, &params, u, v)).count();
+            let cnt = g
+                .neighbors(u)
+                .iter()
+                .filter(|&&v| similar(g, &params, u, v))
+                .count();
             if cnt >= params.mu {
                 Role::Core
             } else {

@@ -166,7 +166,10 @@ mod tests {
 
     #[test]
     fn isolated_vertices_via_ensure() {
-        let g = GraphBuilder::new().add_edge(0, 1).ensure_vertices(5).build();
+        let g = GraphBuilder::new()
+            .add_edge(0, 1)
+            .ensure_vertices(5)
+            .build();
         assert_eq!(g.num_vertices(), 5);
         assert_eq!(g.degree(4), 0);
         g.validate().unwrap();
@@ -193,7 +196,9 @@ mod tests {
         let mut edges = Vec::new();
         let mut x = 0x9e3779b97f4a7c15u64;
         for _ in 0..5000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = ((x >> 16) % 300) as VertexId;
             let v = ((x >> 40) % 300) as VertexId;
             edges.push((u, v));

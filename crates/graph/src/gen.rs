@@ -23,8 +23,7 @@
 
 use crate::builder::GraphBuilder;
 use crate::csr::{CsrGraph, VertexId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// ROLL-style scale-free generator (Barabási–Albert preferential
 /// attachment) targeting an *average degree* like the paper's
@@ -43,7 +42,7 @@ pub fn roll(n: usize, avg_degree: usize, seed: u64) -> CsrGraph {
     assert!(avg_degree >= 2, "avg_degree must be >= 2");
     assert!(n >= avg_degree, "need n >= avg_degree");
     let m = avg_degree / 2;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * m);
     let mut builder = GraphBuilder::with_capacity(n * m);
 
@@ -66,12 +65,12 @@ pub fn roll(n: usize, avg_degree: usize, seed: u64) -> CsrGraph {
             // already picked for this vertex (bounded, so generation stays
             // O(|E|) even for dense small graphs; any residual duplicates
             // are deduped by the builder).
-            let mut v = endpoints[rng.gen_range(0..endpoints.len())];
+            let mut v = endpoints[rng.gen_index(endpoints.len())];
             for _ in 0..32 {
                 if v != u && !picked.contains(&v) {
                     break;
                 }
-                v = endpoints[rng.gen_range(0..endpoints.len())];
+                v = endpoints[rng.gen_index(endpoints.len())];
             }
             if v == u || picked.contains(&v) {
                 continue;
@@ -95,12 +94,12 @@ pub fn rmat(scale: u32, edge_factor: usize, a: f64, b: f64, c: f64, seed: u64) -
     assert!(a + b + c < 1.0 + 1e-9, "quadrant probabilities exceed 1");
     let n = 1usize << scale;
     let num_edges = n * edge_factor / 2;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut builder = GraphBuilder::with_capacity(num_edges);
     for _ in 0..num_edges {
         let (mut u, mut v) = (0usize, 0usize);
         for _ in 0..scale {
-            let r: f64 = rng.gen();
+            let r: f64 = rng.gen_f64();
             let (du, dv) = if r < a {
                 (0, 0)
             } else if r < a + b {
@@ -125,15 +124,15 @@ pub fn rmat_social(scale: u32, edge_factor: usize, seed: u64) -> CsrGraph {
 
 /// Erdős–Rényi G(n, m): `m` uniformly random edges among `n` vertices.
 pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut builder = GraphBuilder::with_capacity(m);
     let mut added = 0usize;
     let mut attempts = 0usize;
     // Bounded retry keeps this terminating even for near-complete requests.
     while added < m && attempts < m * 4 + 64 {
         attempts += 1;
-        let u = rng.gen_range(0..n) as VertexId;
-        let v = rng.gen_range(0..n) as VertexId;
+        let u = rng.gen_index(n) as VertexId;
+        let v = rng.gen_index(n) as VertexId;
         if u != v {
             builder.push_edge(u, v);
             added += 1;
@@ -156,7 +155,7 @@ pub fn planted_partition(
     seed: u64,
 ) -> CsrGraph {
     let n = blocks * block_size;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut builder = GraphBuilder::new();
     for u in 0..n {
         for v in (u + 1)..n {

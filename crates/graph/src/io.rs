@@ -96,9 +96,9 @@ pub fn read_binary<R: Read>(mut r: R) -> io::Result<CsrGraph> {
         r.read_exact(&mut buf8)?;
         offsets.push(u64::from_le_bytes(buf8) as usize);
     }
-    let m = *offsets.last().ok_or_else(|| {
-        io::Error::new(io::ErrorKind::InvalidData, "empty offsets array")
-    })?;
+    let m = *offsets
+        .last()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty offsets array"))?;
     let mut neighbors = vec![0 as VertexId; m];
     let mut buf4 = [0u8; 4];
     for slot in neighbors.iter_mut() {

@@ -35,6 +35,7 @@ pub mod csr;
 pub mod datasets;
 pub mod gen;
 pub mod io;
+pub mod rng;
 pub mod stats;
 
 #[cfg(test)]

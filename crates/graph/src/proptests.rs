@@ -1,93 +1,142 @@
-//! Property-based tests for the graph substrate: builder normalization,
-//! CSR invariants, I/O round trips and analysis invariants on arbitrary
-//! edge lists.
+//! Randomized property tests for the graph substrate: builder
+//! normalization, CSR invariants, I/O round trips and analysis invariants
+//! on arbitrary edge lists.
+//!
+//! Formerly `proptest`-based; now driven by seeded [`SplitMix64`] loops so
+//! the workspace builds with no external dependencies. Every case prints
+//! its seed on failure, so a red test is replayed by running the same
+//! binary — the streams are platform-independent.
 
 use crate::builder::from_edges;
 use crate::csr::VertexId;
+use crate::rng::SplitMix64;
 use crate::{analysis, io};
-use proptest::prelude::*;
 
-fn edge_list(n: VertexId, max_edges: usize) -> impl Strategy<Value = Vec<(VertexId, VertexId)>> {
-    prop::collection::vec((0..n, 0..n), 0..max_edges)
+/// Random edge list over `n` vertices with up to `max_edges` entries
+/// (self loops and duplicates included on purpose — the builder must
+/// normalize them away).
+fn edge_list(rng: &mut SplitMix64, n: VertexId, max_edges: usize) -> Vec<(VertexId, VertexId)> {
+    let len = rng.gen_index(max_edges + 1);
+    (0..len)
+        .map(|_| {
+            (
+                rng.gen_index(n as usize) as VertexId,
+                rng.gen_index(n as usize) as VertexId,
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn builder_always_produces_valid_csr(edges in edge_list(40, 200)) {
-        let g = from_edges(&edges);
-        prop_assert!(g.validate().is_ok());
+/// Runs `case` over `cases` seeded random edge lists, reporting the seed
+/// of the first failure.
+fn for_random_edge_lists(
+    cases: u64,
+    n: VertexId,
+    max_edges: usize,
+    case: impl Fn(&[(VertexId, VertexId)]),
+) {
+    for seed in 0..cases {
+        let mut rng = SplitMix64::seed_from_u64(0x9a7e_0000 ^ seed);
+        let edges = edge_list(&mut rng, n, max_edges);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&edges)));
+        if let Err(e) = result {
+            eprintln!("failing case seed={seed} edges={edges:?}");
+            std::panic::resume_unwind(e);
+        }
     }
+}
 
-    #[test]
-    fn builder_is_idempotent_under_duplication(edges in edge_list(30, 100)) {
-        let g1 = from_edges(&edges);
+#[test]
+fn builder_always_produces_valid_csr() {
+    for_random_edge_lists(64, 40, 200, |edges| {
+        let g = from_edges(edges);
+        assert!(g.validate().is_ok());
+    });
+}
+
+#[test]
+fn builder_is_idempotent_under_duplication() {
+    for_random_edge_lists(64, 30, 100, |edges| {
+        let g1 = from_edges(edges);
         let doubled: Vec<_> = edges.iter().chain(edges.iter()).copied().collect();
         let g2 = from_edges(&doubled);
         // Duplicated input edges change nothing.
-        prop_assert_eq!(g1, g2);
-    }
+        assert_eq!(g1, g2);
+    });
+}
 
-    #[test]
-    fn builder_is_direction_insensitive(edges in edge_list(30, 100)) {
-        let g1 = from_edges(&edges);
+#[test]
+fn builder_is_direction_insensitive() {
+    for_random_edge_lists(64, 30, 100, |edges| {
+        let g1 = from_edges(edges);
         let flipped: Vec<_> = edges.iter().map(|&(u, v)| (v, u)).collect();
         let g2 = from_edges(&flipped);
-        prop_assert_eq!(g1, g2);
-    }
+        assert_eq!(g1, g2);
+    });
+}
 
-    #[test]
-    fn edge_list_roundtrip(edges in edge_list(30, 150)) {
-        let g = from_edges(&edges);
+#[test]
+fn edge_list_roundtrip() {
+    for_random_edge_lists(64, 30, 150, |edges| {
+        let g = from_edges(edges);
         let mut buf = Vec::new();
         io::write_edge_list(&g, &mut buf).unwrap();
-        prop_assert_eq!(io::read_edge_list(&buf[..]).unwrap(), g);
-    }
+        assert_eq!(io::read_edge_list(&buf[..]).unwrap(), g);
+    });
+}
 
-    #[test]
-    fn binary_roundtrip(edges in edge_list(30, 150)) {
-        let g = from_edges(&edges);
+#[test]
+fn binary_roundtrip() {
+    for_random_edge_lists(64, 30, 150, |edges| {
+        let g = from_edges(edges);
         let mut buf = Vec::new();
         io::write_binary(&g, &mut buf).unwrap();
-        prop_assert_eq!(io::read_binary(&buf[..]).unwrap(), g);
-    }
+        assert_eq!(io::read_binary(&buf[..]).unwrap(), g);
+    });
+}
 
-    #[test]
-    fn degree_sum_equals_directed_edges(edges in edge_list(40, 200)) {
-        let g = from_edges(&edges);
+#[test]
+fn degree_sum_equals_directed_edges() {
+    for_random_edge_lists(64, 40, 200, |edges| {
+        let g = from_edges(edges);
         let sum: usize = g.vertices().map(|u| g.degree(u)).sum();
-        prop_assert_eq!(sum, g.num_directed_edges());
-    }
+        assert_eq!(sum, g.num_directed_edges());
+    });
+}
 
-    #[test]
-    fn components_partition_vertices(edges in edge_list(30, 80)) {
-        let g = from_edges(&edges);
+#[test]
+fn components_partition_vertices() {
+    for_random_edge_lists(64, 30, 80, |edges| {
+        let g = from_edges(edges);
         let (labels, count) = analysis::connected_components(&g);
         // Every vertex labeled by its component minimum.
         let mut distinct: Vec<_> = labels.clone();
         distinct.sort_unstable();
         distinct.dedup();
-        prop_assert_eq!(distinct.len(), count);
+        assert_eq!(distinct.len(), count);
         // Adjacent vertices share a label.
         for (u, v) in g.undirected_edges() {
-            prop_assert_eq!(labels[u as usize], labels[v as usize]);
+            assert_eq!(labels[u as usize], labels[v as usize]);
         }
         // Labels are component minima: label[v] <= v.
         for v in g.vertices() {
-            prop_assert!(labels[v as usize] <= v);
+            assert!(labels[v as usize] <= v);
         }
-    }
+    });
+}
 
-    #[test]
-    fn triangle_count_matches_naive(edges in edge_list(20, 60)) {
-        let g = from_edges(&edges);
+#[test]
+fn triangle_count_matches_naive() {
+    for_random_edge_lists(48, 20, 60, |edges| {
+        let g = from_edges(edges);
         // Naive O(n³) triangle enumeration.
         let n = g.num_vertices() as VertexId;
         let mut naive = 0u64;
         for a in 0..n {
             for b in (a + 1)..n {
-                if !g.has_edge(a, b) { continue; }
+                if !g.has_edge(a, b) {
+                    continue;
+                }
                 for c in (b + 1)..n {
                     if g.has_edge(b, c) && g.has_edge(a, c) {
                         naive += 1;
@@ -95,6 +144,6 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(analysis::triangle_count(&g), naive);
-    }
+        assert_eq!(analysis::triangle_count(&g), naive);
+    });
 }

@@ -1,0 +1,124 @@
+//! Minimal deterministic PRNG for the generators and tests.
+//!
+//! The workspace builds in hermetic environments with no registry access,
+//! so instead of depending on the `rand` crate the generators use
+//! SplitMix64 (Steele, Lea & Flood, OOPSLA'14) — a tiny, well-studied
+//! 64-bit mixer that passes BigCrush when used as a stream. Statistical
+//! perfection is not the bar here: the generators only need seeded,
+//! platform-independent, reproducible streams, and every test that pins a
+//! seed relies on this stream never changing. **Do not alter the mixing
+//! constants or the derivation of any `gen_*` method.**
+
+/// A SplitMix64 stream.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a stream from a seed; equal seeds yield equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform index in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty range");
+        // Modulo bias is below 2⁻⁴⁰ for every n the generators use
+        // (n ≪ 2²⁴); accepted for simplicity.
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform draw from a `usize` range (`lo..hi`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.gen_index(range.end - range.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_pinned() {
+        // Reference values for seed 0 from the published SplitMix64
+        // algorithm; if these change, every seeded test in the workspace
+        // silently tests different graphs.
+        let mut r = SplitMix64::seed_from_u64(0);
+        assert_eq!(r.next_u64(), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(r.next_u64(), 0x6e78_9e6a_a1b9_65f4);
+        assert_eq!(r.next_u64(), 0x06c4_5d18_8009_454f);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::seed_from_u64(7);
+        let mut b = SplitMix64::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bool_tracks_probability() {
+        let mut r = SplitMix64::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "got {hits} of 10000 at p=0.3");
+    }
+
+    #[test]
+    fn range_stays_in_bounds() {
+        let mut r = SplitMix64::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x = r.gen_range(10..17);
+            assert!((10..17).contains(&x));
+        }
+        assert_eq!(r.gen_range(4..5), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_rejected() {
+        SplitMix64::seed_from_u64(0).gen_range(3..3);
+    }
+}

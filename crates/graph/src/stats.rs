@@ -71,7 +71,11 @@ pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
     let mut hist = Vec::new();
     for u in g.vertices() {
         let d = g.degree(u);
-        let bin = if d <= 1 { 0 } else { usize::BITS as usize - 1 - d.leading_zeros() as usize };
+        let bin = if d <= 1 {
+            0
+        } else {
+            usize::BITS as usize - 1 - d.leading_zeros() as usize
+        };
         if hist.len() <= bin {
             hist.resize(bin + 1, 0);
         }

@@ -5,7 +5,6 @@ use crate::{GsIndex, SimValue};
 use ppscan_graph::{CsrGraph, VertexId};
 use ppscan_intersect::count::count;
 use ppscan_sched::{WorkerPool, DEFAULT_DEGREE_THRESHOLD};
-use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 impl<'g> GsIndex<'g> {
@@ -21,11 +20,13 @@ impl<'g> GsIndex<'g> {
         // undirected edge (u < v) and mirrored to the reverse slot.
         // Atomic u32 slots let both directions be written lock-free.
         let cn: Vec<AtomicU32> = (0..m2).map(|_| AtomicU32::new(0)).collect();
+        let scopes = ppscan_intersect::counters::inherit();
         pool.run_weighted(
             n,
             DEFAULT_DEGREE_THRESHOLD,
             |u| graph.degree(u) as u64,
             |range| {
+                let _counters = scopes.attach();
                 for u in range {
                     let nu = graph.neighbors(u);
                     for eo in graph.neighbor_range(u) {
@@ -62,14 +63,12 @@ impl<'g> GsIndex<'g> {
                 slices.push(head);
                 rest = tail;
             }
-            pool.install(|| {
-                slices.par_iter_mut().for_each(|adj| {
-                    let d_u = adj.len();
-                    adj.sort_unstable_by(|&(va, ca), &(vb, cb)| {
-                        let sa = SimValue::new(ca, d_u, graph.degree(va));
-                        let sb = SimValue::new(cb, d_u, graph.degree(vb));
-                        sb.cmp(&sa).then(va.cmp(&vb))
-                    });
+            pool.run_mut(&mut slices, |adj| {
+                let d_u = adj.len();
+                adj.sort_unstable_by(|&(va, ca), &(vb, cb)| {
+                    let sa = SimValue::new(ca, d_u, graph.degree(va));
+                    let sb = SimValue::new(cb, d_u, graph.degree(vb));
+                    sb.cmp(&sa).then(va.cmp(&vb))
                 });
             });
         }
@@ -112,13 +111,11 @@ impl<'g> GsIndex<'g> {
                 slices.push(head);
                 rest = tail;
             }
-            pool.install(|| {
-                slices.par_iter_mut().for_each(|slice| {
-                    slice.sort_unstable_by(|&(ua, ca, da), &(ub, cb, db)| {
-                        let sa = SimValue { cn: ca, denom: da };
-                        let sb = SimValue { cn: cb, denom: db };
-                        sb.cmp(&sa).then(ua.cmp(&ub))
-                    });
+            pool.run_mut(&mut slices, |slice| {
+                slice.sort_unstable_by(|&(ua, ca, da), &(ub, cb, db)| {
+                    let sa = SimValue { cn: ca, denom: da };
+                    let sb = SimValue { cn: cb, denom: db };
+                    sb.cmp(&sa).then(ua.cmp(&ub))
                 });
             });
         }
@@ -171,8 +168,14 @@ mod tests {
         for mu in 1..=idx.max_mu() {
             let slice = &idx.core_order[idx.co_offsets[mu]..idx.co_offsets[mu + 1]];
             for w in slice.windows(2) {
-                let a = SimValue { cn: w[0].1, denom: w[0].2 };
-                let b = SimValue { cn: w[1].1, denom: w[1].2 };
+                let a = SimValue {
+                    cn: w[0].1,
+                    denom: w[0].2,
+                };
+                let b = SimValue {
+                    cn: w[1].1,
+                    denom: w[1].2,
+                };
                 assert!(a >= b, "core order not descending at mu={mu}");
             }
             // Every vertex with degree ≥ µ appears exactly once.

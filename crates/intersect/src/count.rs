@@ -109,11 +109,7 @@ mod tests {
             for lb in [0usize, 1, 7, 8, 9, 15, 16, 17, 31, 33, 64, 129] {
                 let a: Vec<u32> = (0..la as u32).map(|x| x * 3).collect();
                 let b: Vec<u32> = (0..lb as u32).map(|x| x * 2).collect();
-                assert_eq!(
-                    count(&a, &b),
-                    merge::count_full(&a, &b),
-                    "la={la} lb={lb}"
-                );
+                assert_eq!(count(&a, &b), merge::count_full(&a, &b), "la={la} lb={lb}");
             }
         }
     }
@@ -131,7 +127,9 @@ mod tests {
     fn random_arrays_match_reference() {
         let mut x = 0xabcdef12345u64;
         let mut next = move |m: u32| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((x >> 33) % m as u64) as u32
         };
         for round in 0..50 {

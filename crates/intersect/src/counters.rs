@@ -1,19 +1,58 @@
-//! Global instrumentation counters.
+//! Scoped instrumentation counters.
 //!
 //! Figure 4 of the paper compares the *number of set-intersection
 //! invocations* (`CompSim` calls) between pSCAN and ppSCAN, normalized by
-//! |E|. These relaxed atomic counters make that measurement available to
-//! the harness at negligible cost (one relaxed fetch-add per invocation —
-//! orders of magnitude cheaper than the intersection itself).
+//! |E|. These counters make that measurement available to the harness at
+//! negligible cost (one relaxed fetch-add per invocation — orders of
+//! magnitude cheaper than the intersection itself).
 //!
-//! Counters are process-global; benchmarks snapshot and subtract.
+//! Counters used to be process-global statics, which made every
+//! counter-asserting test flaky under `cargo test`'s parallel execution
+//! and let concurrent algorithm runs pollute each other's deltas. They
+//! are now **scoped**: a [`CounterScope`] is an explicit handle;
+//! recording only happens on threads where a scope is *active*, into
+//! exactly the scopes active on that thread. With no active scope the
+//! record calls are a thread-local read of an empty list — the hot path
+//! stays cheap and the kernels stay oblivious.
+//!
+//! Worker threads do not inherit the spawner's active scopes
+//! automatically (the scheduler crate knows nothing about counters).
+//! Parallel algorithms capture the caller's scopes with [`inherit`] and
+//! re-activate them inside each task body with [`ActiveScopes::attach`]:
+//!
+//! ```
+//! use ppscan_intersect::counters::{self, CounterScope};
+//!
+//! let scope = CounterScope::new();
+//! let (delta, _) = scope.measure(|| {
+//!     let scopes = counters::inherit(); // capture on the caller thread
+//!     std::thread::scope(|s| {
+//!         s.spawn(|| {
+//!             let _guard = scopes.attach(); // re-activate on the worker
+//!             counters::record_invocation();
+//!         });
+//!     });
+//! });
+//! assert_eq!(delta.compsim_invocations, 1);
+//! ```
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-static COMPSIM_INVOCATIONS: AtomicU64 = AtomicU64::new(0);
-static ELEMENTS_SCANNED: AtomicU64 = AtomicU64::new(0);
+#[derive(Default)]
+struct ScopeInner {
+    invocations: AtomicU64,
+    scanned: AtomicU64,
+}
 
-/// A point-in-time snapshot of the counters.
+thread_local! {
+    /// Scopes recording on this thread. A stack: guards pop what they
+    /// pushed, so nested `measure`/`attach` compose.
+    static ACTIVE: RefCell<Vec<Arc<ScopeInner>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A point-in-time snapshot of one scope's counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CounterSnapshot {
     /// Number of `CompSim` (set-intersection) invocations.
@@ -33,35 +72,138 @@ impl CounterSnapshot {
     }
 }
 
-/// Records one `CompSim` invocation. Called by every kernel entry point.
+/// An isolated counter accumulator. Cloning shares the accumulator
+/// (handles are `Arc`-backed); distinct `new()` scopes never interfere,
+/// across threads or within one.
+#[derive(Clone, Default)]
+pub struct CounterScope {
+    inner: Arc<ScopeInner>,
+}
+
+impl CounterScope {
+    /// Fresh scope with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Activates the scope on the **current thread** until the guard
+    /// drops: `record_*` calls on this thread accumulate into it.
+    /// Re-activating an already-active scope is a no-op (no double
+    /// counting).
+    pub fn activate(&self) -> AttachGuard {
+        ActiveScopes {
+            scopes: vec![self.inner.clone()],
+        }
+        .attach()
+    }
+
+    /// Current totals of this scope.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            compsim_invocations: self.inner.invocations.load(Ordering::Relaxed),
+            elements_scanned: self.inner.scanned.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs `f` with the scope active on the current thread and returns
+    /// the counter delta it produced alongside `f`'s result. Parallel
+    /// callees must still [`inherit`]/[`ActiveScopes::attach`] to carry
+    /// the scope onto their worker threads.
+    pub fn measure<R>(&self, f: impl FnOnce() -> R) -> (CounterSnapshot, R) {
+        let before = self.snapshot();
+        let guard = self.activate();
+        let out = f();
+        drop(guard);
+        (self.snapshot().since(&before), out)
+    }
+}
+
+impl std::fmt::Debug for CounterScope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CounterScope")
+            .field("snapshot", &self.snapshot())
+            .finish()
+    }
+}
+
+/// The set of scopes active on the capturing thread; send it into worker
+/// threads and [`attach`](ActiveScopes::attach) there.
+#[derive(Clone, Default)]
+pub struct ActiveScopes {
+    scopes: Vec<Arc<ScopeInner>>,
+}
+
+/// Captures the scopes currently active on this thread (cheap: one Arc
+/// clone per active scope, usually zero or one).
+pub fn inherit() -> ActiveScopes {
+    ACTIVE.with(|a| ActiveScopes {
+        scopes: a.borrow().clone(),
+    })
+}
+
+impl ActiveScopes {
+    /// Activates the captured scopes on the current thread until the
+    /// guard drops. Scopes already active here are skipped (pointer
+    /// identity), so attaching on the capturing thread itself — e.g. when
+    /// a "worker" task runs inline under the sequential strategy — does
+    /// not double-count.
+    pub fn attach(&self) -> AttachGuard {
+        let pushed = ACTIVE.with(|a| {
+            let mut stack = a.borrow_mut();
+            let mut pushed = 0;
+            for s in &self.scopes {
+                if !stack.iter().any(|t| Arc::ptr_eq(t, s)) {
+                    stack.push(s.clone());
+                    pushed += 1;
+                }
+            }
+            pushed
+        });
+        AttachGuard { pushed }
+    }
+}
+
+/// RAII guard deactivating what [`ActiveScopes::attach`] /
+/// [`CounterScope::activate`] activated.
+#[must_use = "dropping the guard immediately deactivates the scope"]
+pub struct AttachGuard {
+    pushed: usize,
+}
+
+impl Drop for AttachGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|a| {
+            let mut stack = a.borrow_mut();
+            for _ in 0..self.pushed {
+                stack.pop();
+            }
+        });
+    }
+}
+
+/// Records one `CompSim` invocation into every scope active on this
+/// thread. Called by every kernel entry point.
 #[inline]
 pub fn record_invocation() {
-    COMPSIM_INVOCATIONS.fetch_add(1, Ordering::Relaxed);
+    ACTIVE.with(|a| {
+        for s in a.borrow().iter() {
+            s.invocations.fetch_add(1, Ordering::Relaxed);
+        }
+    });
 }
 
-/// Records `n` scanned elements. Kernels batch this per call, not per
-/// element, to keep the hot loop clean.
+/// Records `n` scanned elements into every active scope. Kernels batch
+/// this per call, not per element, to keep the hot loop clean.
 #[inline]
 pub fn record_scanned(n: u64) {
-    if n > 0 {
-        ELEMENTS_SCANNED.fetch_add(n, Ordering::Relaxed);
+    if n == 0 {
+        return;
     }
-}
-
-/// Reads the current counter values.
-pub fn snapshot() -> CounterSnapshot {
-    CounterSnapshot {
-        compsim_invocations: COMPSIM_INVOCATIONS.load(Ordering::Relaxed),
-        elements_scanned: ELEMENTS_SCANNED.load(Ordering::Relaxed),
-    }
-}
-
-/// Resets both counters to zero. Tests that assert on absolute counts
-/// must not run concurrently with other counting work; the harness
-/// binaries use [`snapshot`]`/`[`CounterSnapshot::since`] deltas instead.
-pub fn reset() {
-    COMPSIM_INVOCATIONS.store(0, Ordering::Relaxed);
-    ELEMENTS_SCANNED.store(0, Ordering::Relaxed);
+    ACTIVE.with(|a| {
+        for s in a.borrow().iter() {
+            s.scanned.fetch_add(n, Ordering::Relaxed);
+        }
+    });
 }
 
 #[cfg(test)]
@@ -70,14 +212,87 @@ mod tests {
 
     #[test]
     fn deltas_are_monotone() {
-        let before = snapshot();
-        record_invocation();
-        record_invocation();
-        record_scanned(10);
-        record_scanned(0); // no-op
-        let after = snapshot();
-        let d = after.since(&before);
+        let scope = CounterScope::new();
+        let (d, ()) = scope.measure(|| {
+            record_invocation();
+            record_invocation();
+            record_scanned(10);
+            record_scanned(0); // no-op
+        });
         assert_eq!(d.compsim_invocations, 2);
         assert_eq!(d.elements_scanned, 10);
+    }
+
+    #[test]
+    fn recording_without_scope_is_a_noop() {
+        let scope = CounterScope::new();
+        record_invocation(); // no scope active: goes nowhere
+        assert_eq!(scope.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn nested_scopes_both_record() {
+        let outer = CounterScope::new();
+        let inner = CounterScope::new();
+        let (od, _) = outer.measure(|| {
+            record_invocation();
+            let (id, ()) = inner.measure(record_invocation);
+            assert_eq!(id.compsim_invocations, 1);
+        });
+        assert_eq!(od.compsim_invocations, 2, "outer sees nested work too");
+    }
+
+    #[test]
+    fn reactivating_active_scope_does_not_double_count() {
+        let scope = CounterScope::new();
+        let (d, ()) = scope.measure(|| {
+            let _again = scope.activate();
+            record_invocation();
+        });
+        assert_eq!(d.compsim_invocations, 1);
+    }
+
+    #[test]
+    fn scopes_are_isolated_across_threads() {
+        // Property test (satellite): per-thread scopes with interleaved
+        // recording never observe each other's counts.
+        let scopes: Vec<CounterScope> = (0..4).map(|_| CounterScope::new()).collect();
+        std::thread::scope(|s| {
+            for (i, scope) in scopes.iter().enumerate() {
+                s.spawn(move || {
+                    let _g = scope.activate();
+                    for _ in 0..=i {
+                        record_invocation();
+                        record_scanned(7);
+                    }
+                });
+            }
+        });
+        for (i, scope) in scopes.iter().enumerate() {
+            let snap = scope.snapshot();
+            assert_eq!(snap.compsim_invocations, i as u64 + 1, "scope {i}");
+            assert_eq!(snap.elements_scanned, 7 * (i as u64 + 1), "scope {i}");
+        }
+    }
+
+    #[test]
+    fn inherit_attach_carries_scope_to_worker() {
+        let scope = CounterScope::new();
+        let (d, ()) = scope.measure(|| {
+            let scopes = inherit();
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let _g = scopes.attach();
+                    record_invocation();
+                    record_scanned(3);
+                });
+                s.spawn(|| {
+                    // No attach: this worker's records go nowhere.
+                    record_invocation();
+                });
+            });
+        });
+        assert_eq!(d.compsim_invocations, 1);
+        assert_eq!(d.elements_scanned, 3);
     }
 }

@@ -99,8 +99,8 @@ impl Kernel {
     #[inline]
     pub fn check(self, a: &[u32], b: &[u32], min_cn: u64) -> Similarity {
         debug_assert!(
-            a.last().map_or(true, |&x| x <= i32::MAX as u32)
-                && b.last().map_or(true, |&x| x <= i32::MAX as u32),
+            a.last().is_none_or(|&x| x <= i32::MAX as u32)
+                && b.last().is_none_or(|&x| x <= i32::MAX as u32),
             "vertex ids must fit in i32 for the SIMD comparisons"
         );
         match self {

@@ -139,9 +139,6 @@ mod tests {
     #[test]
     fn early_terminates_on_exhaustion() {
         // Disjoint arrays: NSim once a side exhausts or a bound drops.
-        assert_eq!(
-            check_early(&[1, 2, 3], &[10, 20, 30], 4),
-            Similarity::NSim
-        );
+        assert_eq!(check_early(&[1, 2, 3], &[10, 20, 30], 4), Similarity::NSim);
     }
 }

@@ -135,7 +135,7 @@ mod tests {
     fn detects_sim_mid_array() {
         let a: Vec<u32> = (0..64).map(|x| x * 2).collect(); // evens
         let b: Vec<u32> = (0..64).collect(); // 0..63
-        // |a ∩ b| = 32 (evens < 64), so cn = 34 ≥ 10 → Sim.
+                                             // |a ∩ b| = 32 (evens < 64), so cn = 34 ≥ 10 → Sim.
         assert_eq!(check_early(&a, &b, 10), Similarity::Sim);
     }
 }

@@ -1,99 +1,125 @@
-//! Property-based differential tests: every kernel must agree with the
+//! Randomized differential tests: every kernel must agree with the
 //! exhaustive reference (`merge::check_reference`) on arbitrary sorted
 //! inputs and thresholds, including the early-termination paths the
 //! random inputs exercise from both directions.
+//!
+//! Formerly `proptest`-based; now driven by a seeded SplitMix64 loop so
+//! the crate builds with no external dependencies (the crate is a leaf —
+//! it cannot borrow `ppscan_graph::rng` — so the mixer is duplicated
+//! here, constants and all; see `ppscan-graph/src/rng.rs` for provenance).
 
 use crate::kernel::Kernel;
 use crate::merge;
 use crate::similarity::EpsilonThreshold;
-use proptest::prelude::*;
+
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
 
 /// Sorted, deduplicated vector of ids below 2³¹ with skew toward small
 /// values (forcing dense overlaps) and occasional huge gaps (forcing long
 /// pivot runs — the SIMD fast path).
-fn sorted_ids(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
-    prop::collection::vec(
-        prop_oneof![
-            0u32..64,              // dense region: many matches
-            0u32..4096,            // medium
-            0u32..(i32::MAX as u32) // sparse region: long runs
-        ],
-        0..max_len,
-    )
-    .prop_map(|mut v| {
-        v.sort_unstable();
-        v.dedup();
-        v
-    })
+fn sorted_ids(rng: &mut Rng, max_len: usize) -> Vec<u32> {
+    let len = rng.index(max_len + 1);
+    let mut v: Vec<u32> = (0..len)
+        .map(|_| match rng.index(3) {
+            0 => rng.index(64) as u32,                // dense region: many matches
+            1 => rng.index(4096) as u32,              // medium
+            _ => rng.index(i32::MAX as usize) as u32, // sparse region: long runs
+        })
+        .collect();
+    v.sort_unstable();
+    v.dedup();
+    v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn kernels_agree_with_reference(
-        a in sorted_ids(120),
-        b in sorted_ids(120),
-        min_cn in 0u64..80,
-    ) {
+#[test]
+fn kernels_agree_with_reference() {
+    for seed in 0..256u64 {
+        let mut rng = Rng(0x15ec_0000 ^ seed);
+        let a = sorted_ids(&mut rng, 120);
+        let b = sorted_ids(&mut rng, 120);
+        let min_cn = rng.index(80) as u64;
         let expected = if min_cn <= 2 {
             crate::Similarity::Sim
         } else {
             merge::check_reference(&a, &b, min_cn)
         };
         for k in Kernel::ALL.into_iter().filter(|k| k.available()) {
-            prop_assert_eq!(k.check(&a, &b, min_cn), expected, "kernel {}", k);
-        }
-    }
-
-    #[test]
-    fn kernels_symmetric(
-        a in sorted_ids(100),
-        b in sorted_ids(100),
-        min_cn in 3u64..40,
-    ) {
-        for k in Kernel::ALL.into_iter().filter(|k| k.available()) {
-            prop_assert_eq!(
+            assert_eq!(
                 k.check(&a, &b, min_cn),
-                k.check(&b, &a, min_cn),
-                "kernel {} not symmetric", k
+                expected,
+                "kernel {k} seed {seed} a={a:?} b={b:?} min_cn={min_cn}"
             );
         }
     }
+}
 
-    #[test]
-    fn min_cn_is_exact_threshold(
-        eps_permille in 1u64..=1000,
-        d_u in 0usize..200,
-        d_v in 0usize..200,
-    ) {
+#[test]
+fn kernels_symmetric() {
+    for seed in 0..256u64 {
+        let mut rng = Rng(0x51ab_0000 ^ seed);
+        let a = sorted_ids(&mut rng, 100);
+        let b = sorted_ids(&mut rng, 100);
+        let min_cn = 3 + rng.index(37) as u64;
+        for k in Kernel::ALL.into_iter().filter(|k| k.available()) {
+            assert_eq!(
+                k.check(&a, &b, min_cn),
+                k.check(&b, &a, min_cn),
+                "kernel {k} not symmetric at seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn min_cn_is_exact_threshold() {
+    for seed in 0..256u64 {
+        let mut rng = Rng(0x3d0c_0000 ^ seed);
+        let eps_permille = 1 + rng.index(1000) as u64;
+        let d_u = rng.index(200);
+        let d_v = rng.index(200);
         let t = EpsilonThreshold::from_ratio(eps_permille, 1000);
         let k = t.min_cn(d_u, d_v);
         let prod = (eps_permille as u128).pow(2) * (d_u as u128 + 1) * (d_v as u128 + 1);
         // k is the threshold: k²·10⁶ ≥ ε²-numerator·prod …
-        prop_assert!((k as u128 * k as u128) * 1_000_000 >= prod);
+        assert!((k as u128 * k as u128) * 1_000_000 >= prod, "seed {seed}");
         // … and k-1 is below it.
         if k > 0 {
             let km1 = (k - 1) as u128;
-            prop_assert!(km1 * km1 * 1_000_000 < prod);
+            assert!(km1 * km1 * 1_000_000 < prod, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn prune_by_degree_never_contradicts_full_computation(
-        a in sorted_ids(60),
-        b in sorted_ids(60),
-        eps_permille in 1u64..=1000,
-    ) {
+#[test]
+fn prune_by_degree_never_contradicts_full_computation() {
+    for seed in 0..256u64 {
+        let mut rng = Rng(0xd269_0000 ^ seed);
+        let a = sorted_ids(&mut rng, 60);
+        let b = sorted_ids(&mut rng, 60);
+        let eps_permille = 1 + rng.index(1000) as u64;
         let t = EpsilonThreshold::from_ratio(eps_permille, 1000);
         let (d_u, d_v) = (a.len(), b.len());
         let min_cn = t.min_cn(d_u, d_v);
         let full = merge::count_full(&a, &b) + 2;
         match t.prune_by_degree(d_u, d_v) {
-            crate::Similarity::Sim => prop_assert!(full >= min_cn),
+            crate::Similarity::Sim => assert!(full >= min_cn, "seed {seed}"),
             // Degree pruning may only claim NSim when even full overlap
             // cannot reach the threshold.
-            crate::Similarity::NSim => prop_assert!(full < min_cn),
+            crate::Similarity::NSim => assert!(full < min_cn, "seed {seed}"),
             crate::Similarity::Unknown => {}
         }
     }

@@ -329,7 +329,10 @@ mod tests {
     #[test]
     fn identical_long_arrays() {
         let a: Vec<u32> = (0..1000).collect();
-        for check in [avx2::check_early as fn(&[u32], &[u32], u64) -> Similarity, avx512::check_early] {
+        for check in [
+            avx2::check_early as fn(&[u32], &[u32], u64) -> Similarity,
+            avx512::check_early,
+        ] {
             assert_eq!(check(&a, &a, 500), Similarity::Sim);
             assert_eq!(check(&a, &a, 1003), Similarity::NSim);
             // 1002 = full overlap + 2 exactly.
@@ -343,7 +346,10 @@ mod tests {
         let top = (i32::MAX as u32) - 20;
         let a: Vec<u32> = (0..18).map(|k| top + k).collect();
         let b: Vec<u32> = (0..18).map(|k| top + k).collect();
-        for check in [avx2::check_early as fn(&[u32], &[u32], u64) -> Similarity, avx512::check_early] {
+        for check in [
+            avx2::check_early as fn(&[u32], &[u32], u64) -> Similarity,
+            avx512::check_early,
+        ] {
             assert_eq!(check(&a, &b, 20), Similarity::Sim);
         }
     }

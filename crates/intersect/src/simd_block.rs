@@ -205,8 +205,10 @@ mod tests {
     use super::*;
     use crate::merge;
 
-    fn check_fns() -> Vec<(&'static str, fn(&[u32], &[u32], u64) -> Similarity)> {
-        let mut v: Vec<(&'static str, fn(&[u32], &[u32], u64) -> Similarity)> = Vec::new();
+    type CheckFn = fn(&[u32], &[u32], u64) -> Similarity;
+
+    fn check_fns() -> Vec<(&'static str, CheckFn)> {
+        let mut v: Vec<(&'static str, CheckFn)> = Vec::new();
         if crate::simd::avx2_available() {
             v.push(("block-avx2", avx2::check_early));
         }

@@ -69,7 +69,10 @@ impl EpsilonThreshold {
         );
         let den = 10_000u64;
         let num = (eps * den as f64).round() as u64;
-        Self { num: num.max(1), den }
+        Self {
+            num: num.max(1),
+            den,
+        }
     }
 
     /// Creates the calculator from an exact rational ε = num/den.
@@ -137,7 +140,7 @@ fn ceil_sqrt_u128(x: u128) -> u128 {
     }
     // f64 sqrt gives ~52 significant bits; fix up by scanning ±2.
     let mut t = (x as f64).sqrt() as u128;
-    while t.checked_mul(t).map_or(true, |sq| sq >= x) {
+    while t.checked_mul(t).is_none_or(|sq| sq >= x) {
         if t == 0 {
             return 0;
         }
@@ -145,7 +148,7 @@ fn ceil_sqrt_u128(x: u128) -> u128 {
     }
     // Now t² < x; advance to the first t with t² ≥ x.
     t += 1;
-    while t.checked_mul(t).map_or(false, |sq| sq < x) {
+    while t.checked_mul(t).is_some_and(|sq| sq < x) {
         t += 1;
     }
     t

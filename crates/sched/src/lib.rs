@@ -1,48 +1,148 @@
 //! # ppscan-sched
 //!
-//! Degree-based dynamic task scheduling (paper §4.4, Algorithm 5).
+//! Degree-based dynamic task scheduling (paper §4.4, Algorithm 5) on a
+//! dependency-free thread pool with **pluggable execution strategies**.
 //!
 //! ppSCAN bundles vertex computations into tasks by accumulating the
 //! degrees of vertices that still require work and cutting a task every
 //! time the running sum exceeds a threshold (32768 in the paper's tuned
 //! setting). Tasks are contiguous vertex ranges — so worker threads touch
-//! adjacent regions of the CSR `dst`/`sim` arrays — and are executed on a
-//! work-stealing thread pool.
+//! adjacent regions of the CSR `dst`/`sim` arrays — and are executed on
+//! worker threads with dynamic (shared-queue) scheduling.
 //!
 //! This crate provides that scheduler as a reusable primitive:
 //!
 //! * [`chunk_by_weight`] reproduces Algorithm 5's master-thread loop:
 //!   given a per-vertex weight (degree, or 0 for vertices whose role is
 //!   already known), it emits the task ranges.
-//! * [`WorkerPool`] owns a rayon thread pool of an explicit size and runs
-//!   a closure over every task range in parallel ([`WorkerPool::run_chunks`]),
-//!   or over per-vertex indices ([`WorkerPool::run_vertices`]).
+//! * [`WorkerPool`] runs a closure over every task range
+//!   ([`WorkerPool::run_chunks`]), over per-vertex indices
+//!   ([`WorkerPool::run_vertices`]), or over disjoint mutable items
+//!   ([`WorkerPool::run_mut`]), under a chosen [`ExecutionStrategy`].
+//!
+//! ## Execution strategies
+//!
+//! Parallel SCAN reproductions live or die on determinism of the *result*
+//! under nondeterministic schedules (Theorems 4.1/4.2). To make schedule
+//! bugs reproducible on demand instead of once-in-a-hundred CI runs,
+//! every phase can be replayed under one of three strategies:
+//!
+//! * [`ExecutionStrategy::Parallel`] — the production path: worker
+//!   threads claim tasks from a shared queue (work conservation without
+//!   static assignment, the `SubmitTaskToPool` of Algorithm 5).
+//! * [`ExecutionStrategy::SequentialDeterministic`] — every task runs in
+//!   submission order on the caller thread. A reference schedule: any
+//!   result difference against `Parallel` is a concurrency bug.
+//! * [`ExecutionStrategy::AdversarialSeeded`] — a seeded task-order
+//!   permutation plus seeded pre/post-task yield injection, so worker
+//!   interleavings vary reproducibly with the seed. Used by the
+//!   differential stress driver to hunt schedule-dependent bugs and to
+//!   pin regressions to a replayable seed.
 //!
 //! ```
-//! use ppscan_sched::{chunk_by_weight, WorkerPool, DEFAULT_DEGREE_THRESHOLD};
+//! use ppscan_sched::{chunk_by_weight, ExecutionStrategy, WorkerPool, DEFAULT_DEGREE_THRESHOLD};
 //! use std::sync::atomic::{AtomicU64, Ordering};
 //!
 //! let degrees = [100u64, 1, 1, 50_000, 2, 2];
 //! let tasks = chunk_by_weight(6, 64, |v| degrees[v as usize]);
 //! assert!(tasks.len() > 1); // the heavy vertex forces a cut
 //!
-//! let pool = WorkerPool::new(2);
-//! let sum = AtomicU64::new(0);
-//! pool.run_chunks(&tasks, |range| {
-//!     for v in range {
-//!         sum.fetch_add(degrees[v as usize], Ordering::Relaxed);
-//!     }
-//! });
-//! assert_eq!(sum.load(Ordering::Relaxed), degrees.iter().sum::<u64>());
+//! for strategy in [
+//!     ExecutionStrategy::Parallel,
+//!     ExecutionStrategy::SequentialDeterministic,
+//!     ExecutionStrategy::AdversarialSeeded { seed: 7 },
+//! ] {
+//!     let pool = WorkerPool::with_strategy(2, strategy);
+//!     let sum = AtomicU64::new(0);
+//!     pool.run_chunks(&tasks, |range| {
+//!         for v in range {
+//!             sum.fetch_add(degrees[v as usize], Ordering::Relaxed);
+//!         }
+//!     });
+//!     assert_eq!(sum.load(Ordering::Relaxed), degrees.iter().sum::<u64>());
+//! }
 //! let _ = DEFAULT_DEGREE_THRESHOLD;
 //! ```
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The paper's tuned degree-sum threshold: "when the degree sum is above
 /// the threshold 32768 … a task is submitted". Tuned by doubling from 1
 /// until the task-queue maintenance cost became negligible (§4.4).
 pub const DEFAULT_DEGREE_THRESHOLD: u64 = 32_768;
+
+/// How a [`WorkerPool`] orders and interleaves its tasks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ExecutionStrategy {
+    /// Production path: tasks are claimed from a shared queue by
+    /// `threads` worker threads in submission order.
+    #[default]
+    Parallel,
+    /// Every task runs in submission order on the caller thread; no
+    /// worker threads are spawned. The reference schedule for
+    /// differential testing.
+    SequentialDeterministic,
+    /// Tasks are claimed by worker threads in a seeded *permuted* order,
+    /// and every task is bracketed by a seeded number of
+    /// `std::thread::yield_now` calls, perturbing the interleaving
+    /// reproducibly. Same seed + same task set ⇒ same submission order
+    /// and injection pattern (the OS interleaving still varies, which is
+    /// the point: one seed explores a family of schedules biased away
+    /// from the happy path).
+    AdversarialSeeded {
+        /// Permutation and yield-injection seed.
+        seed: u64,
+    },
+}
+
+impl std::fmt::Display for ExecutionStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutionStrategy::Parallel => write!(f, "parallel"),
+            ExecutionStrategy::SequentialDeterministic => write!(f, "sequential"),
+            ExecutionStrategy::AdversarialSeeded { seed } => write!(f, "adversarial({seed})"),
+        }
+    }
+}
+
+/// SplitMix64 step — the standard 64-bit mixer (Steele et al.), used for
+/// seeded permutations and yield counts so the crate stays free of
+/// external RNG dependencies.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Seeded Fisher–Yates permutation of `0..n`.
+fn seeded_permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut state = seed;
+    for i in (1..n).rev() {
+        let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+/// Chunk size for [`WorkerPool::run_vertices`]: fixed multiple of the
+/// thread count so the task set is a pure function of `(n, threads)` —
+/// independent of the strategy, which keeps sequential and parallel
+/// replays working over identical task sets.
+fn uniform_chunks(n: usize, threads: usize) -> Vec<Range<u32>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let per = n.div_ceil(threads * 4).max(1);
+    (0..n)
+        .step_by(per)
+        .map(|s| s as u32..((s + per).min(n)) as u32)
+        .collect()
+}
 
 /// Algorithm 5's master-thread loop: walks vertices `0..n`, accumulates
 /// `weight(v)` and cuts a task range whenever the accumulated sum exceeds
@@ -75,28 +175,37 @@ pub fn chunk_by_weight(
     tasks
 }
 
-/// A fixed-size work-stealing pool (rayon) with the submission helpers
-/// the multi-phase algorithms need. One pool is built per algorithm run
-/// so the thread count is an explicit experiment parameter (Figure 6
-/// sweeps it from 1 to 256).
+/// A task-execution engine with an explicit thread count and
+/// [`ExecutionStrategy`]. One pool is built per algorithm run so the
+/// thread count is an explicit experiment parameter (Figure 6 sweeps it
+/// from 1 to 256).
+///
+/// Worker threads are spawned per submission (scoped), not kept resident:
+/// the pool is a policy object, cheap to construct, and a task panic
+/// propagates to the submitting thread exactly like a sequential panic
+/// would.
 pub struct WorkerPool {
-    pool: rayon::ThreadPool,
     threads: usize,
+    strategy: ExecutionStrategy,
 }
 
 impl WorkerPool {
-    /// Builds a pool with exactly `threads` worker threads.
+    /// Builds a pool with exactly `threads` worker threads and the
+    /// production [`ExecutionStrategy::Parallel`] strategy.
     ///
     /// # Panics
-    /// Panics if `threads == 0` or the pool cannot be spawned.
+    /// Panics if `threads == 0`.
     pub fn new(threads: usize) -> Self {
+        Self::with_strategy(threads, ExecutionStrategy::Parallel)
+    }
+
+    /// Builds a pool with an explicit execution strategy.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn with_strategy(threads: usize, strategy: ExecutionStrategy) -> Self {
         assert!(threads > 0, "need at least one thread");
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .thread_name(|i| format!("ppscan-worker-{i}"))
-            .build()
-            .expect("failed to build worker pool");
-        Self { pool, threads }
+        Self { threads, strategy }
     }
 
     /// Number of worker threads.
@@ -104,23 +213,19 @@ impl WorkerPool {
         self.threads
     }
 
-    /// Runs `body` once per task range, in parallel with dynamic
-    /// (work-stealing) scheduling — the `SubmitTaskToPool` +
-    /// `JoinThreadPool` pair of Algorithm 5. Returns only after all tasks
-    /// complete (the paper's phase barrier).
+    /// The pool's execution strategy.
+    pub fn strategy(&self) -> ExecutionStrategy {
+        self.strategy
+    }
+
+    /// Runs `body` once per task range under the pool's strategy — the
+    /// `SubmitTaskToPool` + `JoinThreadPool` pair of Algorithm 5. Returns
+    /// only after all tasks complete (the paper's phase barrier).
     pub fn run_chunks<F>(&self, tasks: &[Range<u32>], body: F)
     where
         F: Fn(Range<u32>) + Sync,
     {
-        self.pool.install(|| {
-            rayon::scope(|s| {
-                for t in tasks {
-                    let body = &body;
-                    let t = t.clone();
-                    s.spawn(move |_| body(t));
-                }
-            });
-        });
+        self.execute(tasks.len(), |i| body(tasks[i].clone()));
     }
 
     /// Convenience: chunks `0..n` by `weight` with `threshold`, then runs
@@ -134,27 +239,144 @@ impl WorkerPool {
         self.run_chunks(&tasks, body);
     }
 
-    /// Parallel for-each over `0..n` with rayon's default index chunking
-    /// (used by uniform-cost phases where degree weighting buys nothing).
+    /// Parallel for-each over `0..n` with uniform index chunking (used by
+    /// uniform-cost phases where degree weighting buys nothing). The
+    /// chunking is a pure function of `(n, threads)` so replays under
+    /// different strategies cover identical task sets.
     pub fn run_vertices<F>(&self, n: usize, body: F)
     where
         F: Fn(u32) + Sync,
     {
-        use rayon::prelude::*;
-        self.pool
-            .install(|| (0..n as u32).into_par_iter().for_each(|v| body(v)));
+        let tasks = uniform_chunks(n, self.threads);
+        self.run_chunks(&tasks, |range| {
+            for v in range {
+                body(v);
+            }
+        });
     }
 
-    /// Runs an arbitrary closure inside the pool (for parallel iterators
-    /// in caller code that should obey this pool's thread count).
-    pub fn install<R: Send>(&self, op: impl FnOnce() -> R + Send) -> R {
-        self.pool.install(op)
+    /// Runs `body` once per item of `items`, mutably and under the pool's
+    /// strategy (items are distributed to workers through the same shared
+    /// queue as [`run_chunks`](Self::run_chunks) tasks). Used for
+    /// per-slice work like the GS*-Index's parallel neighbor-order sorts.
+    pub fn run_mut<T, F>(&self, items: &mut [T], body: F)
+    where
+        T: Send,
+        F: Fn(&mut T) + Sync,
+    {
+        // Temporarily move the items behind shared references so the
+        // queue-claiming workers can each take disjoint elements. A
+        // Mutex-free hand-out is possible with unsafe slice indexing; the
+        // per-worker contiguous split below keeps the code safe and is
+        // load-balanced enough for the sort workloads it serves.
+        match self.strategy {
+            ExecutionStrategy::SequentialDeterministic => {
+                for item in items.iter_mut() {
+                    body(item);
+                }
+            }
+            _ => {
+                let workers = self.threads.min(items.len()).max(1);
+                let per = items.len().div_ceil(workers);
+                std::thread::scope(|s| {
+                    for chunk in items.chunks_mut(per) {
+                        let body = &body;
+                        s.spawn(move || {
+                            for item in chunk {
+                                body(item);
+                            }
+                        });
+                    }
+                });
+            }
+        }
+    }
+
+    /// Dispatches `num_tasks` logical tasks (`run_task(i)` for each `i in
+    /// 0..num_tasks`) under the strategy.
+    fn execute<F>(&self, num_tasks: usize, run_task: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if num_tasks == 0 {
+            return;
+        }
+        match self.strategy {
+            ExecutionStrategy::SequentialDeterministic => {
+                for i in 0..num_tasks {
+                    run_task(i);
+                }
+            }
+            ExecutionStrategy::Parallel => {
+                self.dispatch(num_tasks, &run_task, None);
+            }
+            ExecutionStrategy::AdversarialSeeded { seed } => {
+                let order = seeded_permutation(num_tasks, seed);
+                self.dispatch(num_tasks, &run_task, Some((order, seed)));
+            }
+        }
+    }
+
+    /// Shared-queue dispatch: workers claim the next task index with an
+    /// atomic counter (dynamic scheduling — a fast task-stealing
+    /// approximation with contiguous claim order). `adversarial` supplies
+    /// the permuted claim order and the yield-injection seed.
+    fn dispatch<F>(&self, num_tasks: usize, run_task: &F, adversarial: Option<(Vec<usize>, u64)>)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let workers = self.threads.min(num_tasks);
+        let (order, seed) = match &adversarial {
+            Some((order, seed)) => (Some(order.as_slice()), *seed),
+            None => (None, 0),
+        };
+        let run_one = |queue_pos: usize| {
+            let task = order.map_or(queue_pos, |o| o[queue_pos]);
+            if adversarial.is_some() {
+                // Seeded pre/post-task yield injection: perturb where
+                // this worker sits relative to the others without
+                // changing what it computes.
+                let mut state = seed ^ (task as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                for _ in 0..splitmix64(&mut state) % 4 {
+                    std::thread::yield_now();
+                }
+                run_task(task);
+                for _ in 0..splitmix64(&mut state) % 2 {
+                    std::thread::yield_now();
+                }
+            } else {
+                run_task(task);
+            }
+        };
+        if workers <= 1 {
+            for queue_pos in 0..num_tasks {
+                run_one(queue_pos);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let next = &next;
+                let run_one = &run_one;
+                std::thread::Builder::new()
+                    .name(format!("ppscan-worker-{w}"))
+                    .spawn_scoped(s, move || loop {
+                        let queue_pos = next.fetch_add(1, Ordering::Relaxed);
+                        if queue_pos >= num_tasks {
+                            break;
+                        }
+                        run_one(queue_pos);
+                    })
+                    .expect("failed to spawn worker thread");
+            }
+        });
     }
 }
 
 impl std::fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "WorkerPool({} threads)", self.threads)
+        write!(f, "WorkerPool({} threads, {})", self.threads, self.strategy)
     }
 }
 
@@ -162,6 +384,14 @@ impl std::fmt::Debug for WorkerPool {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    const ALL_STRATEGIES: [ExecutionStrategy; 4] = [
+        ExecutionStrategy::Parallel,
+        ExecutionStrategy::SequentialDeterministic,
+        ExecutionStrategy::AdversarialSeeded { seed: 1 },
+        ExecutionStrategy::AdversarialSeeded { seed: 0xdead_beef },
+    ];
 
     #[test]
     fn chunks_cover_exactly() {
@@ -198,7 +428,13 @@ mod tests {
         // Mirrors Algorithm 5: weight 0 for vertices with known roles.
         let known = [true, true, true, false, false, true, false];
         let deg = [9u64, 9, 9, 4, 4, 9, 4];
-        let tasks = chunk_by_weight(7, 7, |v| if known[v as usize] { 0 } else { deg[v as usize] });
+        let tasks = chunk_by_weight(7, 7, |v| {
+            if known[v as usize] {
+                0
+            } else {
+                deg[v as usize]
+            }
+        });
         // Accumulation: v3 (4), v4 (8 > 7 → cut at 0..5), v6 (4, tail).
         assert_eq!(tasks, vec![0..5, 5..7]);
     }
@@ -210,37 +446,106 @@ mod tests {
     }
 
     #[test]
-    fn pool_runs_every_chunk_once() {
-        let pool = WorkerPool::new(4);
-        let tasks = chunk_by_weight(1000, 16, |_| 1);
-        let visits = AtomicUsize::new(0);
-        let sum = AtomicU64::new(0);
-        pool.run_chunks(&tasks, |r| {
-            visits.fetch_add(1, Ordering::Relaxed);
-            sum.fetch_add(r.len() as u64, Ordering::Relaxed);
-        });
-        assert_eq!(visits.load(Ordering::Relaxed), tasks.len());
-        assert_eq!(sum.load(Ordering::Relaxed), 1000);
+    fn pool_runs_every_chunk_once_under_every_strategy() {
+        for strategy in ALL_STRATEGIES {
+            let pool = WorkerPool::with_strategy(4, strategy);
+            let tasks = chunk_by_weight(1000, 16, |_| 1);
+            let visits = AtomicUsize::new(0);
+            let sum = AtomicU64::new(0);
+            pool.run_chunks(&tasks, |r| {
+                visits.fetch_add(1, Ordering::Relaxed);
+                sum.fetch_add(r.len() as u64, Ordering::Relaxed);
+            });
+            assert_eq!(visits.load(Ordering::Relaxed), tasks.len(), "{strategy}");
+            assert_eq!(sum.load(Ordering::Relaxed), 1000, "{strategy}");
+        }
     }
 
     #[test]
-    fn run_vertices_visits_all() {
-        let pool = WorkerPool::new(3);
-        let sum = AtomicU64::new(0);
-        pool.run_vertices(257, |v| {
-            sum.fetch_add(v as u64, Ordering::Relaxed);
-        });
-        assert_eq!(sum.load(Ordering::Relaxed), 256 * 257 / 2);
+    fn run_vertices_visits_all_under_every_strategy() {
+        for strategy in ALL_STRATEGIES {
+            let pool = WorkerPool::with_strategy(3, strategy);
+            let sum = AtomicU64::new(0);
+            pool.run_vertices(257, |v| {
+                sum.fetch_add(v as u64, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 256 * 257 / 2, "{strategy}");
+        }
     }
 
     #[test]
     fn run_weighted_end_to_end() {
         let pool = WorkerPool::new(2);
         let count = AtomicUsize::new(0);
-        pool.run_weighted(100, 8, |_| 3, |r| {
-            count.fetch_add(r.len(), Ordering::Relaxed);
-        });
+        pool.run_weighted(
+            100,
+            8,
+            |_| 3,
+            |r| {
+                count.fetch_add(r.len(), Ordering::Relaxed);
+            },
+        );
         assert_eq!(count.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn run_mut_visits_every_item() {
+        for strategy in ALL_STRATEGIES {
+            let pool = WorkerPool::with_strategy(3, strategy);
+            let mut items: Vec<u64> = (0..100).collect();
+            pool.run_mut(&mut items, |x| *x += 1);
+            assert!(
+                items.iter().enumerate().all(|(i, &x)| x == i as u64 + 1),
+                "{strategy}"
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_strategy_preserves_submission_order() {
+        let pool = WorkerPool::with_strategy(4, ExecutionStrategy::SequentialDeterministic);
+        let log = Mutex::new(Vec::new());
+        let tasks: Vec<Range<u32>> = (0..20).map(|i| i..i + 1).collect();
+        pool.run_chunks(&tasks, |r| log.lock().unwrap().push(r.start));
+        assert_eq!(*log.lock().unwrap(), (0..20).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn adversarial_permutation_is_seed_deterministic() {
+        let order_of = |seed: u64| {
+            // Single worker thread: claim order IS execution order.
+            let pool = WorkerPool::with_strategy(1, ExecutionStrategy::AdversarialSeeded { seed });
+            let log = Mutex::new(Vec::new());
+            let tasks: Vec<Range<u32>> = (0..50).map(|i| i..i + 1).collect();
+            pool.run_chunks(&tasks, |r| log.lock().unwrap().push(r.start));
+            log.into_inner().unwrap()
+        };
+        assert_eq!(
+            order_of(42),
+            order_of(42),
+            "same seed must replay identically"
+        );
+        assert_ne!(
+            order_of(42),
+            order_of(43),
+            "different seeds should permute differently"
+        );
+        let mut sorted = order_of(42);
+        sorted.sort_unstable();
+        assert_eq!(
+            sorted,
+            (0..50).collect::<Vec<u32>>(),
+            "permutation must cover all tasks"
+        );
+    }
+
+    #[test]
+    fn seeded_permutation_is_a_permutation() {
+        for seed in [0u64, 1, 99] {
+            let mut p = seeded_permutation(257, seed);
+            p.sort_unstable();
+            assert_eq!(p, (0..257).collect::<Vec<usize>>());
+        }
     }
 
     #[test]
@@ -257,5 +562,18 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn task_panic_propagates_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            let pool = WorkerPool::new(2);
+            pool.run_chunks(&[0..1, 1..2, 2..3, 3..4], |r| {
+                if r.start == 2 {
+                    panic!("task failure");
+                }
+            });
+        });
+        assert!(result.is_err(), "worker panic must reach the submitter");
     }
 }

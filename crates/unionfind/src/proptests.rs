@@ -1,34 +1,64 @@
-//! Property tests: both union-find variants must produce identical
-//! partitions for identical union sequences, sequentially and under
-//! thread interleavings.
+//! Randomized property tests: both union-find variants must produce
+//! identical partitions for identical union sequences, sequentially and
+//! under thread interleavings.
+//!
+//! Formerly `proptest`-based; now driven by a seeded SplitMix64 loop so
+//! the crate builds with no external dependencies (the crate is a leaf,
+//! so the mixer is duplicated here; see `ppscan-graph/src/rng.rs`).
 
 use crate::{ConcurrentUnionFind, UnionFind};
-use proptest::prelude::*;
 
-fn pairs(n: u32, max_ops: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
-    prop::collection::vec((0..n, 0..n), 0..max_ops)
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn pairs(rng: &mut Rng, n: u32, max_ops: usize) -> Vec<(u32, u32)> {
+    let len = rng.index(max_ops + 1);
+    (0..len)
+        .map(|_| (rng.index(n as usize) as u32, rng.index(n as usize) as u32))
+        .collect()
+}
 
-    #[test]
-    fn concurrent_matches_sequential_single_thread(ops in pairs(64, 200)) {
+#[test]
+fn concurrent_matches_sequential_single_thread() {
+    for seed in 0..64u64 {
+        let mut rng = Rng(0x0f1d_0000 ^ seed);
+        let ops = pairs(&mut rng, 64, 200);
         let mut seq = UnionFind::new(64);
         let conc = ConcurrentUnionFind::new(64);
         for &(u, v) in &ops {
             let a = seq.union(u, v);
             let b = conc.union(u, v);
-            prop_assert_eq!(a, b, "union({}, {}) disagreed", u, v);
-            prop_assert_eq!(seq.is_same_set(u, v), true);
-            prop_assert_eq!(conc.is_same_set(u, v), true);
+            assert_eq!(a, b, "union({u}, {v}) disagreed at seed {seed}");
+            assert!(seq.is_same_set(u, v));
+            assert!(conc.is_same_set(u, v));
         }
-        prop_assert_eq!(seq.canonical_labels(), conc.canonical_labels());
-        prop_assert_eq!(seq.num_sets(), conc.num_sets());
+        assert_eq!(
+            seq.canonical_labels(),
+            conc.canonical_labels(),
+            "seed {seed}"
+        );
+        assert_eq!(seq.num_sets(), conc.num_sets(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn concurrent_matches_sequential_two_threads(ops in pairs(48, 300)) {
+#[test]
+fn concurrent_matches_sequential_two_threads() {
+    for seed in 0..64u64 {
+        let mut rng = Rng(0x2f2d_0000 ^ seed);
+        let ops = pairs(&mut rng, 48, 300);
         let conc = ConcurrentUnionFind::new(48);
         let mid = ops.len() / 2;
         std::thread::scope(|s| {
@@ -47,21 +77,33 @@ proptest! {
         for &(u, v) in &ops {
             seq.union(u, v);
         }
-        prop_assert_eq!(conc.canonical_labels(), seq.canonical_labels());
+        assert_eq!(
+            conc.canonical_labels(),
+            seq.canonical_labels(),
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn same_set_is_an_equivalence(ops in pairs(32, 100), probe in (0u32..32, 0u32..32, 0u32..32)) {
+#[test]
+fn same_set_is_an_equivalence() {
+    for seed in 0..64u64 {
+        let mut rng = Rng(0x3e3e_0000 ^ seed);
+        let ops = pairs(&mut rng, 32, 100);
         let conc = ConcurrentUnionFind::new(32);
         for &(u, v) in &ops {
             conc.union(u, v);
         }
-        let (a, b, c) = probe;
+        let (a, b, c) = (
+            rng.index(32) as u32,
+            rng.index(32) as u32,
+            rng.index(32) as u32,
+        );
         // Reflexive, symmetric, transitive.
-        prop_assert!(conc.is_same_set(a, a));
-        prop_assert_eq!(conc.is_same_set(a, b), conc.is_same_set(b, a));
+        assert!(conc.is_same_set(a, a));
+        assert_eq!(conc.is_same_set(a, b), conc.is_same_set(b, a));
         if conc.is_same_set(a, b) && conc.is_same_set(b, c) {
-            prop_assert!(conc.is_same_set(a, c));
+            assert!(conc.is_same_set(a, c), "seed {seed}");
         }
     }
 }

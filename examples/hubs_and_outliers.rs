@@ -73,7 +73,11 @@ fn main() {
     println!("hubs found     : {found_hubs:?}");
     println!("outliers found : {found_outliers:?}");
 
-    assert_eq!(out.clustering.num_clusters(), cliques, "one cluster per clique");
+    assert_eq!(
+        out.clustering.num_clusters(),
+        cliques,
+        "one cluster per clique"
+    );
     assert_eq!(found_hubs, planted_hubs, "bridges must classify as hubs");
     assert_eq!(
         found_outliers, planted_outliers,

@@ -28,10 +28,7 @@ fn main() {
     );
 
     let config = PpScanConfig::default();
-    println!(
-        "kernel = {}, threads = {}",
-        config.kernel, config.threads
-    );
+    println!("kernel = {}, threads = {}", config.kernel, config.threads);
     println!(
         "\n{:>5} {:>4} {:>9} {:>9} {:>9} {:>11}",
         "eps", "mu", "cores", "clusters", "hubs", "time"

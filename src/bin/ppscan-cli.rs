@@ -81,13 +81,19 @@ fn cmd_stats(args: &[String]) -> i32 {
     println!("{}", s.table_row(path));
     println!("median degree : {}", s.median_degree);
     println!("degree skew   : {:.1}", s.skew);
-    println!("SCAN workload : {} (2 Σ d²)", ppscan_graph::stats::scan_workload(&g));
-    println!("heap          : {:.1} MiB", g.heap_bytes() as f64 / (1 << 20) as f64);
+    println!(
+        "SCAN workload : {} (2 Σ d²)",
+        ppscan_graph::stats::scan_workload(&g)
+    );
+    println!(
+        "heap          : {:.1} MiB",
+        g.heap_bytes() as f64 / (1 << 20) as f64
+    );
     0
 }
 
 fn cmd_cluster(args: &[String]) -> i32 {
-    if args.first().map_or(true, |a| a == "--help") {
+    if args.first().is_none_or(|a| a == "--help") {
         eprintln!(
             "usage: ppscan-cli cluster <graph> --eps E --mu M \
              [--threads N] [--kernel merge|pivot-avx512|block-avx512|...] \
@@ -132,7 +138,10 @@ fn cmd_cluster(args: &[String]) -> i32 {
 
     if args.iter().any(|a| a == "--classify") {
         let classes = out.clustering.classify_unclustered(&g);
-        let hubs = classes.iter().filter(|c| matches!(c, UnclusteredClass::Hub)).count();
+        let hubs = classes
+            .iter()
+            .filter(|c| matches!(c, UnclusteredClass::Hub))
+            .count();
         let outliers = classes
             .iter()
             .filter(|c| matches!(c, UnclusteredClass::Outlier))
@@ -185,11 +194,15 @@ fn cmd_generate(args: &[String]) -> i32 {
             gen::erdos_renyi(n, m, seed)
         }
         "sbm" => {
-            let blocks: usize = parse_or_exit(flag_value(args, "--blocks").unwrap_or("8"), "--blocks");
-            let k: usize =
-                parse_or_exit(flag_value(args, "--block-size").unwrap_or("64"), "--block-size");
+            let blocks: usize =
+                parse_or_exit(flag_value(args, "--blocks").unwrap_or("8"), "--blocks");
+            let k: usize = parse_or_exit(
+                flag_value(args, "--block-size").unwrap_or("64"),
+                "--block-size",
+            );
             let p_in: f64 = parse_or_exit(flag_value(args, "--p-in").unwrap_or("0.3"), "--p-in");
-            let p_out: f64 = parse_or_exit(flag_value(args, "--p-out").unwrap_or("0.005"), "--p-out");
+            let p_out: f64 =
+                parse_or_exit(flag_value(args, "--p-out").unwrap_or("0.005"), "--p-out");
             gen::planted_partition(blocks, k, p_in, p_out, seed)
         }
         other => {
@@ -200,8 +213,7 @@ fn cmd_generate(args: &[String]) -> i32 {
     let result = if out.ends_with(".bin") {
         io::write_binary_file(&g, out)
     } else {
-        std::fs::File::create(out)
-            .and_then(|f| io::write_edge_list(&g, std::io::BufWriter::new(f)))
+        std::fs::File::create(out).and_then(|f| io::write_edge_list(&g, std::io::BufWriter::new(f)))
     };
     if let Err(e) = result {
         eprintln!("failed to write {out}: {e}");

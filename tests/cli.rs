@@ -39,10 +39,17 @@ fn generate_stats_cluster_roundtrip() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // stats
-    let out = cli().args(["stats", graph_txt.to_str().unwrap()]).output().unwrap();
+    let out = cli()
+        .args(["stats", graph_txt.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("SCAN workload"), "{stdout}");
@@ -77,9 +84,16 @@ fn generate_stats_cluster_roundtrip() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("3 clusters"), "expected 3 clusters, got: {stdout}");
+    assert!(
+        stdout.contains("3 clusters"),
+        "expected 3 clusters, got: {stdout}"
+    );
 
     // membership file exists and is non-trivial
     let body = std::fs::read_to_string(&clusters).unwrap();
@@ -106,7 +120,10 @@ fn rejects_unknown_command_and_kernel() {
 
 #[test]
 fn missing_file_fails_cleanly() {
-    let out = cli().args(["stats", "/nonexistent/graph.txt"]).output().unwrap();
+    let out = cli()
+        .args(["stats", "/nonexistent/graph.txt"])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("failed to load"));
 }

@@ -90,13 +90,13 @@ fn all_baselines_stress_identical_on_dense_overlapping_clusters() {
     let g = b.build();
     let p = ScanParams::new(0.6, 3);
     let reference = verify::reference_clustering(&g, p);
-    assert_eq!(
-        ppscan_core::pscan::pscan(&g, p).clustering,
-        reference
-    );
+    assert_eq!(ppscan_core::pscan::pscan(&g, p).clustering, reference);
     assert_eq!(ppscan_core::scanpp::scanpp(&g, p), reference);
     assert_eq!(ppscan_core::scanxp::scanxp(&g, p, 4), reference);
     assert_eq!(ppscan_core::anyscan::anyscan(&g, p, 4), reference);
     let cfg = PpScanConfig::with_threads(4).degree_threshold(2);
-    assert_eq!(ppscan_core::ppscan::ppscan(&g, p, &cfg).clustering, reference);
+    assert_eq!(
+        ppscan_core::ppscan::ppscan(&g, p, &cfg).clustering,
+        reference
+    );
 }
