@@ -11,10 +11,10 @@
 
 use ppscan_bench::{best_of, secs, HarnessArgs, Table};
 use ppscan_core::pscan::pscan_with_order;
-use ppscan_intersect::counters::CounterScope;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut report = ppscan_bench::figure_report("ablation_edorder", &args);
     let mut table = Table::new(&[
         "dataset",
         "eps",
@@ -27,14 +27,17 @@ fn main() {
     for (d, g) in ppscan_bench::load_datasets(&args) {
         for &eps in &args.eps_list {
             let p = args.params(eps);
-            let scope = CounterScope::new();
-            let (d_ord, (t_ord, _)) = scope.measure(|| best_of(|| pscan_with_order(&g, p, true)));
-            let scope = CounterScope::new();
-            let (d_plain, (t_plain, _)) =
-                scope.measure(|| best_of(|| pscan_with_order(&g, p, false)));
-            // best_of runs RUNS times; normalize the counters per run.
-            let inv_ord = d_ord.compsim_invocations / ppscan_bench::RUNS as u64;
-            let inv_plain = d_plain.compsim_invocations / ppscan_bench::RUNS as u64;
+            // Each driver run carries its own per-run counters in its
+            // report — no shared scope, no divide-by-RUNS normalization.
+            let (t_ord, out_ord) = best_of(|| pscan_with_order(&g, p, true));
+            let (t_plain, out_plain) = best_of(|| pscan_with_order(&g, p, false));
+            let inv_ord = out_ord.report.counters.compsim_invocations;
+            let inv_plain = out_plain.report.counters.compsim_invocations;
+            for (mut r, variant) in [(out_ord.report, "ordered"), (out_plain.report, "plain")] {
+                r.dataset = Some(d.name().into());
+                r.push_extra("ed_order", ppscan_obs::json::Json::Str(variant.to_string()));
+                report.runs.push(r);
+            }
             table.row(vec![
                 d.name().into(),
                 format!("{eps:.1}"),
@@ -55,4 +58,5 @@ fn main() {
         args.mu
     );
     table.print(args.csv);
+    ppscan_bench::emit_report(&args, report, &table);
 }

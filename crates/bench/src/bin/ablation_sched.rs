@@ -22,6 +22,7 @@ fn main() {
     let eps = args.eps_list[0];
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
 
+    let mut report = ppscan_bench::figure_report("ablation_sched", &args);
     let mut table = Table::new(&["dataset", "threshold", "time (s)", "vs 32768"]);
     for (d, g) in ppscan_bench::load_datasets(&args) {
         let p = args.params(eps);
@@ -29,7 +30,10 @@ fn main() {
         let mut rows = Vec::new();
         for &threshold in &THRESHOLDS {
             let cfg = PpScanConfig::with_threads(threads).degree_threshold(threshold);
-            let (t, _) = best_of(|| ppscan(&g, p, &cfg));
+            let (t, out) = best_of(|| ppscan(&g, p, &cfg));
+            let mut r = out.report;
+            r.dataset = Some(d.name().into());
+            report.runs.push(r);
             if threshold == 32_768 {
                 tuned = Some(t);
             }
@@ -59,4 +63,5 @@ fn main() {
         args.mu
     );
     table.print(args.csv);
+    ppscan_bench::emit_report(&args, report, &table);
 }

@@ -10,10 +10,11 @@
 
 use ppscan_bench::{secs, HarnessArgs, Table};
 use ppscan_core::ppscan::{ppscan_ablation, PpScanConfig};
-use ppscan_intersect::counters::CounterScope;
+use ppscan_obs::json::Json;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut report = ppscan_bench::figure_report("ablation_twophase", &args);
     let cfg =
         PpScanConfig::with_threads(std::thread::available_parallelism().map_or(4, |n| n.get()));
     let mut table = Table::new(&[
@@ -28,17 +29,23 @@ fn main() {
     for (d, g) in ppscan_bench::load_datasets(&args) {
         for &eps in &args.eps_list {
             let p = args.params(eps);
-            let run = |skip: bool| {
-                let scope = CounterScope::new();
-                let (delta, best) = scope.measure(|| {
-                    let mut best = std::time::Duration::MAX;
-                    for _ in 0..ppscan_bench::RUNS {
-                        let o = ppscan_ablation(&g, p, &cfg, skip);
-                        best = best.min(o.timings.core_cluster);
+            // Per-run counters come from each run's own report; pick the
+            // best run by core-clustering stage time.
+            let mut run = |skip: bool| {
+                let mut best = std::time::Duration::MAX;
+                let mut best_report = None;
+                for _ in 0..ppscan_bench::RUNS {
+                    let o = ppscan_ablation(&g, p, &cfg, skip);
+                    if o.timings.core_cluster < best {
+                        best = o.timings.core_cluster;
+                        best_report = Some(o.report);
                     }
-                    best
-                });
-                let inv = delta.compsim_invocations / ppscan_bench::RUNS as u64;
+                }
+                let mut r = best_report.unwrap();
+                let inv = r.counters.compsim_invocations;
+                r.dataset = Some(d.name().into());
+                r.push_extra("skip_phase_one", Json::Bool(skip));
+                report.runs.push(r);
                 (inv, best)
             };
             let (inv2, t2) = run(false);
@@ -61,4 +68,5 @@ fn main() {
         args.mu
     );
     table.print(args.csv);
+    ppscan_bench::emit_report(&args, report, &table);
 }

@@ -12,8 +12,16 @@
 //! ```
 
 use ppscan_bench::{secs, HarnessArgs, Table};
+use ppscan_core::report::{PHASE_OTHER, PHASE_SIMILARITY_EVALUATION, PHASE_WORKLOAD_REDUCTION};
 use ppscan_core::{pscan, scan};
 use ppscan_graph::datasets::Dataset;
+use ppscan_obs::RunReport;
+use std::time::Duration;
+
+/// Wall time of one breakdown phase, from the run's report.
+fn phase_secs(r: &RunReport, name: &str) -> Duration {
+    Duration::from_nanos(r.phase(name).map_or(0, |p| p.wall_nanos))
+}
 
 fn main() {
     let mut args = HarnessArgs::parse();
@@ -34,21 +42,29 @@ fn main() {
         "other",
         "total",
     ]);
+    let mut report = ppscan_bench::figure_report("fig1_breakdown", &args);
     for (d, g) in ppscan_bench::load_datasets(&args) {
         for &eps in &args.eps_list {
             let p = args.params(eps);
             let scan_out = scan::scan(&g, p);
             let pscan_out = pscan::pscan(&g, p);
-            for (algo, b) in [("SCAN", scan_out.breakdown), ("pSCAN", pscan_out.breakdown)] {
+            // Cells come from the unified run reports, not the stopwatch
+            // structs — what lands in `--report` is what is printed.
+            for (algo, mut r) in [("SCAN", scan_out.report), ("pSCAN", pscan_out.report)] {
+                r.dataset = Some(d.name().into());
+                let sim = phase_secs(&r, PHASE_SIMILARITY_EVALUATION);
+                let workload = phase_secs(&r, PHASE_WORKLOAD_REDUCTION);
+                let other = phase_secs(&r, PHASE_OTHER);
                 table.row(vec![
                     d.name().into(),
                     algo.into(),
                     format!("{eps:.1}"),
-                    secs(b.similarity_evaluation),
-                    secs(b.workload_reduction),
-                    secs(b.other),
-                    secs(b.total()),
+                    secs(sim),
+                    secs(workload),
+                    secs(other),
+                    secs(sim + workload + other),
                 ]);
+                report.runs.push(r);
             }
         }
     }
@@ -57,4 +73,5 @@ fn main() {
         args.mu
     );
     table.print(args.csv);
+    ppscan_bench::emit_report(&args, report, &table);
 }

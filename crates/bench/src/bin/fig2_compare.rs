@@ -9,5 +9,11 @@ use ppscan_intersect::Kernel;
 
 fn main() {
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
-    ppscan_bench::compare::run("Figure 2", "CPU/AVX2", Kernel::PivotAvx2, threads);
+    ppscan_bench::compare::run(
+        "fig2_compare",
+        "Figure 2",
+        "CPU/AVX2",
+        Kernel::PivotAvx2,
+        threads,
+    );
 }

@@ -9,5 +9,11 @@ use ppscan_intersect::Kernel;
 
 fn main() {
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
-    ppscan_bench::compare::run("Figure 3", "KNL/AVX-512", Kernel::PivotAvx512, threads);
+    ppscan_bench::compare::run(
+        "fig3_compare",
+        "Figure 3",
+        "KNL/AVX-512",
+        Kernel::PivotAvx512,
+        threads,
+    );
 }

@@ -10,10 +10,10 @@
 use ppscan_bench::{HarnessArgs, Table};
 use ppscan_core::ppscan::{ppscan, PpScanConfig};
 use ppscan_core::pscan;
-use ppscan_intersect::counters::CounterScope;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut report = ppscan_bench::figure_report("fig4_invocations", &args);
     let cfg =
         PpScanConfig::with_threads(std::thread::available_parallelism().map_or(4, |n| n.get()));
     let mut table = Table::new(&[
@@ -28,12 +28,16 @@ fn main() {
         let edges = g.num_edges() as f64;
         for &eps in &args.eps_list {
             let p = args.params(eps);
-            let scope = CounterScope::new();
-            let (delta, _) = scope.measure(|| pscan::pscan(&g, p));
-            let pscan_inv = delta.compsim_invocations;
-            let scope = CounterScope::new();
-            let (delta, _) = scope.measure(|| ppscan(&g, p, &cfg));
-            let ppscan_inv = delta.compsim_invocations;
+            // Invocation counts come straight from each driver's run
+            // report — the counter scope lives inside the driver now.
+            let mut pscan_report = pscan::pscan(&g, p).report;
+            let pscan_inv = pscan_report.counters.compsim_invocations;
+            let mut ppscan_report = ppscan(&g, p, &cfg).report;
+            let ppscan_inv = ppscan_report.counters.compsim_invocations;
+            pscan_report.dataset = Some(d.name().into());
+            ppscan_report.dataset = Some(d.name().into());
+            report.runs.push(pscan_report);
+            report.runs.push(ppscan_report);
             table.row(vec![
                 d.name().into(),
                 format!("{eps:.1}"),
@@ -50,4 +54,5 @@ fn main() {
         args.mu
     );
     table.print(args.csv);
+    ppscan_bench::emit_report(&args, report, &table);
 }

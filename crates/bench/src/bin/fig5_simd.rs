@@ -17,18 +17,23 @@ use ppscan_intersect::Kernel;
 use std::time::Duration;
 
 /// Best-of-RUNS time of the core-checking stage (the stage that contains
-/// the vast majority of set intersections — §6.2.2).
+/// the vast majority of set intersections — §6.2.2), plus the best run's
+/// report.
 fn core_checking_time(
     g: &ppscan_graph::CsrGraph,
     p: ppscan_core::params::ScanParams,
     cfg: &PpScanConfig,
-) -> Duration {
+) -> (Duration, ppscan_obs::RunReport) {
     let mut best = Duration::MAX;
+    let mut best_report = None;
     for _ in 0..ppscan_bench::RUNS {
         let o = ppscan(g, p, cfg);
-        best = best.min(o.timings.check_core);
+        if o.timings.check_core < best {
+            best = o.timings.check_core;
+            best_report = Some(o.report);
+        }
     }
-    best
+    (best, best_report.unwrap())
 }
 
 fn main() {
@@ -59,18 +64,25 @@ fn main() {
     }
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut table = Table::new(&header_refs);
+    let mut report = ppscan_bench::figure_report("fig5_simd", &args);
 
     for (d, g) in ppscan_bench::load_datasets(&args) {
         for &eps in &args.eps_list {
             let p = args.params(eps);
-            let base = core_checking_time(&g, p, &baseline_cfg);
+            let (base, base_report) = core_checking_time(&g, p, &baseline_cfg);
+            let mut push_run = |mut r: ppscan_obs::RunReport| {
+                r.dataset = Some(d.name().into());
+                report.runs.push(r);
+            };
+            push_run(base_report);
             let mut row = vec![
                 d.name().to_string(),
                 format!("{eps:.1}"),
                 format!("{:.3}", base.as_secs_f64()),
             ];
             for cfg in &isa_cfgs {
-                let t = core_checking_time(&g, p, cfg);
+                let (t, kernel_report) = core_checking_time(&g, p, cfg);
+                push_run(kernel_report);
                 row.push(format!(
                     "{:.2}x",
                     base.as_secs_f64() / t.as_secs_f64().max(1e-9)
@@ -85,4 +97,5 @@ fn main() {
         args.mu
     );
     table.print(args.csv);
+    ppscan_bench::emit_report(&args, report, &table);
 }

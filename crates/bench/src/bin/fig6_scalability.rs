@@ -14,7 +14,8 @@
 
 use ppscan_bench::{secs, HarnessArgs, Table};
 use ppscan_core::ppscan::{ppscan, PpScanConfig};
-use ppscan_core::timing::StageTimings;
+use ppscan_core::report::stage_timings_from;
+use ppscan_obs::RunReport;
 use std::time::Duration;
 
 fn main() {
@@ -34,35 +35,42 @@ fn main() {
         "total",
         "self-speedup",
     ]);
+    let mut report = ppscan_bench::figure_report("fig6_scalability", &args);
     for (d, g) in ppscan_bench::load_datasets(&args) {
         let mut t1: Option<Duration> = None;
         for &threads in &args.threads {
             let cfg = PpScanConfig::with_threads(threads);
             let p = args.params(eps);
-            // Best-of-RUNS per stage (stages measured within one run).
+            // Best-of-RUNS per stage (stages measured within one run);
+            // the span-sourced run report is the source of truth, and the
+            // printed stage times are re-derived from it.
             let mut best_total = Duration::MAX;
-            let mut best: StageTimings = StageTimings::default();
+            let mut best: Option<RunReport> = None;
             for _ in 0..ppscan_bench::RUNS {
                 let o = ppscan(&g, p, &cfg);
                 if o.timings.total() < best_total {
                     best_total = o.timings.total();
-                    best = o.timings;
+                    best = Some(o.report);
                 }
             }
+            let mut best_report = best.unwrap();
+            best_report.dataset = Some(d.name().into());
+            let stages = stage_timings_from(&best_report);
             let base = *t1.get_or_insert(best_total);
             table.row(vec![
                 d.name().into(),
                 threads.to_string(),
-                secs(best.prune),
-                secs(best.check_core),
-                secs(best.core_cluster),
-                secs(best.noncore_cluster),
+                secs(stages.prune),
+                secs(stages.check_core),
+                secs(stages.core_cluster),
+                secs(stages.noncore_cluster),
                 secs(best_total),
                 format!(
                     "{:.2}x",
                     base.as_secs_f64() / best_total.as_secs_f64().max(1e-9)
                 ),
             ]);
+            report.runs.push(best_report);
         }
     }
     println!(
@@ -70,4 +78,5 @@ fn main() {
         args.mu
     );
     table.print(args.csv);
+    ppscan_bench::emit_report(&args, report, &table);
 }

@@ -28,12 +28,16 @@ fn main() {
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut table = Table::new(&header_refs);
 
+    let mut report = ppscan_bench::figure_report("fig7_robustness", &args);
     for (d, g) in ppscan_bench::load_datasets(&args) {
         for &eps in &args.eps_list {
             let mut row = vec![d.name().to_string(), format!("{eps:.1}")];
             for &mu in &MUS {
                 let p = ScanParams::new(eps, mu);
-                let (t, _) = best_of(|| ppscan(&g, p, &cfg));
+                let (t, out) = best_of(|| ppscan(&g, p, &cfg));
+                let mut r = out.report;
+                r.dataset = Some(d.name().into());
+                report.runs.push(r);
                 row.push(secs(t));
             }
             table.row(row);
@@ -41,4 +45,5 @@ fn main() {
     }
     println!("\nFigure 7: ppSCAN robustness across (eps, mu)");
     table.print(args.csv);
+    ppscan_bench::emit_report(&args, report, &table);
 }

@@ -32,6 +32,15 @@ fn main() {
     }
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
 
+    let mut report = ppscan_bench::figure_report("fig8_roll", &args);
+    let mut combined = Table::new(&[
+        "kernel",
+        "graph",
+        "eps",
+        "t(1 thread)",
+        "t(all)",
+        "self-speedup",
+    ]);
     for kernel in [Kernel::PivotAvx2, Kernel::PivotAvx512] {
         if !kernel.available() {
             eprintln!("skipping {kernel} (unavailable)");
@@ -44,13 +53,25 @@ fn main() {
             for &eps in &args.eps_list {
                 let p = args.params(eps);
                 let (t1, _) = best_of(|| ppscan(g, p, &cfg1));
-                let (tn, _) = best_of(|| ppscan(g, p, &cfg));
+                let (tn, out) = best_of(|| ppscan(g, p, &cfg));
+                let mut r = out.report;
+                r.dataset = Some(name.clone());
+                report.runs.push(r);
+                let speedup = format!("{:.2}x", t1.as_secs_f64() / tn.as_secs_f64().max(1e-9));
                 table.row(vec![
                     name.clone(),
                     format!("{eps:.1}"),
                     secs(t1),
                     secs(tn),
-                    format!("{:.2}x", t1.as_secs_f64() / tn.as_secs_f64().max(1e-9)),
+                    speedup.clone(),
+                ]);
+                combined.row(vec![
+                    kernel.to_string(),
+                    name.clone(),
+                    format!("{eps:.1}"),
+                    secs(t1),
+                    secs(tn),
+                    speedup,
                 ]);
             }
         }
@@ -60,4 +81,5 @@ fn main() {
         );
         table.print(args.csv);
     }
+    ppscan_bench::emit_report(&args, report, &combined);
 }

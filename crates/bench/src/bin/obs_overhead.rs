@@ -1,0 +1,62 @@
+//! Observability overhead — the cost of the `ppscan-obs` tracing layer
+//! on the ppSCAN hot path: identical runs with the span collector +
+//! kernel counter scope enabled (`observe = true`, the default) versus
+//! disabled, best-of-[`ppscan_bench::RUNS`] each.
+//!
+//! The span layer is designed to stay well under 5% on real workloads:
+//! spans are per *task* (hundreds of vertices), not per vertex, and
+//! counter recording is a pair of plain thread-local increments whose
+//! attribution to scopes is deferred to guard drop.
+//!
+//! ```sh
+//! cargo run --release -p ppscan-bench --bin obs_overhead -- [--scale 1.0]
+//! ```
+
+use ppscan_bench::{best_of, secs, HarnessArgs, Table};
+use ppscan_core::ppscan::{ppscan, PpScanConfig};
+use ppscan_obs::json::Json;
+
+fn main() {
+    let mut args = HarnessArgs::parse();
+    if args.eps_list == [0.2, 0.4, 0.6, 0.8] && !args.quick {
+        args.eps_list = vec![0.2, 0.6]; // small eps = busiest hot path
+    }
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let observed_cfg = PpScanConfig::with_threads(threads);
+    let unobserved_cfg = PpScanConfig::with_threads(threads).observe(false);
+
+    let mut report = ppscan_bench::figure_report("obs_overhead", &args);
+    let mut table = Table::new(&["dataset", "eps", "observed (s)", "off (s)", "overhead"]);
+    let mut worst: f64 = 0.0;
+    for (d, g) in ppscan_bench::load_datasets(&args) {
+        for &eps in &args.eps_list {
+            let p = args.params(eps);
+            let (t_on, out) = best_of(|| ppscan(&g, p, &observed_cfg));
+            let (t_off, _) = best_of(|| ppscan(&g, p, &unobserved_cfg));
+            let overhead = t_on.as_secs_f64() / t_off.as_secs_f64().max(1e-9) - 1.0;
+            worst = worst.max(overhead);
+            let mut r = out.report;
+            r.dataset = Some(d.name().into());
+            r.push_extra("overhead_ratio", Json::Num(overhead));
+            report.runs.push(r);
+            table.row(vec![
+                d.name().into(),
+                format!("{eps:.1}"),
+                secs(t_on),
+                secs(t_off),
+                format!("{:+.2}%", overhead * 100.0),
+            ]);
+        }
+    }
+    report
+        .context
+        .push(("worst_overhead_ratio".into(), Json::Num(worst)));
+    println!(
+        "\nObservability overhead: ppSCAN with tracing enabled vs disabled \
+         ({threads} threads, mu = {}); worst {:+.2}%",
+        args.mu,
+        worst * 100.0
+    );
+    table.print(args.csv);
+    ppscan_bench::emit_report(&args, report, &table);
+}

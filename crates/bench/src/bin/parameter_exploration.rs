@@ -32,6 +32,7 @@ fn main() {
         .flat_map(|e| [2usize, 5, 10, 15].map(|mu| (e as f64 / 10.0, mu)))
         .collect();
 
+    let mut report = ppscan_bench::figure_report("parameter_exploration", &args);
     for (d, g) in ppscan_bench::load_datasets(&args) {
         let t0 = Instant::now();
         let index = GsIndex::build(&g, threads);
@@ -45,6 +46,9 @@ fn main() {
             idx_total += tq;
             let (tr, pp_result) = best_of(|| ppscan(&g, p, &cfg));
             pp_total += tr;
+            let mut r = pp_result.report.clone();
+            r.dataset = Some(d.name().into());
+            report.runs.push(r);
             assert_eq!(
                 idx_result,
                 pp_result.clustering,
@@ -76,4 +80,5 @@ fn main() {
         36
     );
     table.print(args.csv);
+    ppscan_bench::emit_report(&args, report, &table);
 }

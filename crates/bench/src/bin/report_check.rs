@@ -1,0 +1,150 @@
+//! Validates machine-readable run reports: every input file must parse
+//! as a [`FigureReport`] (or bare [`RunReport`]) and survive a serialize
+//! → parse round trip unchanged. With `--baseline <path>`, additionally
+//! diffs the single input figure against the committed baseline — the
+//! rendered table is compared cell by cell, numeric cells within a
+//! relative tolerance (`--tol`, default 0.05), everything else exactly.
+//!
+//! ```sh
+//! cargo run --release -p ppscan-bench --bin report_check -- \
+//!     target/reports/*.json
+//! cargo run --release -p ppscan-bench --bin report_check -- \
+//!     target/reports/table1.json --baseline crates/bench/baselines/table1_quick.json
+//! ```
+//!
+//! Exits non-zero on the first invalid file or any baseline mismatch.
+
+use ppscan_obs::{FigureReport, RunReport};
+use std::path::PathBuf;
+
+enum Parsed {
+    Figure(Box<FigureReport>),
+    Run(Box<RunReport>),
+}
+
+/// Parses a report file as a figure report, falling back to a bare run
+/// report, and verifies the round trip in both cases.
+fn load(path: &PathBuf) -> Result<Parsed, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    match FigureReport::parse(&text) {
+        Ok(figure) => {
+            let again = FigureReport::parse(&figure.to_json_string())
+                .map_err(|e| format!("{}: round trip failed: {e}", path.display()))?;
+            if again != figure {
+                return Err(format!("{}: round trip not identical", path.display()));
+            }
+            Ok(Parsed::Figure(Box::new(figure)))
+        }
+        Err(figure_err) => {
+            let run = RunReport::parse(&text).map_err(|run_err| {
+                format!(
+                    "{}: not a figure report ({figure_err}) nor a run report ({run_err})",
+                    path.display()
+                )
+            })?;
+            let again = RunReport::parse(&run.to_json_string())
+                .map_err(|e| format!("{}: round trip failed: {e}", path.display()))?;
+            if again != run {
+                return Err(format!("{}: round trip not identical", path.display()));
+            }
+            Ok(Parsed::Run(Box::new(run)))
+        }
+    }
+}
+
+fn main() {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut baseline: Option<PathBuf> = None;
+    let mut tol = 0.05f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--baseline" => baseline = Some(PathBuf::from(value("--baseline"))),
+            "--tol" => {
+                tol = value("--tol").parse().unwrap_or_else(|_| {
+                    eprintln!("bad --tol");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: report_check <report.json>... [--baseline <path>] [--tol <rel>]");
+                std::process::exit(0);
+            }
+            _ => files.push(PathBuf::from(arg)),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("no report files given (see --help)");
+        std::process::exit(2);
+    }
+    if baseline.is_some() && files.len() != 1 {
+        eprintln!("--baseline compares exactly one report");
+        std::process::exit(2);
+    }
+
+    let mut checked = Vec::new();
+    for path in &files {
+        match load(path) {
+            Ok(Parsed::Figure(f)) => {
+                println!(
+                    "{}: ok (figure {}, {} runs, {} table rows)",
+                    path.display(),
+                    f.figure,
+                    f.runs.len(),
+                    f.table.as_ref().map_or(0, |t| t.rows.len())
+                );
+                checked.push(f);
+            }
+            Ok(Parsed::Run(r)) => {
+                println!(
+                    "{}: ok (run report, algorithm {}, {} phases)",
+                    path.display(),
+                    r.algorithm,
+                    r.phases.len()
+                );
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(base_path) = baseline {
+        let Some(got) = checked.pop() else {
+            eprintln!("--baseline requires a figure report input");
+            std::process::exit(2);
+        };
+        let base = match load(&base_path) {
+            Ok(Parsed::Figure(f)) => f,
+            Ok(Parsed::Run(_)) => {
+                eprintln!("{}: baseline must be a figure report", base_path.display());
+                std::process::exit(2);
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        };
+        let diffs = ppscan_bench::diff_figures(&base, &got, tol);
+        if diffs.is_empty() {
+            println!(
+                "baseline match: {} vs {} (tol {tol})",
+                base_path.display(),
+                files[0].display()
+            );
+        } else {
+            eprintln!("baseline mismatch vs {}:", base_path.display());
+            for d in &diffs {
+                eprintln!("  {d}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

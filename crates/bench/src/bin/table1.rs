@@ -7,9 +7,11 @@
 
 use ppscan_bench::{HarnessArgs, Table};
 use ppscan_graph::stats::GraphStats;
+use ppscan_obs::RunReport;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut report = ppscan_bench::figure_report("table1", &args);
     let mut table = Table::new(&[
         "Name",
         "|V|",
@@ -24,6 +26,11 @@ fn main() {
     for (d, g) in ppscan_bench::load_datasets(&args) {
         let s = GraphStats::of(&g);
         let (pv, pe, pd, pm) = d.paper_stats();
+        report.runs.push(
+            RunReport::new("stats")
+                .with_dataset(d.name())
+                .with_graph(s.num_vertices as u64, s.num_edges as u64),
+        );
         table.row(vec![
             d.name().into(),
             s.num_vertices.to_string(),
@@ -38,4 +45,5 @@ fn main() {
     }
     println!("\nTable 1: real-world graph statistics (stand-ins vs paper)");
     table.print(args.csv);
+    ppscan_bench::emit_report(&args, report, &table);
 }

@@ -9,13 +9,20 @@
 use ppscan_bench::{HarnessArgs, Table};
 use ppscan_graph::datasets::roll_suite;
 use ppscan_graph::stats::GraphStats;
+use ppscan_obs::RunReport;
 
 fn main() {
     let args = HarnessArgs::parse();
     let budget = (1_000_000.0 * args.scale) as usize;
+    let mut report = ppscan_bench::figure_report("table2", &args);
     let mut table = Table::new(&["Name", "|V|", "|E|", "d", "max d"]);
     for (name, g) in roll_suite(budget) {
         let s = GraphStats::of(&g);
+        report.runs.push(
+            RunReport::new("stats")
+                .with_dataset(name.clone())
+                .with_graph(s.num_vertices as u64, s.num_edges as u64),
+        );
         table.row(vec![
             name,
             s.num_vertices.to_string(),
@@ -26,4 +33,5 @@ fn main() {
     }
     println!("\nTable 2: synthetic ROLL graph statistics (edge budget {budget})");
     table.print(args.csv);
+    ppscan_bench::emit_report(&args, report, &table);
 }

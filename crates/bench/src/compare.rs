@@ -18,8 +18,9 @@ use std::time::Duration;
 const BUDGET: Duration = Duration::from_secs(120);
 
 /// Runs the full comparison with the given ppSCAN kernel and prints the
-/// figure table.
-pub fn run(figure: &str, platform: &str, kernel: Kernel, threads: usize) {
+/// figure table. `bin` is the binary name (report file identity),
+/// `figure` the display name.
+pub fn run(bin: &str, figure: &str, platform: &str, kernel: Kernel, threads: usize) {
     let mut args = HarnessArgs::parse();
     if !args.quick && args.scale == 1.0 {
         args.scale = 0.5;
@@ -37,6 +38,11 @@ pub fn run(figure: &str, platform: &str, kernel: Kernel, threads: usize) {
     };
     let cfg = PpScanConfig::with_threads(threads).kernel(kernel);
 
+    let mut report = crate::figure_report(bin, &args);
+    report.context.push((
+        "kernel".to_string(),
+        ppscan_obs::json::Json::Str(kernel.to_string()),
+    ));
     let mut table = Table::new(&[
         "dataset", "eps", "SCAN", "pSCAN", "anySCAN", "SCAN-XP", "ppSCAN",
     ]);
@@ -66,7 +72,10 @@ pub fn run(figure: &str, platform: &str, kernel: Kernel, threads: usize) {
             let xp_t = cell(3, &mut || {
                 scanxp::scanxp(&g, p, threads);
             });
-            let (pp_t, _) = best_of(|| ppscan(&g, p, &cfg));
+            let (pp_t, pp_out) = best_of(|| ppscan(&g, p, &cfg));
+            let mut pp_report = pp_out.report;
+            pp_report.dataset = Some(d.name().into());
+            report.runs.push(pp_report);
             table.row(vec![
                 d.name().into(),
                 format!("{eps:.1}"),
@@ -84,4 +93,5 @@ pub fn run(figure: &str, platform: &str, kernel: Kernel, threads: usize) {
         args.mu
     );
     table.print(args.csv);
+    crate::emit_report(&args, report, &table);
 }

@@ -15,6 +15,11 @@
 //! * `--mu <n>`, `--eps <a,b,c>` — parameter overrides.
 //! * `--threads <a,b,c>` — thread counts (scalability experiments).
 //! * `--quick` — reduced parameter grid for smoke testing.
+//! * `--report <path.json>` — write the figure's machine-readable
+//!   [`FigureReport`] (context, rendered table, per-run `RunReport`s)
+//!   alongside the printed output. `run_all --report-dir <dir>` fans
+//!   this out to one report per figure; `report_check` validates the
+//!   files and diffs them against committed baselines.
 //!
 //! The harness measures **in-memory processing time** exactly as the
 //! paper does: graph generation/loading is excluded; each measurement is
@@ -23,6 +28,10 @@
 
 use ppscan_core::params::ScanParams;
 use ppscan_graph::datasets::Dataset;
+use ppscan_obs::json::Json;
+use ppscan_obs::report::TableData;
+use ppscan_obs::FigureReport;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Measurement repetitions; the paper reports the best of three.
@@ -45,6 +54,8 @@ pub struct HarnessArgs {
     pub datasets: Vec<Dataset>,
     /// Reduced grid for smoke tests.
     pub quick: bool,
+    /// Write the figure's machine-readable [`FigureReport`] here.
+    pub report: Option<PathBuf>,
 }
 
 impl Default for HarnessArgs {
@@ -57,6 +68,7 @@ impl Default for HarnessArgs {
             threads: vec![1, 2, 4, 8],
             datasets: Dataset::TABLE1.to_vec(),
             quick: false,
+            report: None,
         }
     }
 }
@@ -101,10 +113,11 @@ impl HarnessArgs {
                         })
                         .collect();
                 }
+                "--report" => out.report = Some(PathBuf::from(value("--report"))),
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --scale <f> --csv --quick --mu <n> --eps <a,b,..> \
-                         --threads <a,b,..> --datasets <d1,d2,..>"
+                         --threads <a,b,..> --datasets <d1,d2,..> --report <path.json>"
                     );
                     std::process::exit(0);
                 }
@@ -168,6 +181,14 @@ impl Table {
         self.rows.push(cells);
     }
 
+    /// The table as report data, exactly as printed.
+    pub fn to_data(&self) -> TableData {
+        TableData {
+            header: self.header.clone(),
+            rows: self.rows.clone(),
+        }
+    }
+
     /// Prints the aligned table, and CSV when `csv` is set.
     pub fn print(&self, csv: bool) {
         let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
@@ -200,6 +221,104 @@ impl Table {
             }
         }
     }
+}
+
+/// A [`FigureReport`] skeleton for one bench binary: the figure name
+/// plus the harness-flag context every run of the figure shares.
+pub fn figure_report(figure: &str, args: &HarnessArgs) -> FigureReport {
+    let mut r = FigureReport::new(figure);
+    r.context.push(("scale".into(), Json::Num(args.scale)));
+    r.context
+        .push(("mu".into(), Json::from_u64(args.mu as u64)));
+    r.context.push((
+        "eps".into(),
+        Json::Arr(args.eps_list.iter().map(|&e| Json::Num(e)).collect()),
+    ));
+    r.context.push((
+        "threads".into(),
+        Json::Arr(
+            args.threads
+                .iter()
+                .map(|&t| Json::from_u64(t as u64))
+                .collect(),
+        ),
+    ));
+    r.context.push((
+        "datasets".into(),
+        Json::Arr(
+            args.datasets
+                .iter()
+                .map(|d| Json::Str(d.name().to_string()))
+                .collect(),
+        ),
+    ));
+    r.context.push(("quick".into(), Json::Bool(args.quick)));
+    r
+}
+
+/// Attaches the rendered table to `report` and writes it to
+/// `--report <path>` when the flag was given (no-op otherwise). Exits
+/// non-zero if the file cannot be written — a missing report must fail
+/// loudly, CI uploads it as an artifact.
+pub fn emit_report(args: &HarnessArgs, mut report: FigureReport, table: &Table) {
+    report.table = Some(table.to_data());
+    let Some(path) = &args.report else { return };
+    if let Err(e) = report.write_to_file(path) {
+        eprintln!("could not write report {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    eprintln!("report written to {}", path.display());
+}
+
+/// Diffs two figure reports cell by cell. Cells that parse as numbers on
+/// both sides compare within relative tolerance `tol` (and absolute
+/// tolerance `tol` near zero); everything else must match exactly. Wall
+/// times and counters inside `runs` are machine-dependent and are *not*
+/// compared — the rendered table is the regression surface. Returns
+/// human-readable mismatch descriptions (empty = match).
+pub fn diff_figures(baseline: &FigureReport, got: &FigureReport, tol: f64) -> Vec<String> {
+    let mut diffs = Vec::new();
+    if baseline.figure != got.figure {
+        diffs.push(format!(
+            "figure name: baseline {:?}, got {:?}",
+            baseline.figure, got.figure
+        ));
+    }
+    let (Some(base_t), Some(got_t)) = (&baseline.table, &got.table) else {
+        if baseline.table.is_some() != got.table.is_some() {
+            diffs.push("one report has a table, the other does not".into());
+        }
+        return diffs;
+    };
+    if base_t.header != got_t.header {
+        diffs.push(format!(
+            "table header: baseline {:?}, got {:?}",
+            base_t.header, got_t.header
+        ));
+        return diffs;
+    }
+    if base_t.rows.len() != got_t.rows.len() {
+        diffs.push(format!(
+            "row count: baseline {}, got {}",
+            base_t.rows.len(),
+            got_t.rows.len()
+        ));
+        return diffs;
+    }
+    for (i, (br, gr)) in base_t.rows.iter().zip(&got_t.rows).enumerate() {
+        for ((bc, gc), col) in br.iter().zip(gr).zip(&base_t.header) {
+            let close = match (bc.parse::<f64>(), gc.parse::<f64>()) {
+                (Ok(b), Ok(g)) => (b - g).abs() <= tol * b.abs().max(1.0),
+                _ => bc == gc,
+            };
+            if !close {
+                diffs.push(format!(
+                    "row {i} column {col:?}: baseline {bc:?}, got {gc:?}"
+                ));
+            }
+        }
+    }
+    diffs
 }
 
 /// Generates the requested datasets once, with progress logging.
@@ -249,6 +368,53 @@ mod tests {
     #[test]
     fn secs_formats() {
         assert_eq!(secs(Duration::from_millis(1500)), "1.500");
+    }
+
+    #[test]
+    fn figure_report_carries_table_and_context() {
+        let args = HarnessArgs::default();
+        let mut t = Table::new(&["dataset", "time"]);
+        t.row(vec!["orkut-s".into(), "1.5".into()]);
+        let mut r = figure_report("fig_test", &args);
+        r.table = Some(t.to_data());
+        let back = FigureReport::parse(&r.to_json_string()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.figure, "fig_test");
+        assert_eq!(back.table.unwrap().rows[0][0], "orkut-s");
+        assert!(back.context.iter().any(|(k, _)| k == "scale"));
+    }
+
+    #[test]
+    fn diff_figures_tolerates_numeric_noise_only() {
+        let mk = |cell: &str| {
+            let mut r = FigureReport::new("f");
+            r.table = Some(TableData {
+                header: vec!["d".into(), "t".into()],
+                rows: vec![vec!["orkut-s".into(), cell.into()]],
+            });
+            r
+        };
+        assert!(diff_figures(&mk("1.00"), &mk("1.04"), 0.05).is_empty());
+        let diffs = diff_figures(&mk("1.00"), &mk("1.10"), 0.05);
+        assert_eq!(diffs.len(), 1, "{diffs:?}");
+        // Non-numeric cells must match exactly.
+        assert!(!diff_figures(&mk("TLE"), &mk("1.0"), 0.05).is_empty());
+        assert!(diff_figures(&mk("TLE"), &mk("TLE"), 0.05).is_empty());
+    }
+
+    #[test]
+    fn diff_figures_catches_shape_changes() {
+        let mut a = FigureReport::new("f");
+        a.table = Some(TableData {
+            header: vec!["x".into()],
+            rows: vec![vec!["1".into()]],
+        });
+        let mut b = a.clone();
+        b.table.as_mut().unwrap().rows.push(vec!["2".into()]);
+        assert!(!diff_figures(&a, &b, 0.05).is_empty());
+        let mut c = a.clone();
+        c.table.as_mut().unwrap().header[0] = "y".into();
+        assert!(!diff_figures(&a, &c, 0.05).is_empty());
     }
 }
 

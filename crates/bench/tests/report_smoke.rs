@@ -1,0 +1,156 @@
+//! Every bench binary's `--report <path>` must produce a parseable
+//! [`FigureReport`] on a tiny graph, `run_all --report-dir` must fan the
+//! flag out to one report per figure, and `report_check` must accept a
+//! self-baseline and reject corrupt input.
+
+use ppscan_obs::FigureReport;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Tiny-graph flags shared by every smoke invocation: ~10³ edges, the
+/// reduced `--quick` grid, a single dataset for the dataset-driven bins.
+const TINY: [&str; 5] = ["--scale", "0.01", "--quick", "--datasets", "orkut"];
+
+fn tmp_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("report-smoke");
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    dir
+}
+
+/// Runs one bench binary with `--report` and parses what it wrote.
+fn check_bin(name: &str, exe: &str) -> FigureReport {
+    let path = tmp_dir().join(format!("{name}.json"));
+    let output = Command::new(exe)
+        .args(TINY)
+        .arg("--report")
+        .arg(&path)
+        .output()
+        .unwrap_or_else(|e| panic!("launching {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "{name} failed ({}):\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{name} wrote no report at {}: {e}", path.display()));
+    let report =
+        FigureReport::parse(&text).unwrap_or_else(|e| panic!("{name} report does not parse: {e}"));
+    assert_eq!(report.figure, name, "report must identify its figure");
+    assert!(report.table.is_some(), "{name} must attach its table");
+    report
+}
+
+macro_rules! report_smoke {
+    ($($name:ident),+ $(,)?) => {
+        $(
+            #[test]
+            fn $name() {
+                let report = check_bin(
+                    stringify!($name),
+                    env!(concat!("CARGO_BIN_EXE_", stringify!($name))),
+                );
+                // Every figure except fig8 (whose kernels may be
+                // unavailable on the host) records at least one run.
+                if stringify!($name) != "fig8_roll" {
+                    assert!(!report.runs.is_empty(), "no runs recorded");
+                }
+            }
+        )+
+    };
+}
+
+report_smoke!(
+    table1,
+    table2,
+    fig1_breakdown,
+    fig2_compare,
+    fig3_compare,
+    fig4_invocations,
+    fig5_simd,
+    fig6_scalability,
+    fig7_robustness,
+    fig8_roll,
+    ablation_edorder,
+    ablation_twophase,
+    ablation_sched,
+    parameter_exploration,
+    obs_overhead,
+);
+
+#[test]
+fn ppscan_runs_carry_span_phases_and_counters() {
+    // Deep-check one figure: fig6's runs are span-sourced ppSCAN reports.
+    let report = check_bin("fig6_scalability", env!("CARGO_BIN_EXE_fig6_scalability"));
+    for run in &report.runs {
+        assert_eq!(run.algorithm, "ppscan");
+        assert!(run.wall_nanos > 0);
+        assert_eq!(run.phases.len(), 4, "four span-sourced stages");
+        assert!(run.counters.compsim_invocations > 0);
+        assert!(run.phases.iter().any(|p| p.tasks > 0));
+    }
+}
+
+#[test]
+fn run_all_report_dir_emits_one_report_per_figure() {
+    let dir = tmp_dir().join("run-all");
+    let output = Command::new(env!("CARGO_BIN_EXE_run_all"))
+        .args(TINY)
+        .arg("--report-dir")
+        .arg(&dir)
+        .output()
+        .expect("launching run_all");
+    assert!(
+        output.status.success(),
+        "run_all failed ({}):\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let mut count = 0;
+    for entry in std::fs::read_dir(&dir).expect("report dir") {
+        let path = entry.unwrap().path();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let report =
+            FigureReport::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+        assert_eq!(report.figure, stem);
+        count += 1;
+    }
+    assert_eq!(count, 15, "one report per figure binary");
+}
+
+#[test]
+fn report_check_accepts_self_baseline_and_rejects_garbage() {
+    // table1's statistics are deterministic for a fixed seed + scale, so
+    // a fresh run must diff clean against itself.
+    let a = tmp_dir().join("table1-baseline.json");
+    let b = tmp_dir().join("table1-current.json");
+    for path in [&a, &b] {
+        let output = Command::new(env!("CARGO_BIN_EXE_table1"))
+            .args(TINY)
+            .arg("--report")
+            .arg(path)
+            .output()
+            .expect("launching table1");
+        assert!(output.status.success());
+    }
+    let ok = Command::new(env!("CARGO_BIN_EXE_report_check"))
+        .arg(&b)
+        .arg("--baseline")
+        .arg(&a)
+        .output()
+        .expect("launching report_check");
+    assert!(
+        ok.status.success(),
+        "self-baseline diff must be clean:\n{}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+
+    let garbage = tmp_dir().join("garbage.json");
+    std::fs::write(&garbage, "{\"schema\": 1, \"not\": \"a report\"").unwrap();
+    let bad = Command::new(env!("CARGO_BIN_EXE_report_check"))
+        .arg(&garbage)
+        .output()
+        .expect("launching report_check");
+    assert!(!bad.status.success(), "garbage must be rejected");
+}

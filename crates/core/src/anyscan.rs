@@ -31,6 +31,19 @@ use std::sync::Mutex;
 /// block-oriented processing.
 const BLOCK: usize = 1024;
 
+/// Runs the anySCAN-style baseline under instrumentation, returning the
+/// clustering together with its [`ppscan_obs::RunReport`].
+pub fn anyscan_report(
+    g: &CsrGraph,
+    params: ScanParams,
+    threads: usize,
+) -> (Clustering, ppscan_obs::RunReport) {
+    let (clustering, mut report) =
+        crate::report::instrument("anyscan", g, params, || anyscan(g, params, threads));
+    report.threads = Some(threads as u64);
+    (clustering, report)
+}
+
 /// Runs the anySCAN-style baseline.
 pub fn anyscan(g: &CsrGraph, params: ScanParams, threads: usize) -> Clustering {
     let pool = WorkerPool::new(threads);
@@ -52,9 +65,7 @@ pub fn anyscan(g: &CsrGraph, params: ScanParams, threads: usize) -> Clustering {
         .step_by(BLOCK)
         .map(|b| b as u32..((b + BLOCK).min(n)) as u32)
         .collect();
-    let scopes = ppscan_intersect::counters::inherit();
     pool.run_chunks(&blocks, |range| {
-        let _counters = scopes.attach();
         // anySCAN's allocation overhead: fresh buffers per block.
         let mut local_roles: Vec<(VertexId, Role)> = Vec::new();
         let mut local_core_edges: Vec<(VertexId, VertexId)> = Vec::new();

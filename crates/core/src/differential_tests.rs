@@ -163,10 +163,22 @@ fn stress_driver_sweep_is_green() {
     assert!(cfg.thread_counts.len() >= 3);
     assert!(cfg.strategies.len() == 3);
     assert!(cfg.kernels.iter().filter(|k| k.available()).count() >= 2);
-    match crate::stress::run_stress(&cfg) {
+    let (result, report) = crate::stress::run_stress_report(&cfg);
+    // Persist the seed log next to the stress corpus either way.
+    if let Some(dir) = &cfg.corpus_dir {
+        let _ = report.write_to_file(dir.join("last-sweep-report.json"));
+    }
+    let seeds = report
+        .extra
+        .iter()
+        .find(|(k, _)| k == "seeds")
+        .and_then(|(_, v)| v.as_arr())
+        .expect("sweep report must log seeds");
+    match result {
         Ok(stats) => {
             assert_eq!(stats.cases, cfg.cases);
             assert!(stats.configs_checked > 0);
+            assert_eq!(seeds.len(), cfg.cases as usize, "every seed logged");
         }
         Err(failure) => panic!("{failure}"),
     }

@@ -36,6 +36,7 @@ pub mod anyscan;
 pub mod params;
 pub mod ppscan;
 pub mod pscan;
+pub mod report;
 pub mod result;
 pub mod scan;
 pub mod scanpp;
@@ -50,11 +51,13 @@ pub mod prelude {
     pub use crate::params::ScanParams;
     pub use crate::ppscan::{self, PpScanConfig};
     pub use crate::pscan;
+    pub use crate::report;
     pub use crate::result::{Clustering, Role, UnclusteredClass};
     pub use crate::scan;
     pub use crate::scanxp;
     pub use crate::verify;
     pub use ppscan_intersect::Kernel;
+    pub use ppscan_obs::{FigureReport, RunReport};
 }
 
 #[cfg(test)]

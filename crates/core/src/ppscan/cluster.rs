@@ -58,9 +58,7 @@ pub(crate) fn cluster_cores(
     }
 
     // Phase: ClusterCoreWithCompSim(u).
-    let scopes = ppscan_intersect::counters::inherit();
     pool.run_weighted(n, degree_threshold, core_weight, |range| {
-        let _counters = scopes.attach();
         for u in range {
             if !shared.is_core(u) {
                 continue;
@@ -132,7 +130,6 @@ pub(crate) fn cluster_noncores(
     // the global array once per task — the paper's pipelined design of
     // overlapping pair computation with the copy-back.
     let global_pairs: Mutex<Vec<(VertexId, u32)>> = Mutex::new(Vec::new());
-    let scopes = ppscan_intersect::counters::inherit();
     pool.run_weighted(
         n,
         degree_threshold,
@@ -144,7 +141,6 @@ pub(crate) fn cluster_noncores(
             }
         },
         |range| {
-            let _counters = scopes.attach();
             let mut local: Vec<(VertexId, u32)> = Vec::new();
             for u in range {
                 if !shared.is_core(u) {

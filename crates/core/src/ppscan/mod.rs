@@ -34,10 +34,13 @@ pub(crate) mod roles;
 pub(crate) mod shared;
 
 use crate::params::ScanParams;
+use crate::report as report_glue;
 use crate::result::Clustering;
 use crate::timing::StageTimings;
 use ppscan_graph::CsrGraph;
+use ppscan_intersect::counters::CounterScope;
 use ppscan_intersect::Kernel;
+use ppscan_obs::{Collector, RunReport, Span};
 use ppscan_sched::{ExecutionStrategy, WorkerPool, DEFAULT_DEGREE_THRESHOLD};
 use std::time::Instant;
 
@@ -56,6 +59,12 @@ pub struct PpScanConfig {
     /// schedule; `AdversarialSeeded` to replay hostile interleavings from
     /// a seed (the differential stress driver sweeps all three).
     pub strategy: ExecutionStrategy,
+    /// Whether the run activates its own span collector + kernel counter
+    /// scope and fills the output's [`RunReport`] with per-worker phase
+    /// metrics and counters. On by default; `bin/obs_overhead` measures
+    /// the cost of leaving it on (the stage spans themselves always run —
+    /// they are also the source of [`StageTimings`]).
+    pub observe: bool,
 }
 
 impl Default for PpScanConfig {
@@ -65,6 +74,7 @@ impl Default for PpScanConfig {
             kernel: Kernel::auto(),
             degree_threshold: DEFAULT_DEGREE_THRESHOLD,
             strategy: ExecutionStrategy::Parallel,
+            observe: true,
         }
     }
 }
@@ -95,15 +105,25 @@ impl PpScanConfig {
         self.strategy = strategy;
         self
     }
+
+    /// Builder-style observation toggle.
+    pub fn observe(mut self, observe: bool) -> Self {
+        self.observe = observe;
+        self
+    }
 }
 
-/// ppSCAN result: canonical clustering plus per-stage timings (Figure 6).
+/// ppSCAN result: canonical clustering, per-stage timings (Figure 6),
+/// and the unified machine-readable run report.
 #[derive(Debug)]
 pub struct PpScanOutput {
     /// Canonical clustering (identical to the sequential algorithms').
     pub clustering: Clustering,
-    /// Durations of the four stages.
+    /// Durations of the four stages (sourced from the stage spans).
     pub timings: StageTimings,
+    /// The run's [`RunReport`]: config, graph shape, span-sourced phase
+    /// metrics (per-worker when `observe` is on), and kernel counters.
+    pub report: RunReport,
 }
 
 /// Runs ppSCAN.
@@ -125,45 +145,82 @@ pub fn ppscan_ablation(
     let shared = shared::Shared::new(g, params, config.kernel, config.strategy);
     let mut timings = StageTimings::default();
 
-    // ---- Role computing (Algorithm 3) ----
-    let t0 = Instant::now();
-    roles::prune_sim(&shared, &pool, config.degree_threshold);
-    timings.prune = t0.elapsed();
+    // Observation: a collector + counter scope for this run, activated
+    // only when configured. The stage spans below always run — they are
+    // the single source of `StageTimings` — but without an active
+    // collector they cost two clock reads per stage and nothing per task.
+    let collector = Collector::new();
+    let scope = CounterScope::new();
+    let guards = config
+        .observe
+        .then(|| (collector.activate(), scope.activate()));
+    let wall = Instant::now();
 
-    let t0 = Instant::now();
-    roles::check_core(
-        &shared,
-        &pool,
-        config.degree_threshold,
-        /*only_greater=*/ true,
-    );
-    roles::check_core(
-        &shared,
-        &pool,
-        config.degree_threshold,
-        /*only_greater=*/ false,
-    );
-    timings.check_core = t0.elapsed();
+    // ---- Role computing (Algorithm 3) ----
+    {
+        let span = Span::enter(report_glue::STAGE_SIMILARITY_PRUNING);
+        roles::prune_sim(&shared, &pool, config.degree_threshold);
+        timings.prune = span.finish();
+    }
+
+    {
+        let span = Span::enter(report_glue::STAGE_CORE_CHECKING);
+        roles::check_core(
+            &shared,
+            &pool,
+            config.degree_threshold,
+            /*only_greater=*/ true,
+        );
+        roles::check_core(
+            &shared,
+            &pool,
+            config.degree_threshold,
+            /*only_greater=*/ false,
+        );
+        timings.check_core = span.finish();
+    }
 
     // ---- Core and non-core clustering (Algorithm 4) ----
-    let t0 = Instant::now();
-    let uf = cluster::cluster_cores(
-        &shared,
-        &pool,
-        config.degree_threshold,
-        skip_cluster_phase_one,
-    );
-    timings.core_cluster = t0.elapsed();
+    let uf = {
+        let span = Span::enter(report_glue::STAGE_CORE_CLUSTERING);
+        let uf = cluster::cluster_cores(
+            &shared,
+            &pool,
+            config.degree_threshold,
+            skip_cluster_phase_one,
+        );
+        timings.core_cluster = span.finish();
+        uf
+    };
 
-    let t0 = Instant::now();
-    let (core_label, pairs) =
-        cluster::cluster_noncores(&shared, &pool, config.degree_threshold, &uf);
-    timings.noncore_cluster = t0.elapsed();
+    let (core_label, pairs) = {
+        let span = Span::enter(report_glue::STAGE_NONCORE_CLUSTERING);
+        let out = cluster::cluster_noncores(&shared, &pool, config.degree_threshold, &uf);
+        timings.noncore_cluster = span.finish();
+        out
+    };
+
+    let wall = wall.elapsed();
+    drop(guards);
+
+    let mut report = report_glue::base_report("ppscan", g, params)
+        .with_threads(config.threads)
+        .with_kernel(config.kernel.to_string())
+        .with_strategy(config.strategy.to_string())
+        .with_degree_threshold(config.degree_threshold);
+    report.wall_nanos = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+    if config.observe {
+        report.phases = RunReport::phases_from(&collector.snapshot());
+        report.counters = report_glue::counters_from(scope.snapshot());
+    } else {
+        report.phases = report_glue::stage_phases(&timings);
+    }
 
     let clustering = Clustering::from_raw(shared.roles_vec(), core_label, pairs);
     PpScanOutput {
         clustering,
         timings,
+        report,
     }
 }
 
@@ -257,5 +314,41 @@ mod tests {
         let g = gen::roll(200, 10, 2);
         let out = ppscan(&g, ScanParams::new(0.3, 3), &PpScanConfig::with_threads(2));
         assert!(out.timings.total() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn observed_run_emits_full_report() {
+        let g = gen::roll(300, 12, 4);
+        let cfg = PpScanConfig::with_threads(2);
+        let out = ppscan(&g, ScanParams::new(0.4, 3), &cfg);
+        let r = &out.report;
+        assert_eq!(r.algorithm, "ppscan");
+        assert_eq!(r.threads, Some(2));
+        assert_eq!(r.graph.unwrap().vertices, g.num_vertices() as u64);
+        assert!(r.wall_nanos > 0);
+        // All four stages present, span-sourced, with recorded tasks.
+        for stage in crate::report::PPSCAN_STAGES {
+            let p = r.phase(stage).unwrap_or_else(|| panic!("missing {stage}"));
+            assert!(p.wall_nanos > 0, "{stage} wall time");
+        }
+        assert!(r.phases.iter().any(|p| p.tasks > 0));
+        assert!(r.counters.compsim_invocations > 0);
+        // Report phases and StageTimings come from the same spans.
+        let back = crate::report::stage_timings_from(r);
+        assert_eq!(back.prune, out.timings.prune);
+        // Round-trips through JSON.
+        let parsed = ppscan_obs::RunReport::parse(&r.to_json_string()).unwrap();
+        assert_eq!(&parsed, r);
+    }
+
+    #[test]
+    fn unobserved_run_still_reports_stage_walls() {
+        let g = gen::roll(150, 10, 5);
+        let cfg = PpScanConfig::with_threads(2).observe(false);
+        let out = ppscan(&g, ScanParams::new(0.4, 3), &cfg);
+        assert_eq!(out.report.counters.compsim_invocations, 0);
+        for stage in crate::report::PPSCAN_STAGES {
+            assert!(out.report.phase(stage).unwrap().wall_nanos > 0);
+        }
     }
 }

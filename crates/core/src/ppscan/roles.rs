@@ -69,9 +69,6 @@ pub(crate) fn check_core(
 ) {
     let g = shared.g;
     let n = g.num_vertices();
-    // Counter scopes active on the caller thread must follow the work
-    // onto the pool's workers.
-    let scopes = ppscan_intersect::counters::inherit();
     pool.run_weighted(
         n,
         degree_threshold,
@@ -85,7 +82,6 @@ pub(crate) fn check_core(
             }
         },
         |range| {
-            let _counters = scopes.attach();
             // Per-task scratch reused across the range's vertices: the
             // slots the counting loop saw as Unknown.
             let mut pending: Vec<usize> = Vec::new();

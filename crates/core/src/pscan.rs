@@ -18,21 +18,28 @@
 //! (Definition 3.9 bounds), like the reference implementation.
 
 use crate::params::ScanParams;
+use crate::report as report_glue;
 use crate::result::{Clustering, Role, NO_CLUSTER};
 use crate::simstore::SimStore;
 use crate::timing::{Breakdown, Stopwatch};
 use ppscan_graph::{CsrGraph, VertexId};
+use ppscan_intersect::counters::CounterScope;
 use ppscan_intersect::{Kernel, Similarity};
+use ppscan_obs::RunReport;
 use ppscan_unionfind::UnionFind;
 use std::time::Instant;
 
-/// pSCAN result: canonical clustering plus the Figure-1 breakdown.
+/// pSCAN result: canonical clustering plus the Figure-1 breakdown and
+/// the unified run report.
 #[derive(Debug)]
 pub struct PScanOutput {
     /// Canonical clustering.
     pub clustering: Clustering,
     /// Similarity / pruning / other time split.
     pub breakdown: Breakdown,
+    /// Machine-readable record of the run (breakdown-backed phases plus
+    /// kernel counters).
+    pub report: RunReport,
 }
 
 /// Runs pSCAN (Algorithm 2) with the default dynamic `ed` ordering.
@@ -78,6 +85,8 @@ impl<'g> PScan<'g> {
     }
 
     fn run(mut self, dynamic_order: bool) -> PScanOutput {
+        let counter_scope = CounterScope::new();
+        let _counters = counter_scope.activate();
         let wall = Instant::now();
         let n = self.g.num_vertices();
         let mu = self.params.mu as i64;
@@ -125,10 +134,16 @@ impl<'g> PScan<'g> {
             workload_reduction: self.prune_timer.total(),
             ..Default::default()
         };
-        breakdown.set_other_from_total(wall.elapsed());
+        let wall = wall.elapsed();
+        breakdown.set_other_from_total(wall);
+        let mut report = report_glue::base_report("pscan", self.g, self.params);
+        report.wall_nanos = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+        report.phases = report_glue::breakdown_phases(&breakdown);
+        report.counters = report_glue::counters_from(counter_scope.snapshot());
         PScanOutput {
             clustering,
             breakdown,
+            report,
         }
     }
 

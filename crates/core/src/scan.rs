@@ -12,25 +12,34 @@
 //! `CheckCore(v)` recomputes the reverse direction as the original does.
 
 use crate::params::ScanParams;
+use crate::report as report_glue;
 use crate::result::{Clustering, Role, NO_CLUSTER};
 use crate::simstore::SimStore;
 use crate::timing::{Breakdown, Stopwatch};
 use ppscan_graph::{CsrGraph, VertexId};
+use ppscan_intersect::counters::CounterScope;
 use ppscan_intersect::{merge, Similarity};
+use ppscan_obs::RunReport;
 use std::collections::VecDeque;
 use std::time::Instant;
 
-/// SCAN result: the canonical clustering plus the Figure-1 breakdown.
+/// SCAN result: the canonical clustering plus the Figure-1 breakdown and
+/// the unified run report.
 #[derive(Debug)]
 pub struct ScanOutput {
     /// Canonical clustering.
     pub clustering: Clustering,
     /// Similarity / pruning / other time split.
     pub breakdown: Breakdown,
+    /// Machine-readable record of the run (breakdown-backed phases plus
+    /// kernel counters).
+    pub report: RunReport,
 }
 
 /// Runs SCAN (Algorithm 1).
 pub fn scan(g: &CsrGraph, params: ScanParams) -> ScanOutput {
+    let counter_scope = CounterScope::new();
+    let _counters = counter_scope.activate();
     let wall = Instant::now();
     let n = g.num_vertices();
     let sim = SimStore::new(g.num_directed_edges());
@@ -82,10 +91,16 @@ pub fn scan(g: &CsrGraph, params: ScanParams) -> ScanOutput {
         workload_reduction: std::time::Duration::ZERO, // SCAN has no pruning
         ..Default::default()
     };
-    breakdown.set_other_from_total(wall.elapsed());
+    let wall = wall.elapsed();
+    breakdown.set_other_from_total(wall);
+    let mut report = report_glue::base_report("scan", g, params);
+    report.wall_nanos = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+    report.phases = report_glue::breakdown_phases(&breakdown);
+    report.counters = report_glue::counters_from(counter_scope.snapshot());
     ScanOutput {
         clustering,
         breakdown,
+        report,
     }
 }
 

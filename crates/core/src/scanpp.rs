@@ -26,6 +26,12 @@ use ppscan_graph::{CsrGraph, VertexId};
 use ppscan_intersect::{Kernel, Similarity};
 use ppscan_unionfind::UnionFind;
 
+/// Runs the SCAN++-style baseline under instrumentation, returning the
+/// clustering together with its [`ppscan_obs::RunReport`].
+pub fn scanpp_report(g: &CsrGraph, params: ScanParams) -> (Clustering, ppscan_obs::RunReport) {
+    crate::report::instrument("scanpp", g, params, || scanpp(g, params))
+}
+
 /// Runs the SCAN++-style baseline.
 pub fn scanpp(g: &CsrGraph, params: ScanParams) -> Clustering {
     let n = g.num_vertices();

@@ -23,6 +23,19 @@ use ppscan_unionfind::ConcurrentUnionFind;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Mutex;
 
+/// Runs SCAN-XP under instrumentation, returning the clustering together
+/// with its [`ppscan_obs::RunReport`] (span-sourced phases + counters).
+pub fn scanxp_report(
+    g: &CsrGraph,
+    params: ScanParams,
+    threads: usize,
+) -> (Clustering, ppscan_obs::RunReport) {
+    let (clustering, mut report) =
+        crate::report::instrument("scanxp", g, params, || scanxp(g, params, threads));
+    report.threads = Some(threads as u64);
+    (clustering, report)
+}
+
 /// Runs the SCAN-XP style exhaustive parallel baseline.
 pub fn scanxp(g: &CsrGraph, params: ScanParams, threads: usize) -> Clustering {
     let pool = WorkerPool::new(threads);
@@ -30,13 +43,11 @@ pub fn scanxp(g: &CsrGraph, params: ScanParams, threads: usize) -> Clustering {
     let sim = SimStore::new(g.num_directed_edges());
 
     // Exhaustive similarity computation, one pass over undirected edges.
-    let scopes = ppscan_intersect::counters::inherit();
     pool.run_weighted(
         n,
         ppscan_sched::DEFAULT_DEGREE_THRESHOLD,
         |u| g.degree(u) as u64,
         |range| {
-            let _counters = scopes.attach();
             for u in range {
                 let nu = g.neighbors(u);
                 for eo in g.neighbor_range(u) {

@@ -20,6 +20,20 @@
 //! exact graph is available even without the generator. `replay_case`
 //! re-runs every configuration of one case under the same `StressConfig`;
 //! the failing configuration is fully pinned by the banner fields.
+//!
+//! # Failure corpus
+//!
+//! Beyond the banner, every shrunk failure is persisted as JSON into
+//! [`StressConfig::corpus_dir`] (default `target/stress-corpus/`).
+//! [`replay_corpus`] reloads everything found there and re-runs each
+//! case's pinned configuration — the `replay_corpus_is_clean` test turns
+//! any lingering corpus entry that still reproduces into a hard test
+//! failure, so fixed bugs clean themselves out of CI while unfixed ones
+//! stay loud.
+//!
+//! [`run_stress_report`] wraps the sweep in a [`RunReport`]: one `seeds`
+//! entry per case (accepted or failing) plus the failure payload, for the
+//! machine-readable run reports the bench harness aggregates.
 
 use crate::params::ScanParams;
 use crate::ppscan::{ppscan, PpScanConfig};
@@ -29,7 +43,11 @@ use ppscan_graph::builder::from_edges;
 use ppscan_graph::rng::SplitMix64;
 use ppscan_graph::{gen, CsrGraph, VertexId};
 use ppscan_intersect::Kernel;
+use ppscan_obs::json::Json;
+use ppscan_obs::RunReport;
 use ppscan_sched::ExecutionStrategy;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// A boxed algorithm runner used by the baseline differential checks.
 type RunFn = Box<dyn Fn(&CsrGraph) -> Clustering>;
@@ -64,6 +82,24 @@ pub struct StressConfig {
     pub repeats: usize,
     /// Maximum predicate evaluations the shrinker may spend.
     pub shrink_budget: usize,
+    /// Where shrunk failing cases are persisted as JSON (`None` disables
+    /// persistence, e.g. for tests that provoke failures on purpose).
+    pub corpus_dir: Option<PathBuf>,
+}
+
+/// The default failure-corpus directory: `stress-corpus/` under the
+/// cargo target directory (honoring `CARGO_TARGET_DIR`).
+pub fn default_corpus_dir() -> PathBuf {
+    let target = option_env!("CARGO_TARGET_DIR").map_or_else(
+        || {
+            Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("..")
+                .join("..")
+                .join("target")
+        },
+        PathBuf::from,
+    );
+    target.join("stress-corpus")
 }
 
 impl Default for StressConfig {
@@ -83,6 +119,7 @@ impl Default for StressConfig {
             degree_threshold: 8,
             repeats: 3,
             shrink_budget: 120,
+            corpus_dir: Some(default_corpus_dir()),
         }
     }
 }
@@ -138,6 +175,165 @@ impl std::fmt::Display for FailingCase {
     }
 }
 
+/// Maps an algorithm name back to the `'static` string the drivers use.
+fn algorithm_static(name: &str) -> Option<&'static str> {
+    ["scan", "pscan", "scanpp", "scanxp", "anyscan", "ppscan"]
+        .into_iter()
+        .find(|a| *a == name)
+}
+
+impl FailingCase {
+    /// Serializes the case (corpus file format).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("case_seed".to_string(), Json::from_u64(self.case_seed)),
+            (
+                "algorithm".to_string(),
+                Json::Str(self.algorithm.to_string()),
+            ),
+        ];
+        if let Some(k) = self.kernel {
+            fields.push(("kernel".to_string(), Json::Str(k.name().to_string())));
+        }
+        if let Some(t) = self.threads {
+            fields.push(("threads".to_string(), Json::from_u64(t as u64)));
+        }
+        if let Some(s) = self.strategy {
+            fields.push(("strategy".to_string(), Json::Str(s.to_string())));
+        }
+        fields.push(("eps".to_string(), Json::Num(self.eps)));
+        fields.push(("mu".to_string(), Json::from_u64(self.mu as u64)));
+        fields.push((
+            "edges".to_string(),
+            Json::Arr(
+                self.edges
+                    .iter()
+                    .map(|&(u, v)| {
+                        Json::Arr(vec![Json::from_u64(u as u64), Json::from_u64(v as u64)])
+                    })
+                    .collect(),
+            ),
+        ));
+        fields.push(("detail".to_string(), Json::Str(self.detail.clone())));
+        Json::Obj(fields)
+    }
+
+    /// Deserializes a corpus entry written by [`FailingCase::to_json`].
+    /// Returns `None` on any missing/ill-typed field or unknown
+    /// algorithm/kernel/strategy name.
+    pub fn from_json(json: &Json) -> Option<FailingCase> {
+        let algorithm = algorithm_static(json.get("algorithm")?.as_str()?)?;
+        let kernel = match json.get("kernel") {
+            Some(k) => Some(Kernel::parse(k.as_str()?)?),
+            None => None,
+        };
+        let threads = match json.get("threads") {
+            Some(t) => Some(usize::try_from(t.as_u64()?).ok()?),
+            None => None,
+        };
+        let strategy = match json.get("strategy") {
+            Some(s) => Some(ExecutionStrategy::parse(s.as_str()?)?),
+            None => None,
+        };
+        let mut edges = Vec::new();
+        for e in json.get("edges")?.as_arr()? {
+            let pair = e.as_arr()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            let u = u32::try_from(pair[0].as_u64()?).ok()?;
+            let v = u32::try_from(pair[1].as_u64()?).ok()?;
+            edges.push((u, v));
+        }
+        Some(FailingCase {
+            case_seed: json.get("case_seed")?.as_u64()?,
+            algorithm,
+            kernel,
+            threads,
+            strategy,
+            eps: json.get("eps")?.as_f64()?,
+            mu: usize::try_from(json.get("mu")?.as_u64()?).ok()?,
+            edges,
+            detail: json.get("detail")?.as_str()?.to_string(),
+        })
+    }
+
+    /// Corpus file name for this case, unique per (seed, configuration).
+    pub fn corpus_file_name(&self) -> String {
+        let kernel = self.kernel.map_or("none".into(), |k| k.name().to_string());
+        let strategy = self
+            .strategy
+            .map_or("none".into(), |s| s.to_string())
+            .replace(['(', ')'], "-");
+        format!(
+            "case-{:016x}-{}-{}-{}-t{}.json",
+            self.case_seed,
+            self.algorithm,
+            kernel,
+            strategy,
+            self.threads.unwrap_or(0),
+        )
+    }
+
+    /// Re-runs exactly this case's pinned configuration on the embedded
+    /// (shrunk) graph, `repeats` times. Returns `true` if the divergence
+    /// from the reference clustering still manifests.
+    pub fn reproduces(&self, repeats: usize) -> bool {
+        let g = from_edges(&self.edges);
+        let p = ScanParams::new(self.eps, self.mu);
+        let reference = verify::reference_clustering(&g, p);
+        let threads = self.threads.unwrap_or(1);
+        let run: RunFn = match self.algorithm {
+            "scan" => Box::new(move |g| crate::scan::scan(g, p).clustering),
+            "pscan" => Box::new(move |g| crate::pscan::pscan(g, p).clustering),
+            "scanpp" => Box::new(move |g| crate::scanpp::scanpp(g, p)),
+            "scanxp" => Box::new(move |g| crate::scanxp::scanxp(g, p, threads)),
+            "anyscan" => Box::new(move |g| crate::anyscan::anyscan(g, p, threads)),
+            _ => {
+                let cfg = PpScanConfig::with_threads(threads)
+                    .kernel(self.kernel.unwrap_or_default())
+                    .strategy(self.strategy.unwrap_or_default());
+                Box::new(move |g| ppscan(g, p, &cfg).clustering)
+            }
+        };
+        (0..repeats.max(1)).any(|_| run(&g) != reference)
+    }
+}
+
+/// Loads every corpus entry under `dir` and re-runs it ([`FailingCase::
+/// reproduces`] with `repeats` attempts). Returns `(case, still_failing)`
+/// pairs; a missing directory is an empty (clean) corpus. Unparseable
+/// files are an error — a corrupt corpus should be loud, not skipped.
+pub fn replay_corpus(dir: &Path, repeats: usize) -> Result<Vec<(FailingCase, bool)>, String> {
+    if !dir.exists() {
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::new();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("reading corpus dir {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            // Only `case-*.json` entries are corpus cases; the directory
+            // also holds the sweep's seed-log report.
+            p.extension().is_some_and(|x| x == "json")
+                && p.file_name()
+                    .is_some_and(|n| n.to_string_lossy().starts_with("case-"))
+        })
+        .collect();
+    entries.sort();
+    for path in entries {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let json = ppscan_obs::json::parse(&text)
+            .map_err(|e| format!("parsing {}: {e}", path.display()))?;
+        let case = FailingCase::from_json(&json)
+            .ok_or_else(|| format!("malformed corpus entry {}", path.display()))?;
+        let still_failing = case.reproduces(repeats);
+        out.push((case, still_failing));
+    }
+    Ok(out)
+}
+
 /// Aggregate statistics of a green sweep.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct StressStats {
@@ -183,6 +379,48 @@ pub fn run_stress(cfg: &StressConfig) -> Result<StressStats, Box<FailingCase>> {
         stats.cases += 1;
     }
     Ok(stats)
+}
+
+/// Runs the full sweep like [`run_stress`], additionally producing a
+/// [`RunReport`] that records **every** case seed (accepted and failing)
+/// under `extra["seeds"]`, with the shrunk failure payload inline when a
+/// case diverges. The report is returned even on failure, so the stress
+/// binary can persist it either way.
+pub fn run_stress_report(cfg: &StressConfig) -> (Result<StressStats, Box<FailingCase>>, RunReport) {
+    let wall = Instant::now();
+    let mut report = RunReport::new("stress");
+    report.push_extra("master_seed", Json::from_u64(cfg.master_seed));
+    report.push_extra("cases", Json::from_u64(cfg.cases));
+    let mut seeds = Vec::new();
+    let mut stats = StressStats::default();
+    let mut failure = None;
+    for i in 0..cfg.cases {
+        let seed = cfg.master_seed.wrapping_add(i);
+        match replay_case(seed, cfg) {
+            Ok(checked) => {
+                stats.cases += 1;
+                stats.configs_checked += checked;
+                seeds.push(Json::Obj(vec![
+                    ("seed".to_string(), Json::from_u64(seed)),
+                    ("status".to_string(), Json::Str("ok".to_string())),
+                    ("configs_checked".to_string(), Json::from_u64(checked)),
+                ]));
+            }
+            Err(case) => {
+                seeds.push(Json::Obj(vec![
+                    ("seed".to_string(), Json::from_u64(seed)),
+                    ("status".to_string(), Json::Str("failed".to_string())),
+                    ("case".to_string(), case.to_json()),
+                ]));
+                failure = Some(case);
+                break;
+            }
+        }
+    }
+    report.push_extra("seeds", Json::Arr(seeds));
+    report.push_extra("configs_checked", Json::from_u64(stats.configs_checked));
+    report.wall_nanos = u64::try_from(wall.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    (failure.map_or(Ok(stats), Err), report)
 }
 
 /// Re-runs every configuration of one case (the unit a failure banner
@@ -320,7 +558,7 @@ fn report(
     };
     let edges = shrink_edges(edges, &mut budget, &fails);
 
-    Box::new(FailingCase {
+    let case = Box::new(FailingCase {
         case_seed,
         algorithm,
         kernel,
@@ -330,7 +568,25 @@ fn report(
         mu,
         edges,
         detail,
-    })
+    });
+    if let Some(dir) = &cfg.corpus_dir {
+        persist_case(dir, &case);
+    }
+    case
+}
+
+/// Writes one shrunk failure into the corpus directory. Best-effort:
+/// persistence failing must not mask the differential failure itself.
+fn persist_case(dir: &Path, case: &FailingCase) {
+    let path = dir.join(case.corpus_file_name());
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(&path, case.to_json().to_pretty_string())
+    };
+    match write() {
+        Ok(()) => eprintln!("stress: failing case persisted to {}", path.display()),
+        Err(e) => eprintln!("stress: could not persist {}: {e}", path.display()),
+    }
 }
 
 /// ddmin-style greedy edge minimization: repeatedly drop chunks of edges
@@ -393,6 +649,160 @@ mod tests {
         let mut budget = 3;
         let _ = shrink_edges(edges, &mut budget, &|_| true);
         assert_eq!(budget, 0);
+    }
+
+    fn sample_case() -> FailingCase {
+        FailingCase {
+            case_seed: 0xd1ab_0003,
+            algorithm: "ppscan",
+            kernel: Some(Kernel::MergeEarly),
+            threads: Some(4),
+            strategy: Some(ExecutionStrategy::AdversarialSeeded { seed: 7 }),
+            eps: 0.5,
+            mu: 3,
+            edges: vec![(0, 1), (1, 2)],
+            detail: "role mismatch at vertex 0".into(),
+        }
+    }
+
+    /// Tiny sweep configuration so tests stay fast; no corpus writes.
+    fn tiny_config() -> StressConfig {
+        StressConfig {
+            cases: 2,
+            thread_counts: vec![2],
+            strategies: vec![ExecutionStrategy::SequentialDeterministic],
+            kernels: vec![Kernel::MergeEarly],
+            params: vec![(0.5, 2)],
+            check_baselines: false,
+            corpus_dir: None,
+            ..StressConfig::default()
+        }
+    }
+
+    #[test]
+    fn failing_case_json_roundtrip() {
+        let case = sample_case();
+        let text = case.to_json().to_pretty_string();
+        let back = FailingCase::from_json(&ppscan_obs::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.case_seed, case.case_seed);
+        assert_eq!(back.algorithm, case.algorithm);
+        assert_eq!(back.kernel, case.kernel);
+        assert_eq!(back.threads, case.threads);
+        assert_eq!(back.strategy, case.strategy);
+        assert_eq!(back.eps, case.eps);
+        assert_eq!(back.mu, case.mu);
+        assert_eq!(back.edges, case.edges);
+        assert_eq!(back.detail, case.detail);
+    }
+
+    #[test]
+    fn sequential_baseline_case_roundtrips_without_optionals() {
+        let case = FailingCase {
+            kernel: None,
+            threads: None,
+            strategy: None,
+            algorithm: "pscan",
+            ..sample_case()
+        };
+        let back = FailingCase::from_json(&case.to_json()).unwrap();
+        assert_eq!(back.kernel, None);
+        assert_eq!(back.threads, None);
+        assert_eq!(back.strategy, None);
+        assert_eq!(back.algorithm, "pscan");
+    }
+
+    #[test]
+    fn from_json_rejects_unknown_algorithm() {
+        let mut json = sample_case().to_json();
+        if let Json::Obj(fields) = &mut json {
+            for (k, v) in fields.iter_mut() {
+                if k == "algorithm" {
+                    *v = Json::Str("quickscan".into());
+                }
+            }
+        }
+        assert!(FailingCase::from_json(&json).is_none());
+    }
+
+    #[test]
+    fn healthy_case_does_not_reproduce() {
+        // A correct configuration on a well-formed graph is not a failure:
+        // `reproduces` must come back false, so replaying a corpus entry
+        // for a since-fixed bug reads as clean.
+        let case = FailingCase {
+            edges: gen::complete(5).undirected_edges().collect(),
+            strategy: Some(ExecutionStrategy::SequentialDeterministic),
+            ..sample_case()
+        };
+        assert!(!case.reproduces(2));
+    }
+
+    #[test]
+    fn corpus_files_roundtrip_through_replay() {
+        // Persist a (healthy) case, then replay the directory: the entry
+        // must load and report itself as no-longer-failing.
+        let dir = default_corpus_dir()
+            .parent()
+            .unwrap()
+            .join("stress-corpus-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let case = FailingCase {
+            edges: gen::complete(4).undirected_edges().collect(),
+            strategy: Some(ExecutionStrategy::SequentialDeterministic),
+            ..sample_case()
+        };
+        persist_case(&dir, &case);
+        let replayed = replay_corpus(&dir, 2).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0].0.case_seed, case.case_seed);
+        assert!(!replayed[0].1, "healthy case must not reproduce");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replay_corpus_is_clean() {
+        // The real corpus directory: anything a previous stress run left
+        // behind must no longer reproduce. An empty/missing directory is
+        // trivially clean.
+        let replayed = replay_corpus(&default_corpus_dir(), 3).unwrap();
+        let failing: Vec<_> = replayed
+            .iter()
+            .filter(|(_, still)| *still)
+            .map(|(c, _)| c.to_string())
+            .collect();
+        assert!(
+            failing.is_empty(),
+            "stress corpus contains still-failing cases:\n{}",
+            failing.join("\n")
+        );
+    }
+
+    #[test]
+    fn stress_report_logs_every_seed() {
+        let cfg = tiny_config();
+        let (result, report) = run_stress_report(&cfg);
+        let stats = result.expect("tiny sweep must be green");
+        assert_eq!(stats.cases, cfg.cases);
+        assert_eq!(report.algorithm, "stress");
+        assert!(report.wall_nanos > 0);
+        let extra = |k: &str| report.extra.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        let seeds = extra("seeds").unwrap().as_arr().unwrap();
+        assert_eq!(seeds.len(), cfg.cases as usize);
+        for (i, entry) in seeds.iter().enumerate() {
+            assert_eq!(
+                entry.get("seed").unwrap().as_u64().unwrap(),
+                cfg.master_seed + i as u64
+            );
+            assert_eq!(entry.get("status").unwrap().as_str().unwrap(), "ok");
+            assert!(entry.get("configs_checked").unwrap().as_u64().unwrap() > 0);
+        }
+        assert_eq!(
+            extra("configs_checked").unwrap().as_u64().unwrap(),
+            stats.configs_checked
+        );
+        // The report round-trips like any other.
+        let parsed = RunReport::parse(&report.to_json_string()).unwrap();
+        assert_eq!(parsed, report);
     }
 
     #[test]

@@ -53,9 +53,22 @@ impl Breakdown {
         self.similarity_evaluation + self.workload_reduction + self.other
     }
 
-    /// Derives `other` from a wall-clock total, clamping at zero.
+    /// Derives `other` from a wall-clock total.
+    ///
+    /// Debug builds assert that instrumented time does not exceed the
+    /// wall time beyond a small tolerance (12.5% + 10ms, covering timer
+    /// granularity and the cost of the instrumentation itself): an
+    /// instrumented total that overshoots the wall clock means a timer
+    /// is double-counting, and silently clamping `other` to zero would
+    /// hide exactly that bug from the breakdown figures.
     pub fn set_other_from_total(&mut self, wall: Duration) {
-        self.other = wall.saturating_sub(self.similarity_evaluation + self.workload_reduction);
+        let instrumented = self.similarity_evaluation + self.workload_reduction;
+        debug_assert!(
+            instrumented <= wall + wall / 8 + Duration::from_millis(10),
+            "instrumented time ({instrumented:?}) exceeds wall time ({wall:?}) beyond \
+             tolerance: a phase timer is double-counting"
+        );
+        self.other = wall.saturating_sub(instrumented);
     }
 }
 
@@ -111,17 +124,33 @@ mod tests {
     }
 
     #[test]
-    fn breakdown_other_clamped() {
+    fn breakdown_other_derived_from_wall() {
         let mut b = Breakdown {
             similarity_evaluation: Duration::from_secs(2),
             workload_reduction: Duration::from_secs(1),
             other: Duration::ZERO,
         };
-        b.set_other_from_total(Duration::from_secs(1)); // less than parts
-        assert_eq!(b.other, Duration::ZERO);
         b.set_other_from_total(Duration::from_secs(5));
         assert_eq!(b.other, Duration::from_secs(2));
         assert_eq!(b.total(), Duration::from_secs(5));
+        // Timer granularity can leave instrumented time a hair over the
+        // wall clock; within tolerance, `other` clamps at zero.
+        b.set_other_from_total(Duration::from_secs(3) - Duration::from_millis(1));
+        assert_eq!(b.other, Duration::ZERO);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double-counting")]
+    fn breakdown_rejects_overshooting_instrumentation() {
+        let mut b = Breakdown {
+            similarity_evaluation: Duration::from_secs(2),
+            workload_reduction: Duration::from_secs(1),
+            other: Duration::ZERO,
+        };
+        // Wall time far below the instrumented parts: a broken timer,
+        // not granularity noise. Must fail loudly in debug builds.
+        b.set_other_from_total(Duration::from_secs(1));
     }
 
     #[test]

@@ -20,13 +20,11 @@ impl<'g> GsIndex<'g> {
         // undirected edge (u < v) and mirrored to the reverse slot.
         // Atomic u32 slots let both directions be written lock-free.
         let cn: Vec<AtomicU32> = (0..m2).map(|_| AtomicU32::new(0)).collect();
-        let scopes = ppscan_intersect::counters::inherit();
         pool.run_weighted(
             n,
             DEFAULT_DEGREE_THRESHOLD,
             |u| graph.degree(u) as u64,
             |range| {
-                let _counters = scopes.attach();
                 for u in range {
                     let nu = graph.neighbors(u);
                     for eo in graph.neighbor_range(u) {

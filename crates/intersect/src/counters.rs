@@ -3,22 +3,33 @@
 //! Figure 4 of the paper compares the *number of set-intersection
 //! invocations* (`CompSim` calls) between pSCAN and ppSCAN, normalized by
 //! |E|. These counters make that measurement available to the harness at
-//! negligible cost (one relaxed fetch-add per invocation — orders of
-//! magnitude cheaper than the intersection itself).
+//! negligible cost (one thread-local increment per invocation — orders
+//! of magnitude cheaper than the intersection itself).
 //!
 //! Counters used to be process-global statics, which made every
 //! counter-asserting test flaky under `cargo test`'s parallel execution
 //! and let concurrent algorithm runs pollute each other's deltas. They
 //! are now **scoped**: a [`CounterScope`] is an explicit handle;
 //! recording only happens on threads where a scope is *active*, into
-//! exactly the scopes active on that thread. With no active scope the
-//! record calls are a thread-local read of an empty list — the hot path
-//! stays cheap and the kernels stay oblivious.
+//! exactly the scopes active on that thread.
 //!
-//! Worker threads do not inherit the spawner's active scopes
-//! automatically (the scheduler crate knows nothing about counters).
-//! Parallel algorithms capture the caller's scopes with [`inherit`] and
-//! re-activate them inside each task body with [`ActiveScopes::attach`]:
+//! The record path itself never touches the scope stack: `record_*`
+//! bumps a pair of plain thread-local [`Cell`]s unconditionally, and
+//! attribution is deferred — each attach guard remembers the local
+//! totals at activation and charges the delta to its scopes when it
+//! drops (with [`CounterScope::snapshot`] folding in the current
+//! thread's still-open window). This keeps the kernel hot path at two
+//! non-atomic thread-local additions per `CompSim`, whether or not any
+//! scope is active.
+//!
+//! Scopes propagate to `ppscan_sched::WorkerPool` worker threads
+//! **automatically**: the first activation registers a
+//! [`ppscan_obs::propagate::Propagator`] that the pool consults when
+//! capturing the submitting thread's ambient context, so algorithm code
+//! never plumbs scopes through pool call sites. The manual primitives
+//! remain for code that spawns raw threads outside the pool: capture
+//! the caller's scopes with [`inherit`] and re-activate them on the
+//! worker with [`ActiveScopes::attach`]:
 //!
 //! ```
 //! use ppscan_intersect::counters::{self, CounterScope};
@@ -36,9 +47,9 @@
 //! assert_eq!(delta.compsim_invocations, 1);
 //! ```
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Once};
 
 #[derive(Default)]
 struct ScopeInner {
@@ -46,10 +57,36 @@ struct ScopeInner {
     scanned: AtomicU64,
 }
 
+/// One entry on a thread's active-scope stack: the scope plus the
+/// thread-local totals at the moment it was activated here. The window
+/// `LOCAL - base` is what this activation charges to the scope.
+struct ActiveEntry {
+    scope: Arc<ScopeInner>,
+    base: (u64, u64),
+}
+
+/// This thread's monotone `(invocations, scanned)` totals. `record_*`
+/// only ever touches these; scopes are charged by delta on guard drop.
+struct LocalCounts {
+    invocations: Cell<u64>,
+    scanned: Cell<u64>,
+}
+
 thread_local! {
     /// Scopes recording on this thread. A stack: guards pop what they
     /// pushed, so nested `measure`/`attach` compose.
-    static ACTIVE: RefCell<Vec<Arc<ScopeInner>>> = const { RefCell::new(Vec::new()) };
+    static ACTIVE: RefCell<Vec<ActiveEntry>> = const { RefCell::new(Vec::new()) };
+    static LOCAL: LocalCounts = const {
+        LocalCounts {
+            invocations: Cell::new(0),
+            scanned: Cell::new(0),
+        }
+    };
+}
+
+/// Current thread-local totals.
+fn local_counts() -> (u64, u64) {
+    LOCAL.with(|l| (l.invocations.get(), l.scanned.get()))
 }
 
 /// A point-in-time snapshot of one scope's counters.
@@ -97,12 +134,28 @@ impl CounterScope {
         .attach()
     }
 
-    /// Current totals of this scope.
+    /// Current totals of this scope. If the scope is active on the
+    /// *calling* thread, the still-open window since its activation here
+    /// is folded in, so snapshots taken before the guard drops are
+    /// accurate. Windows open on *other* threads only land when their
+    /// guards drop (i.e. when those workers finish).
     pub fn snapshot(&self) -> CounterSnapshot {
-        CounterSnapshot {
+        let mut snap = CounterSnapshot {
             compsim_invocations: self.inner.invocations.load(Ordering::Relaxed),
             elements_scanned: self.inner.scanned.load(Ordering::Relaxed),
-        }
+        };
+        let (inv, scanned) = local_counts();
+        ACTIVE.with(|a| {
+            if let Some(e) = a
+                .borrow()
+                .iter()
+                .find(|e| Arc::ptr_eq(&e.scope, &self.inner))
+            {
+                snap.compsim_invocations += inv - e.base.0;
+                snap.elements_scanned += scanned - e.base.1;
+            }
+        });
+        snap
     }
 
     /// Runs `f` with the scope active on the current thread and returns
@@ -133,11 +186,37 @@ pub struct ActiveScopes {
     scopes: Vec<Arc<ScopeInner>>,
 }
 
+/// Registers counter-scope propagation with the `ppscan_obs` context
+/// registry (once per process). After this, `ppscan_sched::WorkerPool`
+/// carries active scopes onto its worker threads automatically.
+/// Invoked from every activation path so any code that *uses* scopes
+/// also propagates them; calling it eagerly is also fine.
+pub fn ensure_propagator() {
+    static REGISTER: Once = Once::new();
+    REGISTER.call_once(|| {
+        ppscan_obs::propagate::register(Arc::new(CountersPropagator));
+    });
+}
+
+struct CountersPropagator;
+
+impl ppscan_obs::propagate::Propagator for CountersPropagator {
+    fn capture(&self) -> Box<dyn ppscan_obs::propagate::CapturedSlot> {
+        Box::new(inherit())
+    }
+}
+
+impl ppscan_obs::propagate::CapturedSlot for ActiveScopes {
+    fn attach(&self) -> Box<dyn std::any::Any> {
+        Box::new(ActiveScopes::attach(self))
+    }
+}
+
 /// Captures the scopes currently active on this thread (cheap: one Arc
 /// clone per active scope, usually zero or one).
 pub fn inherit() -> ActiveScopes {
     ACTIVE.with(|a| ActiveScopes {
-        scopes: a.borrow().clone(),
+        scopes: a.borrow().iter().map(|e| e.scope.clone()).collect(),
     })
 }
 
@@ -148,12 +227,17 @@ impl ActiveScopes {
     /// a "worker" task runs inline under the sequential strategy — does
     /// not double-count.
     pub fn attach(&self) -> AttachGuard {
+        ensure_propagator();
+        let base = local_counts();
         let pushed = ACTIVE.with(|a| {
             let mut stack = a.borrow_mut();
             let mut pushed = 0;
             for s in &self.scopes {
-                if !stack.iter().any(|t| Arc::ptr_eq(t, s)) {
-                    stack.push(s.clone());
+                if !stack.iter().any(|e| Arc::ptr_eq(&e.scope, s)) {
+                    stack.push(ActiveEntry {
+                        scope: s.clone(),
+                        base,
+                    });
                     pushed += 1;
                 }
             }
@@ -164,7 +248,9 @@ impl ActiveScopes {
 }
 
 /// RAII guard deactivating what [`ActiveScopes::attach`] /
-/// [`CounterScope::activate`] activated.
+/// [`CounterScope::activate`] activated; on drop it charges the
+/// thread-local counts accumulated during its window to the scopes it
+/// pushed.
 #[must_use = "dropping the guard immediately deactivates the scope"]
 pub struct AttachGuard {
     pushed: usize,
@@ -172,38 +258,34 @@ pub struct AttachGuard {
 
 impl Drop for AttachGuard {
     fn drop(&mut self) {
+        let (inv, scanned) = local_counts();
         ACTIVE.with(|a| {
             let mut stack = a.borrow_mut();
             for _ in 0..self.pushed {
-                stack.pop();
+                let e = stack.pop().expect("guard outlived its stack entries");
+                e.scope
+                    .invocations
+                    .fetch_add(inv - e.base.0, Ordering::Relaxed);
+                e.scope
+                    .scanned
+                    .fetch_add(scanned - e.base.1, Ordering::Relaxed);
             }
         });
     }
 }
 
-/// Records one `CompSim` invocation into every scope active on this
-/// thread. Called by every kernel entry point.
+/// Records one `CompSim` invocation. Called by every kernel entry point;
+/// compiles to a single thread-local increment.
 #[inline]
 pub fn record_invocation() {
-    ACTIVE.with(|a| {
-        for s in a.borrow().iter() {
-            s.invocations.fetch_add(1, Ordering::Relaxed);
-        }
-    });
+    LOCAL.with(|l| l.invocations.set(l.invocations.get() + 1));
 }
 
-/// Records `n` scanned elements into every active scope. Kernels batch
-/// this per call, not per element, to keep the hot loop clean.
+/// Records `n` scanned elements. Kernels batch this per call, not per
+/// element, to keep the hot loop clean.
 #[inline]
 pub fn record_scanned(n: u64) {
-    if n == 0 {
-        return;
-    }
-    ACTIVE.with(|a| {
-        for s in a.borrow().iter() {
-            s.scanned.fetch_add(n, Ordering::Relaxed);
-        }
-    });
+    LOCAL.with(|l| l.scanned.set(l.scanned.get() + n));
 }
 
 #[cfg(test)]
@@ -240,6 +322,20 @@ mod tests {
             assert_eq!(id.compsim_invocations, 1);
         });
         assert_eq!(od.compsim_invocations, 2, "outer sees nested work too");
+    }
+
+    #[test]
+    fn snapshot_sees_unflushed_counts_on_current_thread() {
+        // Drivers snapshot while their own activation guard is still
+        // alive; the open window must be visible despite deferred
+        // attribution.
+        let scope = CounterScope::new();
+        let _g = scope.activate();
+        record_invocation();
+        record_scanned(5);
+        let snap = scope.snapshot();
+        assert_eq!(snap.compsim_invocations, 1);
+        assert_eq!(snap.elements_scanned, 5);
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! `ppscan-obs`: the unified observability layer for the ppSCAN
+//! workspace — span tracing, cross-thread context propagation, and
+//! machine-readable run reports.
+//!
+//! Std-only by design: the build environment has no crate registry, so
+//! JSON handling is hand-rolled ([`json`]) the same way the graph
+//! crate hand-rolls its binary IO.
+//!
+//! The three layers:
+//!
+//! * [`span`] — `Span::enter("stage")` RAII guards feed per-thread ring
+//!   buffers and any active [`span::Collector`], which aggregates
+//!   per-stage / per-worker busy time, task counts, and injected-yield
+//!   counts.
+//! * [`propagate`] — a registry of [`propagate::Propagator`]s that
+//!   `ppscan-sched::WorkerPool` uses to automatically carry ambient
+//!   context (span collectors, kernel counter scopes) onto worker
+//!   threads, replacing manual per-call-site plumbing.
+//! * [`report`] — [`report::RunReport`] / [`report::FigureReport`]:
+//!   versioned, diffable JSON records of algorithm and benchmark runs.
+//!
+//! # Example
+//!
+//! ```
+//! use ppscan_obs::span::{Collector, Span};
+//!
+//! let collector = Collector::new();
+//! let guard = collector.activate();
+//! {
+//!     let _phase = Span::enter("similarity-pruning");
+//!     // ... run the phase (pool workers inherit the stage + collector
+//!     // automatically via ppscan_obs::propagate) ...
+//! }
+//! drop(guard);
+//! let phases = ppscan_obs::report::RunReport::phases_from(&collector.snapshot());
+//! assert_eq!(phases[0].name, "similarity-pruning");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod propagate;
+pub mod report;
+pub mod span;
+
+pub use report::{FigureReport, RunReport};
+pub use span::{Collector, Span};

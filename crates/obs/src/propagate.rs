@@ -1,0 +1,149 @@
+//! Cross-thread context propagation registry.
+//!
+//! The scheduler must hand worker threads whatever ambient context the
+//! orchestrating thread holds — span collectors, kernel counter scopes,
+//! and anything future layers add — without depending on those layers.
+//! This module inverts the dependency: context owners register a
+//! [`Propagator`] once, and `ppscan-sched` calls [`capture`] before
+//! spawning workers and [`CapturedContext::attach`] inside each worker.
+//!
+//! `ppscan-obs` registers its own span propagator automatically;
+//! `ppscan-intersect` registers its counter-scope propagator the first
+//! time a `CounterScope` is activated. This is the task-wrapper hook
+//! that replaces the old manual `counters::inherit()`/`attach()`
+//! call-site plumbing.
+
+use std::any::Any;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A source of thread-local ambient context that should follow tasks
+/// onto pool worker threads.
+pub trait Propagator: Send + Sync {
+    /// Captures the calling thread's context.
+    fn capture(&self) -> Box<dyn CapturedSlot>;
+}
+
+/// One captured piece of context, installable on another thread.
+pub trait CapturedSlot: Send + Sync {
+    /// Installs the context on the current thread, returning a guard
+    /// that undoes the installation when dropped.
+    fn attach(&self) -> Box<dyn Any>;
+}
+
+struct SpanPropagator;
+
+impl Propagator for SpanPropagator {
+    fn capture(&self) -> Box<dyn CapturedSlot> {
+        Box::new(crate::span::capture_context())
+    }
+}
+
+impl CapturedSlot for crate::span::SpanContext {
+    fn attach(&self) -> Box<dyn Any> {
+        Box::new(crate::span::SpanContext::attach(self))
+    }
+}
+
+fn registry() -> &'static RwLock<Vec<Arc<dyn Propagator>>> {
+    static REGISTRY: OnceLock<RwLock<Vec<Arc<dyn Propagator>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(vec![Arc::new(SpanPropagator)]))
+}
+
+/// Registers a propagator for all future [`capture`] calls.
+///
+/// Registration is additive and permanent for the process lifetime;
+/// propagators whose thread has no context should capture a cheap
+/// no-op slot rather than deregistering.
+pub fn register(p: Arc<dyn Propagator>) {
+    registry().write().unwrap().push(p);
+}
+
+/// Captures every registered propagator's context on the calling thread.
+pub fn capture() -> CapturedContext {
+    let slots = registry()
+        .read()
+        .unwrap()
+        .iter()
+        .map(|p| p.capture())
+        .collect();
+    CapturedContext { slots }
+}
+
+/// The full ambient context of a thread, ready to ship to workers.
+pub struct CapturedContext {
+    slots: Vec<Box<dyn CapturedSlot>>,
+}
+
+impl CapturedContext {
+    /// Installs all captured context on the current thread until the
+    /// returned guard drops (guards release in reverse order).
+    pub fn attach(&self) -> ContextGuard {
+        let guards = self.slots.iter().map(|s| s.attach()).collect();
+        ContextGuard { guards }
+    }
+}
+
+/// Guard for an attached [`CapturedContext`].
+pub struct ContextGuard {
+    guards: Vec<Box<dyn Any>>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        while let Some(g) = self.guards.pop() {
+            drop(g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Collector, Span};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    #[test]
+    fn span_context_flows_through_registry() {
+        let collector = Collector::new();
+        let _guard = collector.activate();
+        let ctx = capture();
+        thread::scope(|scope| {
+            scope.spawn(move || {
+                let _attached = ctx.attach();
+                let _span = Span::enter("propagated");
+            });
+        });
+        let snap = collector.snapshot();
+        assert!(snap.iter().any(|s| s.stage == "propagated"));
+    }
+
+    #[test]
+    fn custom_propagators_participate() {
+        static CAPTURES: AtomicUsize = AtomicUsize::new(0);
+        static ATTACHES: AtomicUsize = AtomicUsize::new(0);
+
+        struct Probe;
+        struct ProbeSlot;
+        impl Propagator for Probe {
+            fn capture(&self) -> Box<dyn CapturedSlot> {
+                CAPTURES.fetch_add(1, Ordering::Relaxed);
+                Box::new(ProbeSlot)
+            }
+        }
+        impl CapturedSlot for ProbeSlot {
+            fn attach(&self) -> Box<dyn Any> {
+                ATTACHES.fetch_add(1, Ordering::Relaxed);
+                Box::new(())
+            }
+        }
+
+        register(Arc::new(Probe));
+        let ctx = capture();
+        assert!(CAPTURES.load(Ordering::Relaxed) >= 1);
+        {
+            let _g = ctx.attach();
+        }
+        assert!(ATTACHES.load(Ordering::Relaxed) >= 1);
+    }
+}

@@ -39,6 +39,20 @@
 //!   differential stress driver to hunt schedule-dependent bugs and to
 //!   pin regressions to a replayable seed.
 //!
+//! ## Observability
+//!
+//! The pool is the workspace's single context-propagation point: before
+//! spawning workers it captures the submitting thread's ambient context
+//! through the `ppscan_obs::propagate` registry (span collectors, kernel
+//! counter scopes, and anything else a layer registers) and attaches it
+//! on every worker thread. Each task additionally runs inside a
+//! `ppscan_obs::Span` named after the submitting thread's current stage,
+//! with the worker id tagged, so an active `ppscan_obs::Collector` sees
+//! per-stage / per-worker busy time, task counts, and injected-yield
+//! counts — with zero plumbing at call sites. (This replaces the old
+//! convention of calling `counters::inherit()` / `attach()` manually
+//! around every pool submission.)
+//!
 //! ```
 //! use ppscan_sched::{chunk_by_weight, ExecutionStrategy, WorkerPool, DEFAULT_DEGREE_THRESHOLD};
 //! use std::sync::atomic::{AtomicU64, Ordering};
@@ -94,6 +108,24 @@ pub enum ExecutionStrategy {
         /// Permutation and yield-injection seed.
         seed: u64,
     },
+}
+
+impl ExecutionStrategy {
+    /// Parses the [`Display`](std::fmt::Display) form back into a
+    /// strategy: `"parallel"`, `"sequential"`, `"adversarial(SEED)"`.
+    /// Used by report readers and the stress corpus replayer.
+    pub fn parse(s: &str) -> Option<ExecutionStrategy> {
+        match s {
+            "parallel" => Some(ExecutionStrategy::Parallel),
+            "sequential" => Some(ExecutionStrategy::SequentialDeterministic),
+            _ => {
+                let seed = s.strip_prefix("adversarial(")?.strip_suffix(')')?;
+                Some(ExecutionStrategy::AdversarialSeeded {
+                    seed: seed.parse().ok()?,
+                })
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for ExecutionStrategy {
@@ -269,20 +301,28 @@ impl WorkerPool {
         // Mutex-free hand-out is possible with unsafe slice indexing; the
         // per-worker contiguous split below keeps the code safe and is
         // load-balanced enough for the sort workloads it serves.
+        let stage = ppscan_obs::span::current_stage().unwrap_or("task");
         match self.strategy {
             ExecutionStrategy::SequentialDeterministic => {
+                let _worker = ppscan_obs::span::enter_worker(0);
                 for item in items.iter_mut() {
+                    let _span = ppscan_obs::Span::enter(stage);
                     body(item);
                 }
             }
             _ => {
                 let workers = self.threads.min(items.len()).max(1);
                 let per = items.len().div_ceil(workers);
+                let ctx = ppscan_obs::propagate::capture();
                 std::thread::scope(|s| {
-                    for chunk in items.chunks_mut(per) {
+                    for (w, chunk) in items.chunks_mut(per).enumerate() {
                         let body = &body;
+                        let ctx = &ctx;
                         s.spawn(move || {
+                            let _worker = ppscan_obs::span::enter_worker(w);
+                            let _ctx = ctx.attach();
                             for item in chunk {
+                                let _span = ppscan_obs::Span::enter(stage);
                                 body(item);
                             }
                         });
@@ -294,6 +334,14 @@ impl WorkerPool {
 
     /// Dispatches `num_tasks` logical tasks (`run_task(i)` for each `i in
     /// 0..num_tasks`) under the strategy.
+    ///
+    /// Every task runs wrapped in the ambient observability context of
+    /// the submitting thread (see [`propagate`](ppscan_obs::propagate)):
+    /// span collectors, kernel counter scopes, and any other registered
+    /// propagator transfer to workers automatically, and each task is
+    /// recorded as a span under the submitting thread's current stage.
+    /// This is the pool's task-wrapper hook — call sites never touch
+    /// scope plumbing.
     fn execute<F>(&self, num_tasks: usize, run_task: F)
     where
         F: Fn(usize) + Sync,
@@ -301,18 +349,23 @@ impl WorkerPool {
         if num_tasks == 0 {
             return;
         }
+        let stage = ppscan_obs::span::current_stage().unwrap_or("task");
         match self.strategy {
             ExecutionStrategy::SequentialDeterministic => {
+                // The caller thread acts as worker 0 so per-worker task
+                // counts match parallel replays over the same task set.
+                let _worker = ppscan_obs::span::enter_worker(0);
                 for i in 0..num_tasks {
+                    let _span = ppscan_obs::Span::enter(stage);
                     run_task(i);
                 }
             }
             ExecutionStrategy::Parallel => {
-                self.dispatch(num_tasks, &run_task, None);
+                self.dispatch(num_tasks, stage, &run_task, None);
             }
             ExecutionStrategy::AdversarialSeeded { seed } => {
                 let order = seeded_permutation(num_tasks, seed);
-                self.dispatch(num_tasks, &run_task, Some((order, seed)));
+                self.dispatch(num_tasks, stage, &run_task, Some((order, seed)));
             }
         }
     }
@@ -321,8 +374,13 @@ impl WorkerPool {
     /// atomic counter (dynamic scheduling — a fast task-stealing
     /// approximation with contiguous claim order). `adversarial` supplies
     /// the permuted claim order and the yield-injection seed.
-    fn dispatch<F>(&self, num_tasks: usize, run_task: &F, adversarial: Option<(Vec<usize>, u64)>)
-    where
+    fn dispatch<F>(
+        &self,
+        num_tasks: usize,
+        stage: &'static str,
+        run_task: &F,
+        adversarial: Option<(Vec<usize>, u64)>,
+    ) where
         F: Fn(usize) + Sync,
     {
         let workers = self.threads.min(num_tasks);
@@ -337,36 +395,53 @@ impl WorkerPool {
                 // this worker sits relative to the others without
                 // changing what it computes.
                 let mut state = seed ^ (task as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-                for _ in 0..splitmix64(&mut state) % 4 {
+                let pre = splitmix64(&mut state) % 4;
+                for _ in 0..pre {
                     std::thread::yield_now();
                 }
-                run_task(task);
-                for _ in 0..splitmix64(&mut state) % 2 {
+                {
+                    let _span = ppscan_obs::Span::enter(stage);
+                    run_task(task);
+                }
+                let post = splitmix64(&mut state) % 2;
+                for _ in 0..post {
                     std::thread::yield_now();
                 }
+                ppscan_obs::span::record_yields(pre + post);
             } else {
+                let _span = ppscan_obs::Span::enter(stage);
                 run_task(task);
             }
         };
         if workers <= 1 {
+            let _worker = ppscan_obs::span::enter_worker(0);
             for queue_pos in 0..num_tasks {
                 run_one(queue_pos);
             }
             return;
         }
+        // Capture the submitting thread's ambient context (span
+        // collectors, counter scopes, ...) once; each worker attaches it
+        // for the duration of its claim loop.
+        let ctx = ppscan_obs::propagate::capture();
         let next = AtomicUsize::new(0);
         std::thread::scope(|s| {
             for w in 0..workers {
                 let next = &next;
                 let run_one = &run_one;
+                let ctx = &ctx;
                 std::thread::Builder::new()
                     .name(format!("ppscan-worker-{w}"))
-                    .spawn_scoped(s, move || loop {
-                        let queue_pos = next.fetch_add(1, Ordering::Relaxed);
-                        if queue_pos >= num_tasks {
-                            break;
+                    .spawn_scoped(s, move || {
+                        let _worker = ppscan_obs::span::enter_worker(w);
+                        let _ctx = ctx.attach();
+                        loop {
+                            let queue_pos = next.fetch_add(1, Ordering::Relaxed);
+                            if queue_pos >= num_tasks {
+                                break;
+                            }
+                            run_one(queue_pos);
                         }
-                        run_one(queue_pos);
                     })
                     .expect("failed to spawn worker thread");
             }
@@ -562,6 +637,100 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn strategy_display_parse_roundtrip() {
+        for strategy in ALL_STRATEGIES {
+            let text = strategy.to_string();
+            assert_eq!(ExecutionStrategy::parse(&text), Some(strategy), "{text}");
+        }
+        for bad in [
+            "",
+            "Parallel",
+            "adversarial",
+            "adversarial(",
+            "adversarial(x)",
+        ] {
+            assert_eq!(ExecutionStrategy::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    /// Per-worker span aggregation must be schedule-independent in total:
+    /// an adversarial replay distributes tasks differently across workers
+    /// than the sequential reference, but per-stage task counts and task
+    /// coverage must agree exactly.
+    #[test]
+    fn span_aggregation_matches_across_strategies() {
+        use ppscan_obs::span::{Collector, Span, StageAgg};
+
+        fn run(strategy: ExecutionStrategy) -> Vec<StageAgg> {
+            let collector = Collector::new();
+            let guard = collector.activate();
+            let pool = WorkerPool::with_strategy(4, strategy);
+            let tasks = chunk_by_weight(503, 8, |_| 1);
+            {
+                let _phase = Span::enter("phase-a");
+                pool.run_chunks(&tasks, |r| {
+                    std::hint::black_box(r.len());
+                });
+            }
+            {
+                let _phase = Span::enter("phase-b");
+                pool.run_vertices(97, |v| {
+                    std::hint::black_box(v);
+                });
+            }
+            drop(guard);
+            collector.snapshot()
+        }
+
+        let reference = run(ExecutionStrategy::SequentialDeterministic);
+        let expected_a = chunk_by_weight(503, 8, |_| 1).len() as u64;
+        let ref_a = reference.iter().find(|s| s.stage == "phase-a").unwrap();
+        assert_eq!(ref_a.worker_tasks(), expected_a);
+        assert_eq!(ref_a.wall_count, 1);
+
+        for strategy in [
+            ExecutionStrategy::Parallel,
+            ExecutionStrategy::AdversarialSeeded { seed: 7 },
+            ExecutionStrategy::AdversarialSeeded { seed: 0xfeed },
+        ] {
+            let snap = run(strategy);
+            for stage in ["phase-a", "phase-b"] {
+                let ours = snap.iter().find(|s| s.stage == stage).unwrap();
+                let theirs = reference.iter().find(|s| s.stage == stage).unwrap();
+                assert_eq!(
+                    ours.worker_tasks(),
+                    theirs.worker_tasks(),
+                    "{strategy}/{stage}: total task count must be schedule-independent"
+                );
+                assert_eq!(ours.wall_count, 1, "{strategy}/{stage}");
+                assert!(
+                    ours.workers.len() <= 4,
+                    "{strategy}/{stage}: at most `threads` workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_yields_are_reported() {
+        use ppscan_obs::span::{Collector, Span};
+        let collector = Collector::new();
+        let guard = collector.activate();
+        let pool = WorkerPool::with_strategy(2, ExecutionStrategy::AdversarialSeeded { seed: 3 });
+        {
+            let _phase = Span::enter("yielding");
+            pool.run_vertices(512, |v| {
+                std::hint::black_box(v);
+            });
+        }
+        drop(guard);
+        let snap = collector.snapshot();
+        let agg = snap.iter().find(|s| s.stage == "yielding").unwrap();
+        let yields: u64 = agg.workers.iter().map(|w| w.yields).sum();
+        assert!(yields > 0, "seeded yield injection should be observable");
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub use ppscan_core as core;
 pub use ppscan_graph as graph;
 pub use ppscan_gsindex as gsindex;
 pub use ppscan_intersect as intersect;
+pub use ppscan_obs as obs;
 pub use ppscan_sched as sched;
 pub use ppscan_unionfind as unionfind;
 
