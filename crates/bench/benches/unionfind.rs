@@ -52,7 +52,7 @@ fn main() {
         secs(d),
     ]);
     let d = best_of(5, || {
-        let uf = ConcurrentUnionFind::new(n as usize);
+        let uf: ConcurrentUnionFind = ConcurrentUnionFind::new(n as usize);
         for &(u, v) in &pairs {
             black_box(uf.union(u, v));
         }
@@ -66,7 +66,7 @@ fn main() {
     let pairs = random_pairs(n, 200_000, 5);
     for threads in [1usize, 2, 4] {
         let d = best_of(5, || {
-            let uf = ConcurrentUnionFind::new(n as usize);
+            let uf: ConcurrentUnionFind = ConcurrentUnionFind::new(n as usize);
             let per = pairs.len().div_ceil(threads);
             std::thread::scope(|s| {
                 for chunk in pairs.chunks(per) {

@@ -108,6 +108,29 @@ fn main() {
                     r.algorithm,
                     r.phases.len()
                 );
+                // Model-checker reports carry a scenario array; surface
+                // the schedule-count summary so the CI artifact is
+                // legible from the job log alone.
+                if r.algorithm == "modelcheck" {
+                    let extra = |k: &str| r.extra.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+                    if let Some(scenarios) = extra("scenarios").and_then(|v| v.as_arr()) {
+                        let schedules: u64 = scenarios
+                            .iter()
+                            .filter_map(|s| s.get("schedules").and_then(|v| v.as_u64()))
+                            .sum();
+                        let ok = extra("all_ok").and_then(|v| v.as_bool()).unwrap_or(false);
+                        println!(
+                            "  modelcheck: {} scenarios, {} schedules explored, all_ok={}",
+                            scenarios.len(),
+                            schedules,
+                            ok
+                        );
+                        if !ok {
+                            eprintln!("{}: modelcheck report flags a failure", path.display());
+                            std::process::exit(1);
+                        }
+                    }
+                }
             }
             Err(e) => {
                 eprintln!("{e}");

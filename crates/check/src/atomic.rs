@@ -1,0 +1,116 @@
+//! Model atomics: drop-in substrates for the protocol structs.
+//!
+//! [`ModelAtomicU32`] / [`ModelAtomicU8`] implement the
+//! `ppscan_unionfind::substrate` traits, so
+//! `ConcurrentUnionFind<ModelAtomicU32>` and `SimStore<ModelAtomicU8>`
+//! run the *identical* protocol code as production — but every operation
+//! routes through the model-checking runtime, where it becomes a
+//! scheduling (and, for `Relaxed` loads, value) decision point.
+//!
+//! A model atomic is just an index into the current run's location
+//! registry; construction registers the location, so scenario setup code
+//! (`ConcurrentUnionFind::new`, pre-linking unions, ...) works unchanged
+//! on the controller thread.
+
+use crate::runtime::{self, OpDesc, OpKind};
+use ppscan_unionfind::substrate::{AtomicCellU32, AtomicCellU8};
+use std::sync::atomic::Ordering;
+
+/// Modeled `u32` atomic cell (union-find parent slots).
+pub struct ModelAtomicU32 {
+    loc: usize,
+}
+
+/// Modeled `u8` atomic cell (similarity-label slots).
+pub struct ModelAtomicU8 {
+    loc: usize,
+}
+
+fn op(loc: usize, kind: OpKind, val: u64, expect: u64, weak: bool, order: Ordering) -> OpDesc {
+    OpDesc {
+        loc,
+        kind,
+        val,
+        expect,
+        weak,
+        order,
+    }
+}
+
+impl AtomicCellU32 for ModelAtomicU32 {
+    fn new(v: u32) -> Self {
+        ModelAtomicU32 {
+            loc: runtime::register_location(v as u64),
+        }
+    }
+
+    fn load(&self, order: Ordering) -> u32 {
+        runtime::perform(op(self.loc, OpKind::Load, 0, 0, false, order)) as u32
+    }
+
+    fn store(&self, v: u32, order: Ordering) {
+        runtime::perform(op(self.loc, OpKind::Store, v as u64, 0, false, order));
+    }
+
+    fn compare_exchange(
+        &self,
+        current: u32,
+        new: u32,
+        success: Ordering,
+        _failure: Ordering,
+    ) -> Result<u32, u32> {
+        let packed = runtime::perform(op(
+            self.loc,
+            OpKind::Rmw,
+            new as u64,
+            current as u64,
+            false,
+            success,
+        ));
+        let (ok, observed) = runtime::unpack_cas(packed);
+        if ok {
+            Ok(observed as u32)
+        } else {
+            Err(observed as u32)
+        }
+    }
+
+    fn compare_exchange_weak(
+        &self,
+        current: u32,
+        new: u32,
+        success: Ordering,
+        _failure: Ordering,
+    ) -> Result<u32, u32> {
+        let packed = runtime::perform(op(
+            self.loc,
+            OpKind::Rmw,
+            new as u64,
+            current as u64,
+            true,
+            success,
+        ));
+        let (ok, observed) = runtime::unpack_cas(packed);
+        if ok {
+            Ok(observed as u32)
+        } else {
+            Err(observed as u32)
+        }
+    }
+}
+
+impl AtomicCellU8 for ModelAtomicU8 {
+    fn new(v: u8) -> Self {
+        ModelAtomicU8 {
+            loc: runtime::register_location(v as u64),
+        }
+    }
+
+    fn load(&self, order: Ordering) -> u8 {
+        runtime::perform(op(self.loc, OpKind::Load, 0, 0, false, order)) as u8
+    }
+
+    fn store(&self, v: u8, order: Ordering) {
+        runtime::perform(op(self.loc, OpKind::Store, v as u64, 0, false, order));
+    }
+}

@@ -1,0 +1,184 @@
+//! The `check` binary: runs the full scenario catalog and prints (and
+//! optionally writes, as a machine-readable run report) per-scenario
+//! schedule counts.
+//!
+//! ```text
+//! check [--budget N] [--preemption-bound K] [--no-weak] [--no-por]
+//!       [--spurious-weak-cas] [--report PATH]
+//! ```
+//!
+//! Scenarios carrying seeded bugs are expected to produce violations;
+//! the binary treats "violation detected" as success for those entries
+//! and a pass as failure (the checker lost its teeth). Exit code 0 iff
+//! every scenario behaved as expected.
+
+use ppscan_check::runtime::{Config, Outcome};
+use ppscan_check::scenarios::{catalog, Scenario};
+use ppscan_obs::json::Json;
+use ppscan_obs::RunReport;
+use std::process::ExitCode;
+
+struct Args {
+    cfg: Config,
+    report: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut cfg = Config {
+        // The binary is a CI gate: bounded budget, well under 2 minutes.
+        max_schedules: 200_000,
+        ..Config::default()
+    };
+    let mut report = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--budget" => {
+                let v = it.next().ok_or("--budget needs a value")?;
+                cfg.max_schedules = v.parse().map_err(|_| format!("bad --budget {v}"))?;
+            }
+            "--preemption-bound" => {
+                let v = it.next().ok_or("--preemption-bound needs a value")?;
+                cfg.preemption_bound = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --preemption-bound {v}"))?,
+                );
+            }
+            "--no-weak" => cfg.weak_memory = false,
+            "--no-por" => cfg.por = false,
+            "--spurious-weak-cas" => cfg.spurious_weak_cas = true,
+            "--report" => report = Some(it.next().ok_or("--report needs a path")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: check [--budget N] [--preemption-bound K] [--no-weak] \
+                     [--no-por] [--spurious-weak-cas] [--report PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(Args { cfg, report })
+}
+
+fn run_scenario(s: &Scenario, cfg: &Config) -> (bool, Json) {
+    let started = std::time::Instant::now();
+    let outcome = (s.run)(cfg);
+    let elapsed = started.elapsed();
+    let stats = outcome.stats().clone();
+    let detected = !outcome.is_pass();
+    let ok = detected == s.expect_violation;
+    let verdict = match (s.expect_violation, detected) {
+        (false, false) => "pass",
+        (false, true) => "VIOLATION",
+        (true, true) => "detected (expected)",
+        (true, false) => "MISSED SEEDED BUG",
+    };
+    println!(
+        "{:<26} {:>9} schedules {:>8} pruned {:>9} decisions  depth {:<3} {:<10} {:>7.2?}  {}",
+        s.name,
+        stats.schedules,
+        stats.pruned,
+        stats.decisions,
+        stats.max_depth,
+        if stats.exhausted {
+            "exhausted"
+        } else {
+            "budget-cap"
+        },
+        elapsed,
+        verdict,
+    );
+    if let Outcome::Violation {
+        schedule, message, ..
+    } = &outcome
+    {
+        if !s.expect_violation {
+            eprintln!("  {message}");
+            for line in schedule {
+                eprintln!("    {line}");
+            }
+        }
+    }
+    let mut entry = vec![
+        ("name".to_string(), Json::Str(s.name.to_string())),
+        ("what".to_string(), Json::Str(s.what.to_string())),
+        ("verdict".to_string(), Json::Str(verdict.to_string())),
+        ("ok".to_string(), Json::Bool(ok)),
+        ("schedules".to_string(), Json::from_u64(stats.schedules)),
+        ("pruned".to_string(), Json::from_u64(stats.pruned)),
+        ("decisions".to_string(), Json::from_u64(stats.decisions)),
+        (
+            "max_depth".to_string(),
+            Json::from_u64(stats.max_depth as u64),
+        ),
+        ("exhausted".to_string(), Json::Bool(stats.exhausted)),
+        (
+            "distinct_final_states".to_string(),
+            Json::from_u64(stats.final_states.len() as u64),
+        ),
+        (
+            "elapsed_ms".to_string(),
+            Json::from_u64(elapsed.as_millis() as u64),
+        ),
+    ];
+    if let Outcome::Violation { message, .. } = &outcome {
+        entry.push(("violation".to_string(), Json::Str(message.clone())));
+    }
+    (ok, Json::Obj(entry))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "ppscan-check: budget {} schedules/scenario, preemption bound {:?}, \
+         weak memory {}, POR {}",
+        args.cfg.max_schedules, args.cfg.preemption_bound, args.cfg.weak_memory, args.cfg.por,
+    );
+    let mut all_ok = true;
+    let mut entries = Vec::new();
+    for s in catalog() {
+        let (ok, entry) = run_scenario(&s, &args.cfg);
+        all_ok &= ok;
+        entries.push(entry);
+    }
+    if let Some(path) = args.report {
+        let mut report = RunReport::new("modelcheck");
+        report.push_extra(
+            "config",
+            Json::Obj(vec![
+                (
+                    "max_schedules".to_string(),
+                    Json::from_u64(args.cfg.max_schedules),
+                ),
+                (
+                    "preemption_bound".to_string(),
+                    match args.cfg.preemption_bound {
+                        Some(b) => Json::from_u64(b as u64),
+                        None => Json::Null,
+                    },
+                ),
+                ("weak_memory".to_string(), Json::Bool(args.cfg.weak_memory)),
+                ("por".to_string(), Json::Bool(args.cfg.por)),
+            ]),
+        );
+        report.push_extra("scenarios", Json::Arr(entries));
+        report.push_extra("all_ok", Json::Bool(all_ok));
+        if let Err(e) = report.write_to_file(&path) {
+            eprintln!("error: failed to write report {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("report written to {path}");
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,771 @@
+//! The model-checking runtime: a deterministic cooperative scheduler plus
+//! a DFS explorer over scheduling (and weak-memory value) decision
+//! points.
+//!
+//! # Execution model
+//!
+//! A scenario run spawns one real OS thread per logical thread, but the
+//! threads never race: a baton protocol (mutex + condvar) guarantees that
+//! at most one thread executes protocol code at any instant. Every
+//! [`ModelAtomicU32`](crate::ModelAtomicU32) /
+//! [`ModelAtomicU8`](crate::ModelAtomicU8) operation is a *gate*: the
+//! thread announces the operation it is about to perform and parks. The
+//! controller (the exploring thread) picks which parked thread advances —
+//! and, for `Relaxed` loads under the weak-memory model, *which value it
+//! observes* — then hands it the baton. The thread performs exactly that
+//! one operation and keeps running until its next gate.
+//!
+//! Because all shared state flows through model atomics, a run is a pure
+//! function of the choice sequence, so schedules replay exactly and DFS
+//! over the choice tree enumerates every interleaving once.
+//!
+//! # Weak memory
+//!
+//! Each atomic location keeps its full store history. A `Relaxed` load
+//! may observe any store at or after the loading thread's per-location
+//! *seen floor* (per-location coherence: a thread never reads older than
+//! it has already read, reads its own writes, and thread spawn
+//! synchronizes with the setup phase). Each admissible store is a
+//! separate branch of the decision node, so stale-read behaviors are
+//! enumerated, not sampled. `Acquire`/`SeqCst` loads and all RMWs read
+//! the latest store (RMW atomicity; acquire is modeled conservatively
+//! strong — see DESIGN.md §9 for the model's exact memory semantics).
+//!
+//! # Reduction and bounding
+//!
+//! * **Sleep sets** (Godefroid-style dynamic partial-order reduction):
+//!   after fully exploring thread `t`'s alternatives at a node, `(t, op)`
+//!   enters the node's sleep set; sibling subtrees skip `t` until a
+//!   dependent operation (same location, not both loads) wakes it.
+//!   Disable with [`Config::por`] to count raw interleavings.
+//! * **Preemption bounding**: switching away from a thread that is still
+//!   enabled costs one unit of [`Config::preemption_bound`]; unbounded
+//!   when `None`.
+//! * **Budgets**: [`Config::max_schedules`] caps explored runs (the
+//!   [`Stats::exhausted`] flag records whether the space was completed),
+//!   and [`Config::max_steps`] aborts pathological runs as suspected
+//!   livelock.
+
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering as MemOrder;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once};
+
+/// Explorer knobs. `Default` is the exhaustive configuration: weak
+/// memory on, sleep-set reduction on, no preemption bound, generous
+/// budgets.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum context switches away from a still-enabled thread per
+    /// schedule; `None` = unbounded (full exploration).
+    pub preemption_bound: Option<usize>,
+    /// Stop after this many runs (completed + pruned). The space is
+    /// reported as exhausted only if DFS finished within the budget.
+    pub max_schedules: u64,
+    /// Model `Relaxed` loads as able to return stale values from the
+    /// store history (one branch per admissible store).
+    pub weak_memory: bool,
+    /// Sleep-set partial-order reduction. Turn off to enumerate every
+    /// raw interleaving (used by the schedule-count acceptance test).
+    pub por: bool,
+    /// Branch weak CAS (`compare_exchange_weak`) on spurious failure.
+    pub spurious_weak_cas: bool,
+    /// Per-run step limit; exceeding it is reported as a violation
+    /// (suspected livelock — all checked protocols are lock-free and
+    /// terminate in far fewer steps on legitimate schedules).
+    pub max_steps: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: None,
+            max_schedules: 1_000_000,
+            weak_memory: true,
+            por: true,
+            spurious_weak_cas: false,
+            max_steps: 20_000,
+        }
+    }
+}
+
+/// Aggregate exploration statistics.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Complete runs (all threads finished, scenario check executed).
+    pub schedules: u64,
+    /// Runs abandoned as redundant by the sleep-set reduction.
+    pub pruned: u64,
+    /// Decision nodes created.
+    pub decisions: u64,
+    /// Deepest decision sequence observed.
+    pub max_depth: usize,
+    /// Whether DFS finished the whole space within the budget.
+    pub exhausted: bool,
+    /// Fingerprints of every distinct final state the scenario check
+    /// reported (its `Ok(u64)` values).
+    pub final_states: BTreeSet<u64>,
+}
+
+/// Result of exploring one scenario.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// Every explored schedule satisfied the scenario check.
+    Pass(Stats),
+    /// Some schedule failed; `schedule` is the exact choice script (one
+    /// line per decision) that produced it.
+    Violation {
+        /// Human-readable choice script of the failing schedule.
+        schedule: Vec<String>,
+        /// What went wrong (scenario check message, deadlock, livelock
+        /// guard, or a panic inside protocol code).
+        message: String,
+        /// Statistics up to and including the failing run.
+        stats: Stats,
+    },
+}
+
+impl Outcome {
+    /// The statistics regardless of pass/fail.
+    pub fn stats(&self) -> &Stats {
+        match self {
+            Outcome::Pass(s) => s,
+            Outcome::Violation { stats, .. } => stats,
+        }
+    }
+
+    /// Whether the scenario passed.
+    pub fn is_pass(&self) -> bool {
+        matches!(self, Outcome::Pass(_))
+    }
+}
+
+/// One run of a scenario: the logical threads to interleave plus a final
+/// check executed quiescently after all threads finish. The check
+/// receives each thread's `u64` return value and returns a fingerprint
+/// of the final state (collected into [`Stats::final_states`]) or a
+/// violation message.
+pub struct RunSpec {
+    /// Thread bodies. Index = thread id in schedules and reports.
+    pub threads: Vec<Box<dyn FnOnce() -> u64 + Send>>,
+    /// Quiescent final check; `Ok(fingerprint)` or `Err(message)`.
+    #[allow(clippy::type_complexity)]
+    pub check: Box<dyn FnOnce(&[u64]) -> Result<u64, String>>,
+}
+
+/// What kind of atomic operation a thread is gated on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// Atomic load.
+    Load,
+    /// Atomic store.
+    Store,
+    /// Compare-exchange (strong or weak).
+    Rmw,
+}
+
+/// A pending atomic operation, announced at a gate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpDesc {
+    /// Location index (registration order within the run).
+    pub loc: usize,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Store value / CAS replacement.
+    pub val: u64,
+    /// CAS expected value.
+    pub expect: u64,
+    /// Weak CAS (may branch on spurious failure).
+    pub weak: bool,
+    /// The ordering the call site declared.
+    pub order: MemOrder,
+}
+
+/// Variant marker: no value choice applies (stores, strong CAS).
+const NO_VARIANT: u32 = u32::MAX;
+/// Variant marker: weak CAS fails spuriously.
+const SPURIOUS: u32 = u32::MAX - 1;
+/// Pseudo thread id of the controller (setup / final check context).
+const CONTROLLER: usize = usize::MAX;
+
+/// One branch at a decision node: which thread advances, and (for loads)
+/// which store-history index it observes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Choice {
+    tid: usize,
+    variant: u32,
+}
+
+/// A decision node on the DFS path. Persisted across re-executions while
+/// its subtree is being explored.
+struct Node {
+    /// Enumerated alternatives, grouped by thread (preemption filter
+    /// already applied).
+    alts: Vec<Choice>,
+    /// Index into `alts` of the alternative currently being explored.
+    cursor: usize,
+    /// Sleep set: threads (with their pending op) whose subtrees from
+    /// this node are provably redundant.
+    sleep: Vec<(usize, OpDesc)>,
+    /// Pending op of every enabled thread at this node (for sleep-set
+    /// filtering and pretty-printing).
+    enabled: Vec<(usize, OpDesc)>,
+    /// Thread chosen at the parent node (`None` at the root).
+    prev_tid: Option<usize>,
+    /// Preemptions consumed by the path into this node.
+    preemptions: usize,
+}
+
+impl Node {
+    fn op_of(&self, tid: usize) -> OpDesc {
+        self.enabled
+            .iter()
+            .find(|(t, _)| *t == tid)
+            .map(|(_, o)| *o)
+            .expect("chosen thread must be enabled")
+    }
+
+    fn chosen(&self) -> Choice {
+        self.alts[self.cursor]
+    }
+
+    fn pretty_chosen(&self) -> String {
+        let c = self.chosen();
+        let op = self.op_of(c.tid);
+        let what = match op.kind {
+            OpKind::Load => match c.variant {
+                NO_VARIANT => format!("load(loc{})", op.loc),
+                v => format!("load(loc{})@h{v}", op.loc),
+            },
+            OpKind::Store => format!("store(loc{}, {})", op.loc, op.val),
+            OpKind::Rmw => {
+                let kind = if op.weak { "casw" } else { "cas" };
+                let spur = if c.variant == SPURIOUS {
+                    " spurious"
+                } else {
+                    ""
+                };
+                format!("{kind}(loc{}, {} -> {}){spur}", op.loc, op.expect, op.val)
+            }
+        };
+        format!("t{} {what} [{:?}]", c.tid, op.order)
+    }
+}
+
+/// A location's full store history. Index 0 is the initial value.
+struct Location {
+    history: Vec<u64>,
+}
+
+/// Shared run state behind the baton mutex.
+struct Global {
+    locations: Vec<Location>,
+    /// `seen[tid][loc]`: minimum history index thread `tid` may still
+    /// observe at `loc` (per-location coherence floor). Rows may be
+    /// shorter than `locations` for mid-run registrations; missing
+    /// entries mean floor 0.
+    seen: Vec<Vec<usize>>,
+    /// Which worker holds the baton (`None`: controller's turn).
+    active: Option<usize>,
+    /// Value-choice variant delivered with the current grant.
+    grant_variant: u32,
+    pending: Vec<Option<OpDesc>>,
+    finished: Vec<bool>,
+    results: Vec<u64>,
+    abort: bool,
+    steps: u64,
+    /// Set when a worker panics with a real error (not an abort token).
+    failure: Option<String>,
+}
+
+/// Per-run shared context: the baton and the modeled memory.
+pub(crate) struct RunCtx {
+    global: Mutex<Global>,
+    cv: Condvar,
+}
+
+/// Payload used to unwind workers parked at gates when a run is
+/// abandoned (violation found elsewhere, or sleep-set prune).
+struct AbortToken;
+
+thread_local! {
+    /// Ambient run context: `Some((ctx, tid))` inside a model-check run.
+    /// `tid == CONTROLLER` on the exploring thread (setup and final
+    /// check run there, with ops executing immediately and quiescently).
+    static CTX: std::cell::RefCell<Option<(Arc<RunCtx>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Suppress the default "thread panicked" banner for the explorer's own
+/// abort unwinds (thousands per exploration); real panics still print.
+fn install_quiet_abort_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<AbortToken>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+impl RunCtx {
+    fn new() -> RunCtx {
+        RunCtx {
+            global: Mutex::new(Global {
+                locations: Vec::new(),
+                seen: Vec::new(),
+                active: None,
+                grant_variant: NO_VARIANT,
+                pending: Vec::new(),
+                finished: Vec::new(),
+                results: Vec::new(),
+                abort: false,
+                steps: 0,
+                failure: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Worker side of the baton: announce `op`, park, and when granted
+    /// execute it (with the controller-chosen variant) and keep running.
+    fn gate(&self, tid: usize, op: OpDesc) -> u64 {
+        let mut g = self.global.lock().unwrap();
+        g.pending[tid] = Some(op);
+        if g.active == Some(tid) {
+            g.active = None;
+        }
+        self.cv.notify_all();
+        loop {
+            if g.abort {
+                drop(g);
+                std::panic::panic_any(AbortToken);
+            }
+            if g.active == Some(tid) {
+                let variant = g.grant_variant;
+                g.pending[tid] = None;
+                g.steps += 1;
+                // Baton stays with this thread until its next gate.
+                return exec_op(&mut g, tid, op, variant);
+            }
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+
+    /// Controller side: block until every worker is parked at a gate or
+    /// finished (or a worker failed).
+    fn wait_quiescent(&self) -> MutexGuard<'_, Global> {
+        let mut g = self.global.lock().unwrap();
+        loop {
+            let parked = g.active.is_none()
+                && g.pending
+                    .iter()
+                    .zip(&g.finished)
+                    .all(|(p, &f)| f || p.is_some());
+            if parked || g.failure.is_some() {
+                return g;
+            }
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+}
+
+/// Advances `seen[tid][loc]` to at least `idx` (no-op for the
+/// controller, which always reads latest and tracks no floor).
+fn note_seen(g: &mut Global, tid: usize, loc: usize, idx: usize) {
+    if tid == CONTROLLER {
+        return;
+    }
+    let row = &mut g.seen[tid];
+    if row.len() <= loc {
+        row.resize(loc + 1, 0);
+    }
+    row[loc] = row[loc].max(idx);
+}
+
+/// Executes `op` against the modeled memory. `variant` selects the
+/// observed store for loads (or spurious failure for weak CAS).
+fn exec_op(g: &mut Global, tid: usize, op: OpDesc, variant: u32) -> u64 {
+    let latest = g.locations[op.loc].history.len() - 1;
+    match op.kind {
+        OpKind::Load => {
+            let idx = if variant == NO_VARIANT {
+                latest
+            } else {
+                variant as usize
+            };
+            note_seen(g, tid, op.loc, idx);
+            g.locations[op.loc].history[idx]
+        }
+        OpKind::Store => {
+            g.locations[op.loc].history.push(op.val);
+            note_seen(g, tid, op.loc, latest + 1);
+            0
+        }
+        OpKind::Rmw => {
+            let cur = g.locations[op.loc].history[latest];
+            note_seen(g, tid, op.loc, latest);
+            if variant == SPURIOUS {
+                // Spurious failure still reports the current value.
+                pack_cas(false, cur)
+            } else if cur == op.expect {
+                g.locations[op.loc].history.push(op.val);
+                note_seen(g, tid, op.loc, latest + 1);
+                pack_cas(true, cur)
+            } else {
+                pack_cas(false, cur)
+            }
+        }
+    }
+}
+
+fn pack_cas(success: bool, val: u64) -> u64 {
+    ((success as u64) << 32) | val
+}
+
+/// Splits a packed CAS result back into `(success, observed)`.
+pub(crate) fn unpack_cas(packed: u64) -> (bool, u64) {
+    (packed >> 32 != 0, packed & 0xffff_ffff)
+}
+
+/// Registers a fresh location with initial value `v`; called from
+/// `ModelAtomic*::new` under the ambient run context.
+pub(crate) fn register_location(v: u64) -> usize {
+    with_ctx(|ctx, _tid| {
+        let mut g = ctx.global.lock().unwrap();
+        g.locations.push(Location { history: vec![v] });
+        g.locations.len() - 1
+    })
+}
+
+/// Dispatches an atomic operation: gates on a worker thread, executes
+/// immediately on the controller.
+pub(crate) fn perform(op: OpDesc) -> u64 {
+    with_ctx(|ctx, tid| {
+        if tid == CONTROLLER {
+            let mut g = ctx.global.lock().unwrap();
+            exec_op(&mut g, CONTROLLER, op, NO_VARIANT)
+        } else {
+            ctx.gate(tid, op)
+        }
+    })
+}
+
+fn with_ctx<R>(f: impl FnOnce(&Arc<RunCtx>, usize) -> R) -> R {
+    CTX.with(|c| {
+        let cell = c.borrow();
+        let (ctx, tid) = cell
+            .as_ref()
+            .expect("ModelAtomic used outside a ppscan-check exploration");
+        f(ctx, *tid)
+    })
+}
+
+/// True when `order` makes a load eligible for stale-value branching.
+/// `Acquire`/`SeqCst` loads read the latest store (modeled
+/// conservatively strong; the audited protocols use `Relaxed` loads
+/// exclusively, so branching covers every load that matters).
+fn relaxed_load(order: MemOrder) -> bool {
+    matches!(order, MemOrder::Relaxed)
+}
+
+/// Two pending ops commute iff they touch different locations or are
+/// both loads (loads never change the history another op observes).
+fn independent(a: &OpDesc, b: &OpDesc) -> bool {
+    a.loc != b.loc || (a.kind == OpKind::Load && b.kind == OpKind::Load)
+}
+
+/// The value branches available to thread `tid`'s pending `op`.
+fn variants_for(g: &Global, cfg: &Config, tid: usize, op: &OpDesc) -> Vec<u32> {
+    match op.kind {
+        OpKind::Load => {
+            let latest = g.locations[op.loc].history.len() - 1;
+            if cfg.weak_memory && relaxed_load(op.order) {
+                let floor = g.seen[tid].get(op.loc).copied().unwrap_or(0);
+                (floor..=latest).map(|i| i as u32).collect()
+            } else {
+                vec![latest as u32]
+            }
+        }
+        OpKind::Store => vec![NO_VARIANT],
+        OpKind::Rmw => {
+            if op.weak && cfg.spurious_weak_cas {
+                vec![NO_VARIANT, SPURIOUS]
+            } else {
+                vec![NO_VARIANT]
+            }
+        }
+    }
+}
+
+/// Explores all interleavings of the scenario produced by `mk`. `mk` is
+/// called once per run and must be deterministic: same setup, same
+/// thread bodies, same check, all shared state via model atomics.
+pub fn explore(cfg: &Config, mut mk: impl FnMut() -> RunSpec) -> Outcome {
+    install_quiet_abort_hook();
+    let mut path: Vec<Node> = Vec::new();
+    let mut stats = Stats::default();
+    loop {
+        match run_once(cfg, &mut mk, &mut path, &mut stats) {
+            RunEnd::Completed => stats.schedules += 1,
+            RunEnd::Pruned => stats.pruned += 1,
+            RunEnd::Violation(message) => {
+                let schedule = path.iter().map(Node::pretty_chosen).collect();
+                return Outcome::Violation {
+                    schedule,
+                    message,
+                    stats,
+                };
+            }
+        }
+        if !backtrack(cfg, &mut path) {
+            stats.exhausted = true;
+            return Outcome::Pass(stats);
+        }
+        if stats.schedules + stats.pruned >= cfg.max_schedules {
+            return Outcome::Pass(stats);
+        }
+    }
+}
+
+enum RunEnd {
+    Completed,
+    Pruned,
+    Violation(String),
+}
+
+/// Executes one run, replaying `path` and extending it at the frontier.
+fn run_once(
+    cfg: &Config,
+    mk: &mut impl FnMut() -> RunSpec,
+    path: &mut Vec<Node>,
+    stats: &mut Stats,
+) -> RunEnd {
+    // The context must exist before `mk` runs: scenario setup registers
+    // locations (and may perform quiescent setup operations) through it.
+    let ctx = Arc::new(RunCtx::new());
+    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&ctx), CONTROLLER)));
+    let spec = mk();
+    let nthreads = spec.threads.len();
+    {
+        let mut g = ctx.global.lock().unwrap();
+        g.pending = vec![None; nthreads];
+        g.finished = vec![false; nthreads];
+        g.results = vec![0; nthreads];
+        // Thread spawn synchronizes with setup: every worker's seen
+        // floor starts at the latest pre-spawn store per location.
+        let floors: Vec<usize> = g.locations.iter().map(|l| l.history.len() - 1).collect();
+        g.seen = vec![floors; nthreads];
+    }
+
+    let mut handles = Vec::with_capacity(nthreads);
+    for (tid, body) in spec.threads.into_iter().enumerate() {
+        let ctx2 = Arc::clone(&ctx);
+        let handle = std::thread::Builder::new()
+            .name(format!("model-t{tid}"))
+            .spawn(move || {
+                CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&ctx2), tid)));
+                let r = catch_unwind(AssertUnwindSafe(body));
+                CTX.with(|c| *c.borrow_mut() = None);
+                let mut g = ctx2.global.lock().unwrap();
+                g.finished[tid] = true;
+                g.pending[tid] = None;
+                match r {
+                    Ok(v) => g.results[tid] = v,
+                    Err(payload) => {
+                        if payload.downcast_ref::<AbortToken>().is_none() {
+                            let msg = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "opaque panic payload".into());
+                            if g.failure.is_none() {
+                                g.failure = Some(format!("t{tid} panicked: {msg}"));
+                            }
+                        }
+                    }
+                }
+                if g.active == Some(tid) {
+                    g.active = None;
+                }
+                ctx2.cv.notify_all();
+            })
+            .expect("failed to spawn model worker");
+        handles.push(handle);
+    }
+
+    let mut depth = 0usize;
+    let end = loop {
+        let mut g = ctx.wait_quiescent();
+        if let Some(msg) = g.failure.clone() {
+            break RunEnd::Violation(msg);
+        }
+        if g.finished.iter().all(|&f| f) {
+            break RunEnd::Completed;
+        }
+        if g.steps >= cfg.max_steps {
+            break RunEnd::Violation(format!(
+                "exceeded max_steps={} (suspected livelock)",
+                cfg.max_steps
+            ));
+        }
+        let enabled: Vec<(usize, OpDesc)> = g
+            .pending
+            .iter()
+            .enumerate()
+            .filter_map(|(t, p)| p.map(|op| (t, op)))
+            .collect();
+        if depth == path.len() {
+            // Frontier: create a fresh decision node.
+            let (prev_tid, preemptions, inherited_sleep) = match path.last() {
+                None => (None, 0, Vec::new()),
+                Some(p) => {
+                    let chosen = p.chosen();
+                    let chosen_op = p.op_of(chosen.tid);
+                    let cost = match p.prev_tid {
+                        Some(pt) if pt != chosen.tid && p.enabled.iter().any(|(t, _)| *t == pt) => {
+                            1
+                        }
+                        _ => 0,
+                    };
+                    let sleep: Vec<(usize, OpDesc)> = if cfg.por {
+                        p.sleep
+                            .iter()
+                            .filter(|(t, o)| *t != chosen.tid && independent(o, &chosen_op))
+                            .cloned()
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    (Some(chosen.tid), p.preemptions + cost, sleep)
+                }
+            };
+            // Prev thread first: DFS explores the non-preemptive
+            // continuation before any context switch.
+            let mut tids: Vec<usize> = enabled.iter().map(|(t, _)| *t).collect();
+            if let Some(pt) = prev_tid {
+                if let Some(pos) = tids.iter().position(|&t| t == pt) {
+                    tids.remove(pos);
+                    tids.insert(0, pt);
+                }
+            }
+            let prev_enabled = prev_tid.is_some_and(|pt| enabled.iter().any(|(t, _)| *t == pt));
+            let mut alts = Vec::new();
+            for &t in &tids {
+                if let Some(bound) = cfg.preemption_bound {
+                    let cost = usize::from(prev_enabled && Some(t) != prev_tid);
+                    if preemptions + cost > bound {
+                        continue;
+                    }
+                }
+                let op = enabled.iter().find(|(tt, _)| *tt == t).unwrap().1;
+                for v in variants_for(&g, cfg, t, &op) {
+                    alts.push(Choice { tid: t, variant: v });
+                }
+            }
+            let mut node = Node {
+                alts,
+                cursor: 0,
+                sleep: inherited_sleep,
+                enabled,
+                prev_tid,
+                preemptions,
+            };
+            while node.cursor < node.alts.len()
+                && node
+                    .sleep
+                    .iter()
+                    .any(|(t, _)| *t == node.alts[node.cursor].tid)
+            {
+                node.cursor += 1;
+            }
+            stats.decisions += 1;
+            let prunable = node.cursor >= node.alts.len();
+            path.push(node);
+            if prunable {
+                // Every enabled thread is asleep: this continuation is
+                // covered by an already-explored sibling.
+                break RunEnd::Pruned;
+            }
+        }
+        let choice = path[depth].chosen();
+        g.grant_variant = choice.variant;
+        g.active = Some(choice.tid);
+        ctx.cv.notify_all();
+        drop(g);
+        depth += 1;
+        stats.max_depth = stats.max_depth.max(depth);
+    };
+
+    // Tear down: unwind any still-parked workers, then join everyone.
+    {
+        let mut g = ctx.global.lock().unwrap();
+        g.abort = true;
+        ctx.cv.notify_all();
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+
+    let end = match end {
+        RunEnd::Completed => {
+            // The quiescent scenario check runs on the controller.
+            let results = ctx.global.lock().unwrap().results.clone();
+            match (spec.check)(&results) {
+                Ok(fp) => {
+                    stats.final_states.insert(fp);
+                    RunEnd::Completed
+                }
+                Err(msg) => RunEnd::Violation(format!("check failed: {msg}")),
+            }
+        }
+        other => other,
+    };
+    CTX.with(|c| *c.borrow_mut() = None);
+    end
+}
+
+/// Advances the deepest non-exhausted node to its next alternative,
+/// popping exhausted nodes. Returns `false` when the whole tree is done.
+fn backtrack(cfg: &Config, path: &mut Vec<Node>) -> bool {
+    while let Some(top) = path.last_mut() {
+        if top.cursor < top.alts.len() {
+            let done_tid = top.alts[top.cursor].tid;
+            top.cursor += 1;
+            let last_of_thread =
+                top.cursor >= top.alts.len() || top.alts[top.cursor].tid != done_tid;
+            if cfg.por && last_of_thread {
+                let op = top.op_of(done_tid);
+                top.sleep.push((done_tid, op));
+            }
+            while top.cursor < top.alts.len()
+                && top
+                    .sleep
+                    .iter()
+                    .any(|(t, _)| *t == top.alts[top.cursor].tid)
+            {
+                top.cursor += 1;
+            }
+            if top.cursor < top.alts.len() {
+                return true;
+            }
+        }
+        path.pop();
+    }
+    false
+}
+
+/// FNV-1a over a list of `u64` parts: the scenario checks use this to
+/// fingerprint final states for [`Stats::final_states`].
+pub fn fingerprint(parts: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &p in parts {
+        for b in p.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}

@@ -48,7 +48,7 @@ pub fn anyscan_report(
 pub fn anyscan(g: &CsrGraph, params: ScanParams, threads: usize) -> Clustering {
     let pool = WorkerPool::new(threads);
     let n = g.num_vertices();
-    let sim = SimStore::new(g.num_directed_edges());
+    let sim: SimStore = SimStore::new(g.num_directed_edges());
     let mu = params.mu;
 
     // Parallel block phase: determine roles; collect similar core-core

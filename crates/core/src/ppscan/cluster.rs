@@ -27,7 +27,7 @@ pub(crate) fn cluster_cores(
 ) -> ConcurrentUnionFind {
     let g = shared.g;
     let n = g.num_vertices();
-    let uf = ConcurrentUnionFind::new(n);
+    let uf: ConcurrentUnionFind = ConcurrentUnionFind::new(n);
     let core_weight = |u: VertexId| {
         if shared.is_core(u) {
             g.degree(u) as u64

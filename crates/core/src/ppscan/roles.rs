@@ -164,7 +164,23 @@ fn check_core_vertex(
                 }
                 shared.comp_sim_both(u, v, eo)
             }
-            published => published,
+            published => {
+                // Reaching this arm means the slot was `Unknown` in the
+                // counting loop but carries a label now: another actor
+                // published it inside the consolidation window. Under
+                // the sequential reference schedule no concurrent
+                // writer exists (the test-only hook plays one when
+                // installed), so the window must be observably empty —
+                // see DESIGN.md §9.4 for the structural proof.
+                if shared.strict_invariants && !shared.has_between_hook() {
+                    panic!(
+                        "consolidation window must be empty under the sequential \
+                         reference schedule: slot {eo} of vertex {u} changed \
+                         between the counting and settling loops"
+                    );
+                }
+                published
+            }
         };
         match label {
             Similarity::Sim => {
@@ -328,6 +344,83 @@ mod tests {
         assert!(
             shared.is_core(0),
             "borderline core vertex must count the label published in the window"
+        );
+    }
+
+    #[test]
+    fn consolidation_window_sweep_counts_any_published_slot() {
+        // Exhaustive sweep of the publication point: for *every* neighbor
+        // slot of the borderline vertex, a simulated concurrent thread
+        // publishes that slot's label inside the consolidation window.
+        // The settling loop must fold the published label into the
+        // bounds regardless of which slot raced — on K5 with ε = 0.5,
+        // µ = 4 the decision is Core every time. The same scenario is
+        // checked over *all* interleavings (not just the hook-injected
+        // one) by `ppscan-check`'s `simstore-publish` and
+        // `pending-slot-invariant` scenarios.
+        use ppscan_sched::ExecutionStrategy;
+        let g = gen::complete(5);
+        let slots: Vec<usize> = g.neighbor_range(0).collect();
+        for (i, &eo) in slots.iter().enumerate() {
+            let params = ScanParams::new(0.5, 4);
+            let mut shared =
+                Shared::new(&g, params, Kernel::MergeEarly, ExecutionStrategy::Parallel);
+            let v = g.edge_dst(eo);
+            let rev = g.edge_offset(v, 0).unwrap();
+            shared.between_loops_hook = Some(Box::new(move |sim, u| {
+                if u == 0 {
+                    sim.set(eo, ppscan_intersect::Similarity::Sim);
+                    sim.set(rev, ppscan_intersect::Similarity::Sim);
+                }
+            }));
+            let mut pending = Vec::new();
+            check_core_vertex(&shared, 0, /*only_greater=*/ false, &mut pending);
+            assert!(
+                shared.is_core(0),
+                "slot {i} (edge offset {eo}): label published in the window must be counted"
+            );
+        }
+    }
+
+    #[test]
+    fn modeled_task_order_sweep_matches_reference() {
+        // `ExecutionStrategy::Modeled` runs the real phase pipeline on
+        // the caller thread in an oracle-chosen task order. Sweeping
+        // rotation permutations asserts the role computation is
+        // insensitive to task order — the single-threaded counterpart of
+        // what `ppscan-check` proves over true interleavings.
+        use ppscan_sched::{modeled, ExecutionStrategy};
+        let g = gen::planted_partition(2, 12, 0.7, 0.08, 11);
+        let expect = verify::reference_clustering(&g, ScanParams::new(0.5, 3)).roles;
+        let tasks_seen = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        for shift in 0..6usize {
+            let seen = tasks_seen.clone();
+            let roles = modeled::with_oracle(
+                move |n| {
+                    seen.fetch_max(n, std::sync::atomic::Ordering::Relaxed);
+                    (0..n).map(|i| (i + shift) % n.max(1)).collect()
+                },
+                || {
+                    let shared = Shared::new(
+                        &g,
+                        ScanParams::new(0.5, 3),
+                        Kernel::MergeEarly,
+                        ExecutionStrategy::Modeled,
+                    );
+                    let pool = WorkerPool::with_strategy(2, ExecutionStrategy::Modeled);
+                    // Low degree threshold so the phases split into
+                    // several tasks and the rotation actually permutes.
+                    prune_sim(&shared, &pool, 8);
+                    check_core(&shared, &pool, 8, true);
+                    check_core(&shared, &pool, 8, false);
+                    shared.roles_vec()
+                },
+            );
+            assert_eq!(roles, expect, "shift={shift}");
+        }
+        assert!(
+            tasks_seen.load(std::sync::atomic::Ordering::Relaxed) > 1,
+            "sweep must exercise a multi-task phase, otherwise rotations are vacuous"
         );
     }
 }

@@ -82,6 +82,22 @@ impl<'g> Shared<'g> {
         let _ = u;
     }
 
+    /// Whether the test-only inter-loop hook is installed. The hook
+    /// plays the role of a concurrent publisher, so the sequential
+    /// empty-consolidation-window assertion (see `check_core_vertex`)
+    /// must stand down while it is active.
+    #[inline]
+    pub fn has_between_hook(&self) -> bool {
+        #[cfg(test)]
+        {
+            self.between_loops_hook.is_some()
+        }
+        #[cfg(not(test))]
+        {
+            false
+        }
+    }
+
     /// Seeded yield injection at a racy window, keyed by the vertex being
     /// processed. The scheduler's own yield injection only perturbs task
     /// *boundaries*; real schedule bugs live at linearization points

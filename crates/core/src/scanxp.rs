@@ -40,7 +40,7 @@ pub fn scanxp_report(
 pub fn scanxp(g: &CsrGraph, params: ScanParams, threads: usize) -> Clustering {
     let pool = WorkerPool::new(threads);
     let n = g.num_vertices();
-    let sim = SimStore::new(g.num_directed_edges());
+    let sim: SimStore = SimStore::new(g.num_directed_edges());
 
     // Exhaustive similarity computation, one pass over undirected edges.
     pool.run_weighted(
@@ -92,7 +92,7 @@ pub fn scanxp(g: &CsrGraph, params: ScanParams, threads: usize) -> Clustering {
         .collect();
 
     // Clustering: union similar core-core edges, then attach non-cores.
-    let uf = ConcurrentUnionFind::new(n);
+    let uf: ConcurrentUnionFind = ConcurrentUnionFind::new(n);
     pool.run_vertices(n, |u| {
         if roles[u as usize] != Role::Core {
             return;

@@ -10,20 +10,24 @@
 //! phase barriers (pool joins) order cross-phase access.
 
 use ppscan_intersect::Similarity;
+use ppscan_unionfind::substrate::AtomicCellU8;
 use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Shared similarity-label array.
-pub struct SimStore {
-    labels: Vec<AtomicU8>,
+///
+/// Generic over the atomic substrate (default: the real [`AtomicU8`],
+/// zero-cost). The `ppscan-check` model checker instantiates the same
+/// publication protocol over its `ModelAtomicU8` shim and exhaustively
+/// explores the label publish/consume interleavings of §4.2.2.
+pub struct SimStore<A: AtomicCellU8 = AtomicU8> {
+    labels: Vec<A>,
 }
 
-impl SimStore {
+impl<A: AtomicCellU8> SimStore<A> {
     /// All labels start `Unknown`.
     pub fn new(num_directed_edges: usize) -> Self {
         let mut labels = Vec::with_capacity(num_directed_edges);
-        labels.resize_with(num_directed_edges, || {
-            AtomicU8::new(Similarity::Unknown as u8)
-        });
+        labels.resize_with(num_directed_edges, || A::new(Similarity::Unknown as u8));
         Self { labels }
     }
 
@@ -70,7 +74,7 @@ impl SimStore {
     }
 }
 
-impl std::fmt::Debug for SimStore {
+impl<A: AtomicCellU8> std::fmt::Debug for SimStore<A> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
@@ -87,7 +91,7 @@ mod tests {
 
     #[test]
     fn starts_unknown() {
-        let s = SimStore::new(4);
+        let s: SimStore = SimStore::new(4);
         assert_eq!(s.len(), 4);
         for eo in 0..4 {
             assert_eq!(s.get(eo), Similarity::Unknown);
@@ -97,7 +101,7 @@ mod tests {
 
     #[test]
     fn set_get_roundtrip() {
-        let s = SimStore::new(3);
+        let s: SimStore = SimStore::new(3);
         s.set(1, Similarity::Sim);
         s.set(2, Similarity::NSim);
         assert_eq!(s.get(0), Similarity::Unknown);
@@ -109,7 +113,7 @@ mod tests {
 
     #[test]
     fn shared_across_threads() {
-        let s = SimStore::new(1000);
+        let s: SimStore = SimStore::new(1000);
         std::thread::scope(|t| {
             let s = &s;
             t.spawn(move || {

@@ -167,11 +167,13 @@ impl std::fmt::Display for FailingCase {
         writeln!(f, " eps={} mu={}", self.eps, self.mu)?;
         writeln!(f, "shrunk graph: {:?}", self.edges)?;
         writeln!(f, "detail: {}", self.detail)?;
-        write!(
+        writeln!(
             f,
             "replay: ppscan_core::stress::replay_case({:#x}, &config)",
             self.case_seed
-        )
+        )?;
+        writeln!(f, "ready-to-paste regression test:")?;
+        write!(f, "{}", self.regression_test_body())
     }
 }
 
@@ -183,6 +185,54 @@ fn algorithm_static(name: &str) -> Option<&'static str> {
 }
 
 impl FailingCase {
+    /// Renders a ready-to-paste `#[test]` function pinning this failing
+    /// configuration. Pasted into any module of a crate depending on
+    /// `ppscan-core` (the stress test module is the natural home), it
+    /// turns the shrunk reproduction into a permanent regression test:
+    /// the test re-runs the pinned configuration on the embedded graph
+    /// and fails while the divergence still manifests. The same snippet
+    /// is embedded in the failure banner and in the corpus JSON entry.
+    pub fn regression_test_body(&self) -> String {
+        let kernel = match self.kernel {
+            Some(k) => format!("Some(ppscan_intersect::Kernel::{k:?})"),
+            None => "None".to_string(),
+        };
+        let strategy = match self.strategy {
+            Some(s) => format!("Some(ppscan_sched::ExecutionStrategy::{s:?})"),
+            None => "None".to_string(),
+        };
+        format!(
+            "#[test]\n\
+             fn regression_case_{seed:016x}_{algo}() {{\n\
+             \x20   // Auto-generated by the stress shrinker (stress::FailingCase).\n\
+             \x20   let case = ppscan_core::stress::FailingCase {{\n\
+             \x20       case_seed: {seed:#x},\n\
+             \x20       algorithm: {algo:?},\n\
+             \x20       kernel: {kernel},\n\
+             \x20       threads: {threads:?},\n\
+             \x20       strategy: {strategy},\n\
+             \x20       eps: {eps:?},\n\
+             \x20       mu: {mu},\n\
+             \x20       edges: vec!{edges:?},\n\
+             \x20       detail: {detail:?}.to_string(),\n\
+             \x20   }};\n\
+             \x20   assert!(\n\
+             \x20       !case.reproduces(5),\n\
+             \x20       \"shrunk stress case reproduces again:\\n{{case}}\"\n\
+             \x20   );\n\
+             }}\n",
+            seed = self.case_seed,
+            algo = self.algorithm,
+            kernel = kernel,
+            threads = self.threads,
+            strategy = strategy,
+            eps = self.eps,
+            mu = self.mu,
+            edges = self.edges,
+            detail = self.detail,
+        )
+    }
+
     /// Serializes the case (corpus file format).
     pub fn to_json(&self) -> Json {
         let mut fields = vec![
@@ -215,6 +265,12 @@ impl FailingCase {
             ),
         ));
         fields.push(("detail".to_string(), Json::Str(self.detail.clone())));
+        // Informational only — `from_json` ignores it; regenerate with
+        // `regression_test_body()` after editing a corpus entry.
+        fields.push((
+            "regression_test".to_string(),
+            Json::Str(self.regression_test_body()),
+        ));
         Json::Obj(fields)
     }
 
@@ -822,5 +878,63 @@ mod tests {
         assert!(banner.contains("case_seed=0xd1ab0003"), "{banner}");
         assert!(banner.contains("strategy=adversarial(7)"), "{banner}");
         assert!(banner.contains("replay_case(0xd1ab0003"), "{banner}");
+    }
+
+    #[test]
+    fn regression_test_body_is_pasteable() {
+        let case = sample_case();
+        let body = case.regression_test_body();
+        assert!(body.contains("#[test]"), "{body}");
+        assert!(
+            body.contains("fn regression_case_00000000d1ab0003_ppscan()"),
+            "{body}"
+        );
+        assert!(body.contains("case_seed: 0xd1ab0003"), "{body}");
+        assert!(
+            body.contains("kernel: Some(ppscan_intersect::Kernel::MergeEarly)"),
+            "{body}"
+        );
+        assert!(
+            body.contains(
+                "strategy: Some(ppscan_sched::ExecutionStrategy::AdversarialSeeded { seed: 7 })"
+            ),
+            "{body}"
+        );
+        assert!(body.contains("edges: vec![(0, 1), (1, 2)]"), "{body}");
+        assert!(body.contains("!case.reproduces(5)"), "{body}");
+        // The snippet travels with the failure banner and the corpus
+        // entry, so it is at hand wherever the failure is first seen.
+        assert!(case.to_string().contains("ready-to-paste regression test:"));
+        assert!(case.to_string().contains("#[test]"));
+        let json = case.to_json();
+        assert!(json
+            .get("regression_test")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("#[test]"));
+        // The informational field does not disturb the roundtrip.
+        assert!(FailingCase::from_json(&json).is_some());
+    }
+
+    #[test]
+    fn regression_test_body_handles_sequential_baselines() {
+        // Baseline failures carry no kernel/threads/strategy; the
+        // emitted literal must still be valid Rust.
+        let case = FailingCase {
+            kernel: None,
+            threads: None,
+            strategy: None,
+            algorithm: "pscan",
+            ..sample_case()
+        };
+        let body = case.regression_test_body();
+        assert!(body.contains("kernel: None,"), "{body}");
+        assert!(body.contains("threads: None,"), "{body}");
+        assert!(body.contains("strategy: None,"), "{body}");
+        assert!(
+            body.contains("fn regression_case_00000000d1ab0003_pscan()"),
+            "{body}"
+        );
     }
 }

@@ -108,6 +108,70 @@ pub enum ExecutionStrategy {
         /// Permutation and yield-injection seed.
         seed: u64,
     },
+    /// Every task runs on the caller thread, in an order chosen by the
+    /// ambient [`modeled`] oracle (submission order when none is
+    /// installed). This is the model-checking seam: an exhaustive
+    /// explorer — `ppscan-check`, or a test sweeping permutations —
+    /// installs an oracle with [`modeled::with_oracle`] and drives the
+    /// pool through every task order it cares about, deterministically.
+    Modeled,
+}
+
+/// The task-order oracle backing [`ExecutionStrategy::Modeled`].
+///
+/// An oracle is a thread-local closure `FnMut(num_tasks) -> order`
+/// consulted once per pool dispatch; it returns the permutation of
+/// `0..num_tasks` in which the caller thread executes the tasks. With no
+/// oracle installed, `Modeled` degrades to submission order (identical
+/// to [`ExecutionStrategy::SequentialDeterministic`]).
+pub mod modeled {
+    use std::cell::RefCell;
+
+    type Oracle = Box<dyn FnMut(usize) -> Vec<usize>>;
+
+    thread_local! {
+        static ORACLE: RefCell<Option<Oracle>> = const { RefCell::new(None) };
+    }
+
+    /// Installs `oracle` as the caller thread's task-order oracle for
+    /// the duration of `f` (restoring any previously installed oracle
+    /// afterwards, so oracles nest).
+    ///
+    /// The orders an oracle returns must be permutations of
+    /// `0..num_tasks`; dispatch panics otherwise.
+    pub fn with_oracle<R>(
+        oracle: impl FnMut(usize) -> Vec<usize> + 'static,
+        f: impl FnOnce() -> R,
+    ) -> R {
+        let prev = ORACLE.with(|o| o.borrow_mut().replace(Box::new(oracle)));
+        struct Restore(Option<Oracle>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let prev = self.0.take();
+                ORACLE.with(|o| *o.borrow_mut() = prev);
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+
+    /// The order for a dispatch of `num_tasks` tasks: the oracle's
+    /// choice, or submission order when no oracle is installed.
+    pub(crate) fn order_for(num_tasks: usize) -> Vec<usize> {
+        let order = ORACLE.with(|o| {
+            o.borrow_mut()
+                .as_mut()
+                .map(|oracle| oracle(num_tasks))
+                .unwrap_or_else(|| (0..num_tasks).collect())
+        });
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert!(
+            sorted.into_iter().eq(0..num_tasks),
+            "modeled oracle must return a permutation of 0..{num_tasks}, got {order:?}"
+        );
+        order
+    }
 }
 
 impl ExecutionStrategy {
@@ -118,6 +182,7 @@ impl ExecutionStrategy {
         match s {
             "parallel" => Some(ExecutionStrategy::Parallel),
             "sequential" => Some(ExecutionStrategy::SequentialDeterministic),
+            "modeled" => Some(ExecutionStrategy::Modeled),
             _ => {
                 let seed = s.strip_prefix("adversarial(")?.strip_suffix(')')?;
                 Some(ExecutionStrategy::AdversarialSeeded {
@@ -134,6 +199,7 @@ impl std::fmt::Display for ExecutionStrategy {
             ExecutionStrategy::Parallel => write!(f, "parallel"),
             ExecutionStrategy::SequentialDeterministic => write!(f, "sequential"),
             ExecutionStrategy::AdversarialSeeded { seed } => write!(f, "adversarial({seed})"),
+            ExecutionStrategy::Modeled => write!(f, "modeled"),
         }
     }
 }
@@ -310,6 +376,14 @@ impl WorkerPool {
                     body(item);
                 }
             }
+            ExecutionStrategy::Modeled => {
+                let order = modeled::order_for(items.len());
+                let _worker = ppscan_obs::span::enter_worker(0);
+                for i in order {
+                    let _span = ppscan_obs::Span::enter(stage);
+                    body(&mut items[i]);
+                }
+            }
             _ => {
                 let workers = self.threads.min(items.len()).max(1);
                 let per = items.len().div_ceil(workers);
@@ -356,6 +430,16 @@ impl WorkerPool {
                 // counts match parallel replays over the same task set.
                 let _worker = ppscan_obs::span::enter_worker(0);
                 for i in 0..num_tasks {
+                    let _span = ppscan_obs::Span::enter(stage);
+                    run_task(i);
+                }
+            }
+            ExecutionStrategy::Modeled => {
+                // Caller thread, oracle-chosen order: the exhaustive
+                // checker's replayable schedule.
+                let order = modeled::order_for(num_tasks);
+                let _worker = ppscan_obs::span::enter_worker(0);
+                for i in order {
                     let _span = ppscan_obs::Span::enter(stage);
                     run_task(i);
                 }
@@ -461,11 +545,12 @@ mod tests {
     use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
     use std::sync::Mutex;
 
-    const ALL_STRATEGIES: [ExecutionStrategy; 4] = [
+    const ALL_STRATEGIES: [ExecutionStrategy; 5] = [
         ExecutionStrategy::Parallel,
         ExecutionStrategy::SequentialDeterministic,
         ExecutionStrategy::AdversarialSeeded { seed: 1 },
         ExecutionStrategy::AdversarialSeeded { seed: 0xdead_beef },
+        ExecutionStrategy::Modeled,
     ];
 
     #[test]
@@ -637,6 +722,85 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn modeled_without_oracle_runs_in_submission_order() {
+        let pool = WorkerPool::with_strategy(4, ExecutionStrategy::Modeled);
+        let log = Mutex::new(Vec::new());
+        let tasks: Vec<Range<u32>> = (0..12).map(|i| i..i + 1).collect();
+        pool.run_chunks(&tasks, |r| log.lock().unwrap().push(r.start));
+        assert_eq!(*log.lock().unwrap(), (0..12).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn modeled_oracle_chooses_the_task_order() {
+        let pool = WorkerPool::with_strategy(4, ExecutionStrategy::Modeled);
+        let tasks: Vec<Range<u32>> = (0..5).map(|i| i..i + 1).collect();
+        let log = Mutex::new(Vec::new());
+        modeled::with_oracle(
+            |n| (0..n).rev().collect(),
+            || pool.run_chunks(&tasks, |r| log.lock().unwrap().push(r.start)),
+        );
+        assert_eq!(*log.lock().unwrap(), vec![4, 3, 2, 1, 0]);
+        // The oracle uninstalls with its scope.
+        let log2 = Mutex::new(Vec::new());
+        pool.run_chunks(&tasks, |r| log2.lock().unwrap().push(r.start));
+        assert_eq!(*log2.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn modeled_oracles_nest_and_restore() {
+        let pool = WorkerPool::with_strategy(2, ExecutionStrategy::Modeled);
+        let tasks: Vec<Range<u32>> = (0..3).map(|i| i..i + 1).collect();
+        let run = |pool: &WorkerPool| {
+            let log = Mutex::new(Vec::new());
+            pool.run_chunks(&tasks, |r| log.lock().unwrap().push(r.start));
+            log.into_inner().unwrap()
+        };
+        modeled::with_oracle(
+            |n| (0..n).rev().collect(),
+            || {
+                assert_eq!(run(&pool), vec![2, 1, 0]);
+                modeled::with_oracle(
+                    |n| (0..n).collect(),
+                    || assert_eq!(run(&pool), vec![0, 1, 2]),
+                );
+                // Inner oracle gone: the outer one is back in force.
+                assert_eq!(run(&pool), vec![2, 1, 0]);
+            },
+        );
+    }
+
+    #[test]
+    fn modeled_rejects_non_permutation_orders() {
+        let result = std::panic::catch_unwind(|| {
+            let pool = WorkerPool::with_strategy(2, ExecutionStrategy::Modeled);
+            modeled::with_oracle(|_| vec![0, 0], || pool.run_chunks(&[0..1, 1..2], |_| {}));
+        });
+        assert!(result.is_err(), "a duplicate-index order must be rejected");
+    }
+
+    #[test]
+    fn modeled_run_mut_follows_oracle_order() {
+        let pool = WorkerPool::with_strategy(2, ExecutionStrategy::Modeled);
+        let mut items: Vec<u64> = vec![0; 4];
+        let stamp = AtomicU64::new(0);
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let log2 = std::rc::Rc::clone(&log);
+        modeled::with_oracle(
+            move |n| {
+                log2.borrow_mut().push(n);
+                (0..n).rev().collect()
+            },
+            || {
+                pool.run_mut(&mut items, |x| {
+                    *x = stamp.fetch_add(1, Ordering::Relaxed) + 1;
+                });
+            },
+        );
+        assert_eq!(*log.borrow(), vec![4], "one oracle query per dispatch");
+        assert_eq!(items, vec![4, 3, 2, 1]);
     }
 
     #[test]

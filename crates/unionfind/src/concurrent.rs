@@ -24,22 +24,35 @@
 //! CAS atomicity and the monotone id-ordering argument, not on
 //! cross-variable happens-before edges. The callers in `ppscan-core`
 //! place rayon barriers between the clustering phases, which provide the
-//! synchronization for reading final results.
+//! synchronization for reading final results. Every `Ordering::` choice
+//! in this file is audited per call site in DESIGN.md §9.3 and checked
+//! exhaustively (including weak-memory stale `Relaxed` reads) by the
+//! `ppscan-check` interleaving model checker.
+//!
+//! # Atomic substrate
+//!
+//! The struct is generic over its atomic cell type
+//! ([`crate::substrate::AtomicCellU32`], defaulting to the real
+//! [`AtomicU32`]) so the *identical* protocol code runs both in
+//! production (monomorphized to std atomics, zero cost) and under the
+//! `ppscan-check` model checker's `ModelAtomicU32` shim, where every
+//! operation is a scheduling decision point.
 
+use crate::substrate::AtomicCellU32;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Concurrent disjoint-set forest over `0..n`; all operations take
 /// `&self` and are safe to call from many threads.
-pub struct ConcurrentUnionFind {
-    parent: Vec<AtomicU32>,
+pub struct ConcurrentUnionFind<A: AtomicCellU32 = AtomicU32> {
+    parent: Vec<A>,
 }
 
-impl ConcurrentUnionFind {
+impl<A: AtomicCellU32> ConcurrentUnionFind<A> {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
         assert!(n <= u32::MAX as usize, "element count exceeds u32");
         Self {
-            parent: (0..n as u32).map(AtomicU32::new).collect(),
+            parent: (0..n as u32).map(A::new).collect(),
         }
     }
 
@@ -137,9 +150,31 @@ impl ConcurrentUnionFind {
             .filter(|&u| self.parent[u as usize].load(Ordering::Relaxed) == u)
             .count()
     }
+
+    /// The current parent pointer of `u` (diagnostic; racy snapshot).
+    pub fn parent_of(&self, u: u32) -> u32 {
+        self.parent[u as usize].load(Ordering::Relaxed)
+    }
+
+    /// Checks the structural invariant that makes the forest safe under
+    /// *any* interleaving: every parent pointer satisfies
+    /// `parent[x] <= x` (links only ever point a higher id at a lower
+    /// id), which implies acyclicity. Returns the first violating vertex.
+    ///
+    /// Used by the `ppscan-check` scenarios as a per-schedule invariant
+    /// and safe to call mid-run (each check is a single racy load; the
+    /// invariant is per-cell, so a racy snapshot still must satisfy it).
+    pub fn validate_forest(&self) -> Result<(), u32> {
+        for u in 0..self.len() as u32 {
+            if self.parent[u as usize].load(Ordering::Relaxed) > u {
+                return Err(u);
+            }
+        }
+        Ok(())
+    }
 }
 
-impl std::fmt::Debug for ConcurrentUnionFind {
+impl<A: AtomicCellU32> std::fmt::Debug for ConcurrentUnionFind<A> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "ConcurrentUnionFind(len = {})", self.len())
     }
@@ -151,7 +186,7 @@ mod tests {
 
     #[test]
     fn sequential_semantics() {
-        let uf = ConcurrentUnionFind::new(6);
+        let uf: ConcurrentUnionFind = ConcurrentUnionFind::new(6);
         assert!(uf.union(4, 2));
         assert!(uf.union(2, 5));
         assert!(!uf.union(5, 4));
@@ -164,7 +199,7 @@ mod tests {
 
     #[test]
     fn roots_are_min_ids() {
-        let uf = ConcurrentUnionFind::new(10);
+        let uf: ConcurrentUnionFind = ConcurrentUnionFind::new(10);
         uf.union(9, 7);
         uf.union(7, 3);
         uf.union(3, 8);
@@ -187,7 +222,7 @@ mod tests {
             })
             .collect();
 
-        let uf = Arc::new(ConcurrentUnionFind::new(n as usize));
+        let uf: Arc<ConcurrentUnionFind> = Arc::new(ConcurrentUnionFind::new(n as usize));
         std::thread::scope(|s| {
             for chunk in pairs.chunks(500) {
                 let uf = Arc::clone(&uf);
@@ -211,7 +246,7 @@ mod tests {
         // Two threads race to union the same pair; exactly one sees true.
         use std::sync::atomic::{AtomicUsize, Ordering};
         for _ in 0..50 {
-            let uf = ConcurrentUnionFind::new(2);
+            let uf: ConcurrentUnionFind = ConcurrentUnionFind::new(2);
             let wins = AtomicUsize::new(0);
             std::thread::scope(|s| {
                 for _ in 0..2 {
@@ -228,9 +263,9 @@ mod tests {
 
     #[test]
     fn empty_and_singleton() {
-        let uf = ConcurrentUnionFind::new(0);
+        let uf: ConcurrentUnionFind = ConcurrentUnionFind::new(0);
         assert!(uf.is_empty());
-        let uf = ConcurrentUnionFind::new(1);
+        let uf: ConcurrentUnionFind = ConcurrentUnionFind::new(1);
         assert_eq!(uf.find_root(0), 0);
         assert!(!uf.union(0, 0));
     }

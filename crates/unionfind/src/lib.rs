@@ -15,12 +15,20 @@
 //!
 //! Both expose the operations the paper names in Definition 3.6:
 //! `find_root`, `union`, `is_same_set`.
+//!
+//! [`concurrent::ConcurrentUnionFind`] is generic over its atomic
+//! substrate ([`substrate::AtomicCellU32`], default [`std::sync::atomic::
+//! AtomicU32`]): production code monomorphizes to the real atomics at
+//! zero cost, while the `ppscan-check` crate instantiates the same
+//! protocol over model atomics and exhaustively explores interleavings.
 
 pub mod concurrent;
 pub mod seq;
+pub mod substrate;
 
 pub use concurrent::ConcurrentUnionFind;
 pub use seq::UnionFind;
+pub use substrate::{AtomicCellU32, AtomicCellU8};
 
 #[cfg(test)]
 mod proptests;

@@ -1,0 +1,156 @@
+//! The atomic substrate abstraction: word-sized atomic cells as a trait.
+//!
+//! ppSCAN's two lock-free protocols — the concurrent union-find's parent
+//! array ([`crate::ConcurrentUnionFind`]) and the similarity-label array
+//! (`ppscan_core::SimStore`) — are written against these traits instead
+//! of `std::sync::atomic` directly, so the *same* protocol code can run
+//! on two substrates:
+//!
+//! * **Real** (`std::sync::atomic::AtomicU32` / `AtomicU8`): the
+//!   production path. The structs default their type parameter to the
+//!   std types and every trait method is an `#[inline]` delegation, so
+//!   monomorphization erases the abstraction — the generated code is
+//!   bit-identical to calling the std atomics directly (zero cost).
+//! * **Modeled** (`ppscan_check::ModelAtomicU32` / `ModelAtomicU8`): an
+//!   exhaustive interleaving model checker's shim. Every operation is a
+//!   scheduling decision point, `Relaxed` loads may return stale values
+//!   from a per-location store history, and the checker DFS-explores all
+//!   interleavings of small bounded scenarios.
+//!
+//! The traits deliberately mirror the exact `std::sync::atomic` method
+//! signatures (including the [`Ordering`] parameters) so the protocol
+//! code states its *intended* memory ordering once and both substrates
+//! see it: the real substrate executes it, the modeled substrate checks
+//! it.
+
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+
+/// A `u32` atomic cell: the substrate of the union-find parent array.
+///
+/// `Send + Sync` is required so containers of cells can be shared across
+/// threads exactly like `Vec<AtomicU32>`.
+pub trait AtomicCellU32: Send + Sync {
+    /// A cell initialized to `v`.
+    fn new(v: u32) -> Self;
+    /// Atomic load.
+    fn load(&self, order: Ordering) -> u32;
+    /// Atomic store.
+    fn store(&self, v: u32, order: Ordering);
+    /// Atomic compare-exchange; on failure returns the observed value.
+    fn compare_exchange(
+        &self,
+        current: u32,
+        new: u32,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u32, u32>;
+    /// Weak compare-exchange (may fail spuriously).
+    fn compare_exchange_weak(
+        &self,
+        current: u32,
+        new: u32,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u32, u32>;
+}
+
+/// A `u8` atomic cell: the substrate of the similarity-label array.
+pub trait AtomicCellU8: Send + Sync {
+    /// A cell initialized to `v`.
+    fn new(v: u8) -> Self;
+    /// Atomic load.
+    fn load(&self, order: Ordering) -> u8;
+    /// Atomic store.
+    fn store(&self, v: u8, order: Ordering);
+}
+
+impl AtomicCellU32 for AtomicU32 {
+    #[inline(always)]
+    fn new(v: u32) -> Self {
+        AtomicU32::new(v)
+    }
+
+    #[inline(always)]
+    fn load(&self, order: Ordering) -> u32 {
+        AtomicU32::load(self, order)
+    }
+
+    #[inline(always)]
+    fn store(&self, v: u32, order: Ordering) {
+        AtomicU32::store(self, v, order)
+    }
+
+    #[inline(always)]
+    fn compare_exchange(
+        &self,
+        current: u32,
+        new: u32,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u32, u32> {
+        AtomicU32::compare_exchange(self, current, new, success, failure)
+    }
+
+    #[inline(always)]
+    fn compare_exchange_weak(
+        &self,
+        current: u32,
+        new: u32,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u32, u32> {
+        AtomicU32::compare_exchange_weak(self, current, new, success, failure)
+    }
+}
+
+impl AtomicCellU8 for AtomicU8 {
+    #[inline(always)]
+    fn new(v: u8) -> Self {
+        AtomicU8::new(v)
+    }
+
+    #[inline(always)]
+    fn load(&self, order: Ordering) -> u8 {
+        AtomicU8::load(self, order)
+    }
+
+    #[inline(always)]
+    fn store(&self, v: u8, order: Ordering) {
+        AtomicU8::store(self, v, order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The traits must be callable through generics with the std types —
+    /// this is the exact shape the protocol structs rely on.
+    fn exercise<A: AtomicCellU32>() {
+        let c = A::new(7);
+        assert_eq!(c.load(Ordering::Relaxed), 7);
+        c.store(9, Ordering::Relaxed);
+        assert_eq!(
+            c.compare_exchange(9, 11, Ordering::AcqRel, Ordering::Relaxed),
+            Ok(9)
+        );
+        assert_eq!(
+            c.compare_exchange(9, 12, Ordering::AcqRel, Ordering::Relaxed),
+            Err(11)
+        );
+        // Weak CAS may fail spuriously; retry like real call sites do.
+        while c
+            .compare_exchange_weak(11, 13, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {}
+        assert_eq!(c.load(Ordering::Relaxed), 13);
+    }
+
+    #[test]
+    fn std_substrate_roundtrip() {
+        exercise::<AtomicU32>();
+        let b = <AtomicU8 as AtomicCellU8>::new(1);
+        b.store(2, Ordering::Relaxed);
+        assert_eq!(AtomicCellU8::load(&b, Ordering::Relaxed), 2);
+    }
+}
