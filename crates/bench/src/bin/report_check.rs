@@ -5,15 +5,27 @@
 //! rendered table is compared cell by cell, numeric cells within a
 //! relative tolerance (`--tol`, default 0.05), everything else exactly.
 //!
+//! `--check-runs` moves the baseline diff to the run level: runs are
+//! matched by configuration and their phase lists, major-phase shares
+//! of wall time, and kernel counters must agree within `--phase-tol`
+//! (absolute share, default 0.25) and `--counter-tol` (relative,
+//! default 0.2). The cell-level table diff is skipped in this mode —
+//! comparison tables hold wall times, which do not survive a machine
+//! change; phase shares and counters do.
+//!
 //! ```sh
 //! cargo run --release -p ppscan-bench --bin report_check -- \
 //!     target/reports/*.json
 //! cargo run --release -p ppscan-bench --bin report_check -- \
 //!     target/reports/table1.json --baseline crates/bench/baselines/table1_quick.json
+//! cargo run --release -p ppscan-bench --bin report_check -- \
+//!     target/reports/sched_overhead.json \
+//!     --baseline crates/bench/baselines/sched_overhead_quick.json --check-runs
 //! ```
 //!
 //! Exits non-zero on the first invalid file or any baseline mismatch.
 
+use ppscan_bench::RunDiffOptions;
 use ppscan_obs::{FigureReport, RunReport};
 use std::path::PathBuf;
 
@@ -56,6 +68,8 @@ fn main() {
     let mut files: Vec<PathBuf> = Vec::new();
     let mut baseline: Option<PathBuf> = None;
     let mut tol = 0.05f64;
+    let mut check_runs = false;
+    let mut run_opt = RunDiffOptions::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -64,20 +78,31 @@ fn main() {
                 std::process::exit(2);
             })
         };
+        let parse = |name: &str, v: String| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("bad {name}");
+                std::process::exit(2);
+            })
+        };
         match arg.as_str() {
             "--baseline" => baseline = Some(PathBuf::from(value("--baseline"))),
-            "--tol" => {
-                tol = value("--tol").parse().unwrap_or_else(|_| {
-                    eprintln!("bad --tol");
-                    std::process::exit(2);
-                })
-            }
+            "--tol" => tol = parse("--tol", value("--tol")),
+            "--check-runs" => check_runs = true,
+            "--counter-tol" => run_opt.counter_tol = parse("--counter-tol", value("--counter-tol")),
+            "--phase-tol" => run_opt.phase_tol = parse("--phase-tol", value("--phase-tol")),
             "--help" | "-h" => {
-                eprintln!("usage: report_check <report.json>... [--baseline <path>] [--tol <rel>]");
+                eprintln!(
+                    "usage: report_check <report.json>... [--baseline <path>] [--tol <rel>] \
+                     [--check-runs] [--counter-tol <rel>] [--phase-tol <abs>]"
+                );
                 std::process::exit(0);
             }
             _ => files.push(PathBuf::from(arg)),
         }
+    }
+    if check_runs && baseline.is_none() {
+        eprintln!("--check-runs requires --baseline");
+        std::process::exit(2);
     }
     if files.is_empty() {
         eprintln!("no report files given (see --help)");
@@ -155,12 +180,37 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        let diffs = ppscan_bench::diff_figures(&base, &got, tol);
+        // Run-level checking replaces the cell-level table diff: tables
+        // of comparison figures hold wall times, which do not survive a
+        // machine change (run shares and counters do).
+        let mut diffs = if check_runs {
+            let mut d = Vec::new();
+            if base.figure != got.figure {
+                d.push(format!(
+                    "figure name: baseline {:?}, got {:?}",
+                    base.figure, got.figure
+                ));
+            }
+            d
+        } else {
+            ppscan_bench::diff_figures(&base, &got, tol)
+        };
+        if check_runs {
+            diffs.extend(ppscan_bench::diff_runs(&base, &got, &run_opt));
+        }
         if diffs.is_empty() {
             println!(
-                "baseline match: {} vs {} (tol {tol})",
+                "baseline match: {} vs {} (tol {tol}{})",
                 base_path.display(),
-                files[0].display()
+                files[0].display(),
+                if check_runs {
+                    format!(
+                        ", runs checked: counter-tol {} phase-tol {}",
+                        run_opt.counter_tol, run_opt.phase_tol
+                    )
+                } else {
+                    String::new()
+                }
             );
         } else {
             eprintln!("baseline mismatch vs {}:", base_path.display());

@@ -1,0 +1,106 @@
+//! Scheduler-stack comparison: the pre-optimization execution stack
+//! (shared-queue dispatch with threads spawned per phase, binary-search
+//! reverse-edge lookup, fixed block kernel) against the optimized
+//! default (persistent work-stealing pool, precomputed reverse-edge
+//! index, adaptive kernel dispatch), end-to-end on the ROLL suite.
+//!
+//! Each row runs the identical clustering problem under both stacks and
+//! reports the speedup; the emitted [`FigureReport`] carries both
+//! `RunReport`s (tagged `config=old` / `config=new` in `extra`) so the
+//! phase timings and steal counters behind every ratio are preserved.
+//!
+//! ```sh
+//! cargo run --release -p ppscan-bench --bin sched_overhead -- [--scale 1.0]
+//! ```
+
+use ppscan_bench::{best_of_n, secs, HarnessArgs, Table};
+use ppscan_core::ppscan::{ppscan, PpScanConfig, ReverseLookup};
+use ppscan_intersect::Kernel;
+use ppscan_obs::json::Json;
+use ppscan_sched::SchedulerKind;
+
+fn main() {
+    let mut args = HarnessArgs::parse();
+    if args.eps_list == [0.2, 0.4, 0.6, 0.8] {
+        args.eps_list = vec![0.2]; // scheduling stress shows at small eps
+    }
+    let eps = args.eps_list[0];
+    let budget = (1_000_000.0 * args.scale) as usize;
+    eprintln!("generating ROLL suite with |E| ≈ {budget} …");
+    let mut suite = ppscan_graph::datasets::roll_suite(budget);
+    if args.quick {
+        suite.truncate(1);
+    }
+    for (name, g) in &suite {
+        eprintln!(
+            "  {name}: {} vertices, {} edges",
+            g.num_vertices(),
+            g.num_edges()
+        );
+    }
+
+    let mut report = ppscan_bench::figure_report("sched_overhead", &args);
+    let mut table = Table::new(&["graph", "threads", "old (s)", "new (s)", "speedup"]);
+    for (name, g) in &suite {
+        let p = args.params(eps);
+        for &threads in &args.threads {
+            // The stack this PR replaced: per-dispatch thread spawning
+            // over a shared queue cursor, O(log d) reverse lookups, and
+            // the fixed auto-selected block kernel.
+            let old_cfg = PpScanConfig::with_threads(threads)
+                .scheduler(SchedulerKind::SharedQueue)
+                .reverse_lookup(ReverseLookup::BinarySearch)
+                .kernel(Kernel::auto());
+            // The optimized stack is simply the defaults.
+            let new_cfg = PpScanConfig::with_threads(threads);
+
+            // Interleave the two stacks run by run so slow drift in
+            // machine load hits both arms of the comparison equally.
+            let mut t_old = std::time::Duration::MAX;
+            let mut t_new = std::time::Duration::MAX;
+            let mut out_old = None;
+            let mut out_new = None;
+            for _ in 0..args.runs {
+                let (t, o) = best_of_n(1, || ppscan(g, p, &old_cfg));
+                if t < t_old {
+                    t_old = t;
+                }
+                out_old = Some(o);
+                let (t, o) = best_of_n(1, || ppscan(g, p, &new_cfg));
+                if t < t_new {
+                    t_new = t;
+                }
+                out_new = Some(o);
+            }
+            let (out_old, out_new) = (out_old.unwrap(), out_new.unwrap());
+            assert_eq!(
+                out_old.clustering, out_new.clustering,
+                "scheduler stacks disagree on {name} at {threads} threads"
+            );
+
+            for (tag, out) in [("old", out_old), ("new", out_new)] {
+                let mut r = out.report;
+                r.dataset = Some(name.clone());
+                r.extra.push(("config".into(), Json::Str(tag.into())));
+                report.runs.push(r);
+            }
+            table.row(vec![
+                name.clone(),
+                threads.to_string(),
+                secs(t_old),
+                secs(t_new),
+                format!(
+                    "{:.2}x",
+                    t_old.as_secs_f64() / t_new.as_secs_f64().max(1e-9)
+                ),
+            ]);
+        }
+    }
+    println!(
+        "\nScheduler stack: shared-queue + binary-search + block vs \
+         work-stealing + reverse index + adaptive (eps = {eps}, mu = {})",
+        args.mu
+    );
+    table.print(args.csv);
+    ppscan_bench::emit_report(&args, report, &table);
+}

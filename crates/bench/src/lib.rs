@@ -29,7 +29,7 @@
 use ppscan_core::params::ScanParams;
 use ppscan_graph::datasets::Dataset;
 use ppscan_obs::json::Json;
-use ppscan_obs::report::TableData;
+use ppscan_obs::report::{PhaseMetrics, RunReport, TableData};
 use ppscan_obs::FigureReport;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -56,6 +56,8 @@ pub struct HarnessArgs {
     pub quick: bool,
     /// Write the figure's machine-readable [`FigureReport`] here.
     pub report: Option<PathBuf>,
+    /// Measurement repetitions per cell (best-of-`runs`).
+    pub runs: usize,
 }
 
 impl Default for HarnessArgs {
@@ -69,6 +71,7 @@ impl Default for HarnessArgs {
             datasets: Dataset::TABLE1.to_vec(),
             quick: false,
             report: None,
+            runs: RUNS,
         }
     }
 }
@@ -114,10 +117,15 @@ impl HarnessArgs {
                         .collect();
                 }
                 "--report" => out.report = Some(PathBuf::from(value("--report"))),
+                "--runs" => {
+                    out.runs = value("--runs").parse().expect("bad --runs");
+                    assert!(out.runs > 0, "--runs must be positive");
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --scale <f> --csv --quick --mu <n> --eps <a,b,..> \
-                         --threads <a,b,..> --datasets <d1,d2,..> --report <path.json>"
+                         --threads <a,b,..> --datasets <d1,d2,..> --report <path.json> \
+                         --runs <n>"
                     );
                     std::process::exit(0);
                 }
@@ -143,10 +151,17 @@ impl HarnessArgs {
 
 /// Best-of-[`RUNS`] wall-clock measurement of `f` (the paper's
 /// methodology). Returns the best duration and the last result.
-pub fn best_of<R>(mut f: impl FnMut() -> R) -> (Duration, R) {
+pub fn best_of<R>(f: impl FnMut() -> R) -> (Duration, R) {
+    best_of_n(RUNS, f)
+}
+
+/// Best-of-`n` wall-clock measurement of `f`. Comparison bins raise `n`
+/// (via `--runs`) on noisy machines, where best-of-three is not enough
+/// to shake off scheduling bursts.
+pub fn best_of_n<R>(n: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
     let mut best = Duration::MAX;
     let mut out = None;
-    for _ in 0..RUNS {
+    for _ in 0..n.max(1) {
         let t0 = Instant::now();
         let r = f();
         best = best.min(t0.elapsed());
@@ -253,6 +268,8 @@ pub fn figure_report(figure: &str, args: &HarnessArgs) -> FigureReport {
         ),
     ));
     r.context.push(("quick".into(), Json::Bool(args.quick)));
+    r.context
+        .push(("runs".into(), Json::from_u64(args.runs as u64)));
     r
 }
 
@@ -317,6 +334,136 @@ pub fn diff_figures(baseline: &FigureReport, got: &FigureReport, tol: f64) -> Ve
                 ));
             }
         }
+    }
+    diffs
+}
+
+/// Tolerances for [`diff_runs`]. Defaults are deliberately loose: run
+/// metrics cross machines, and the check is after structural
+/// regressions (a phase vanishing, a counter doubling), not noise.
+#[derive(Clone, Copy, Debug)]
+pub struct RunDiffOptions {
+    /// Relative tolerance for kernel counters (invocations, scans).
+    pub counter_tol: f64,
+    /// Absolute tolerance on a phase's share of end-to-end wall time.
+    pub phase_tol: f64,
+    /// Phases below this baseline share are skipped by the share check
+    /// (tiny phases have share dominated by fixed overhead).
+    pub min_share: f64,
+}
+
+impl Default for RunDiffOptions {
+    fn default() -> Self {
+        Self {
+            counter_tol: 0.2,
+            phase_tol: 0.25,
+            min_share: 0.10,
+        }
+    }
+}
+
+/// Identity of one run within a figure, stable across machines: every
+/// configuration axis the harnesses sweep, but no measured quantity.
+/// The ISA suffix of auto-selected kernels (`block-avx512` here,
+/// `block-avx2` on a runner without AVX-512) is a machine property,
+/// not a configuration property, and is stripped.
+fn run_identity(r: &RunReport) -> String {
+    let config = r
+        .extra
+        .iter()
+        .find(|(k, _)| k == "config")
+        .and_then(|(_, v)| v.as_str())
+        .unwrap_or("");
+    let kernel = r
+        .kernel
+        .as_deref()
+        .unwrap_or("?")
+        .trim_end_matches("-avx512")
+        .trim_end_matches("-avx2");
+    format!(
+        "{} dataset={} threads={} eps={} mu={} kernel={kernel} strategy={} config={}",
+        r.algorithm,
+        r.dataset.as_deref().unwrap_or("?"),
+        r.threads.map_or("?".into(), |t| t.to_string()),
+        r.eps.map_or("?".into(), |e| format!("{e}")),
+        r.mu.map_or("?".into(), |m| m.to_string()),
+        r.strategy.as_deref().unwrap_or("?"),
+        config,
+    )
+}
+
+/// Diffs the *runs* of two figure reports: matches runs by
+/// configuration ([`run_identity`]) and compares what stays meaningful
+/// across machines — the phase list, each major phase's share of the
+/// end-to-end wall time, and the kernel counters — against the
+/// [`RunDiffOptions`] tolerances. Complements [`diff_figures`], which
+/// only sees the rendered table. Returns human-readable mismatch
+/// descriptions (empty = match).
+pub fn diff_runs(baseline: &FigureReport, got: &FigureReport, opt: &RunDiffOptions) -> Vec<String> {
+    let mut diffs = Vec::new();
+    if baseline.runs.len() != got.runs.len() {
+        diffs.push(format!(
+            "run count: baseline {}, got {}",
+            baseline.runs.len(),
+            got.runs.len()
+        ));
+    }
+    let mut remaining: Vec<&RunReport> = got.runs.iter().collect();
+    for base in &baseline.runs {
+        let id = run_identity(base);
+        let Some(pos) = remaining.iter().position(|r| run_identity(r) == id) else {
+            diffs.push(format!("run missing from report: {id}"));
+            continue;
+        };
+        let run = remaining.swap_remove(pos);
+        let base_phases: Vec<&str> = base.phases.iter().map(|p| p.name.as_str()).collect();
+        let got_phases: Vec<&str> = run.phases.iter().map(|p| p.name.as_str()).collect();
+        if base_phases != got_phases {
+            diffs.push(format!(
+                "{id}: phases changed: baseline {base_phases:?}, got {got_phases:?}"
+            ));
+            continue;
+        }
+        for (bp, gp) in base.phases.iter().zip(&run.phases) {
+            let share = |p: &PhaseMetrics, total: u64| p.wall_nanos as f64 / (total.max(1)) as f64;
+            let bs = share(bp, base.wall_nanos);
+            let gs = share(gp, run.wall_nanos);
+            if bs >= opt.min_share && (bs - gs).abs() > opt.phase_tol {
+                diffs.push(format!(
+                    "{id}: phase {:?} share {:.2} vs baseline {:.2} (tol {:.2})",
+                    bp.name, gs, bs, opt.phase_tol
+                ));
+            }
+        }
+        let counters = [
+            (
+                "compsim_invocations",
+                base.counters.compsim_invocations,
+                run.counters.compsim_invocations,
+            ),
+            (
+                "elements_scanned",
+                base.counters.elements_scanned,
+                run.counters.elements_scanned,
+            ),
+        ];
+        for (name, b, g) in counters {
+            if b == 0 {
+                continue;
+            }
+            let rel = (g as f64 - b as f64).abs() / b as f64;
+            if rel > opt.counter_tol {
+                diffs.push(format!(
+                    "{id}: counter {name} = {g} vs baseline {b} \
+                     ({:.0}% off, tol {:.0}%)",
+                    rel * 100.0,
+                    opt.counter_tol * 100.0
+                ));
+            }
+        }
+    }
+    for run in remaining {
+        diffs.push(format!("unexpected extra run: {}", run_identity(run)));
     }
     diffs
 }
@@ -400,6 +547,81 @@ mod tests {
         // Non-numeric cells must match exactly.
         assert!(!diff_figures(&mk("TLE"), &mk("1.0"), 0.05).is_empty());
         assert!(diff_figures(&mk("TLE"), &mk("TLE"), 0.05).is_empty());
+    }
+
+    fn run_with(dataset: &str, wall: u64, phases: &[(&str, u64)], invocations: u64) -> RunReport {
+        let mut r = RunReport::new("ppscan");
+        r.dataset = Some(dataset.into());
+        r.threads = Some(8);
+        r.eps = Some(0.2);
+        r.mu = Some(5);
+        r.wall_nanos = wall;
+        r.phases = phases
+            .iter()
+            .map(|&(name, nanos)| PhaseMetrics {
+                name: name.into(),
+                wall_nanos: nanos,
+                tasks: 1,
+                workers: Vec::new(),
+            })
+            .collect();
+        r.counters.compsim_invocations = invocations;
+        r.counters.elements_scanned = invocations * 100;
+        r
+    }
+
+    #[test]
+    fn diff_runs_matches_identical_reports() {
+        let mut a = FigureReport::new("f");
+        a.runs
+            .push(run_with("roll", 100, &[("prune", 20), ("check", 80)], 1000));
+        let b = a.clone();
+        assert!(diff_runs(&a, &b, &RunDiffOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn diff_runs_tolerates_noise_but_catches_regressions() {
+        let mut base = FigureReport::new("f");
+        base.runs
+            .push(run_with("roll", 100, &[("prune", 20), ("check", 80)], 1000));
+        // 10% counter noise, phase shares shifted a little: fine.
+        let mut ok = FigureReport::new("f");
+        ok.runs
+            .push(run_with("roll", 120, &[("prune", 30), ("check", 90)], 1100));
+        assert!(diff_runs(&base, &ok, &RunDiffOptions::default()).is_empty());
+        // Counter doubled: regression.
+        let mut bad = FigureReport::new("f");
+        bad.runs
+            .push(run_with("roll", 100, &[("prune", 20), ("check", 80)], 2000));
+        assert_eq!(diff_runs(&base, &bad, &RunDiffOptions::default()).len(), 2);
+        // A major phase collapses to a sliver of the wall: regression.
+        let mut skew = FigureReport::new("f");
+        skew.runs
+            .push(run_with("roll", 100, &[("prune", 20), ("check", 5)], 1000));
+        assert_eq!(diff_runs(&base, &skew, &RunDiffOptions::default()).len(), 1);
+    }
+
+    #[test]
+    fn diff_runs_catches_structural_changes() {
+        let mut base = FigureReport::new("f");
+        base.runs
+            .push(run_with("roll", 100, &[("prune", 20), ("check", 80)], 1000));
+        // Phase list changed.
+        let mut renamed = FigureReport::new("f");
+        renamed
+            .runs
+            .push(run_with("roll", 100, &[("prune", 20)], 1000));
+        assert!(!diff_runs(&base, &renamed, &RunDiffOptions::default()).is_empty());
+        // Run for a different dataset: both missing and extra.
+        let mut other = FigureReport::new("f");
+        other.runs.push(run_with(
+            "other",
+            100,
+            &[("prune", 20), ("check", 80)],
+            1000,
+        ));
+        let diffs = diff_runs(&base, &other, &RunDiffOptions::default());
+        assert_eq!(diffs.len(), 2, "{diffs:?}");
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod verify;
 /// Convenient glob import for the public API.
 pub mod prelude {
     pub use crate::params::ScanParams;
-    pub use crate::ppscan::{self, PpScanConfig};
+    pub use crate::ppscan::{self, PpScanConfig, ReverseLookup};
     pub use crate::pscan;
     pub use crate::report;
     pub use crate::result::{Clustering, Role, UnclusteredClass};

@@ -41,16 +41,56 @@ use ppscan_graph::CsrGraph;
 use ppscan_intersect::counters::CounterScope;
 use ppscan_intersect::Kernel;
 use ppscan_obs::{Collector, RunReport, Span};
-use ppscan_sched::{ExecutionStrategy, WorkerPool, DEFAULT_DEGREE_THRESHOLD};
+use ppscan_sched::{ExecutionStrategy, SchedulerKind, WorkerPool, DEFAULT_DEGREE_THRESHOLD};
 use std::time::Instant;
+
+/// How phase-2 similarity reuse locates the reverse directed slot
+/// `e(v, u)` when publishing a label computed at `e(u, v)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum ReverseLookup {
+    /// O(1) lookup through the graph's precomputed reverse-edge index
+    /// (`CsrGraph::rev_offset`).
+    #[default]
+    Index,
+    /// The paper's original O(log d) binary search in `v`'s sorted
+    /// neighbor list. Kept so `sched_overhead` and ablations can measure
+    /// what the index buys.
+    BinarySearch,
+}
+
+impl ReverseLookup {
+    /// Harness display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReverseLookup::Index => "index",
+            ReverseLookup::BinarySearch => "binary-search",
+        }
+    }
+
+    /// Parses a name as printed by [`ReverseLookup::name`].
+    pub fn parse(s: &str) -> Option<ReverseLookup> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "index" => Some(ReverseLookup::Index),
+            "binary-search" | "search" => Some(ReverseLookup::BinarySearch),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ReverseLookup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Execution configuration for ppSCAN.
 #[derive(Clone, Debug)]
 pub struct PpScanConfig {
     /// Worker threads (the paper sweeps 1–256; defaults to all cores).
     pub threads: usize,
-    /// `CompSim` kernel; [`Kernel::auto`] picks the widest SIMD available.
-    /// `Kernel::MergeEarly` reproduces the paper's "ppSCAN-NO".
+    /// `CompSim` kernel; defaults to [`Kernel::Adaptive`] (degree-ratio
+    /// dispatch between galloping and the widest available block
+    /// kernel). `Kernel::MergeEarly` reproduces the paper's "ppSCAN-NO".
     pub kernel: Kernel,
     /// Degree-sum threshold of the task scheduler (paper: 32768).
     pub degree_threshold: u64,
@@ -59,6 +99,13 @@ pub struct PpScanConfig {
     /// schedule; `AdversarialSeeded` to replay hostile interleavings from
     /// a seed (the differential stress driver sweeps all three).
     pub strategy: ExecutionStrategy,
+    /// Dispatch backend of the worker pool: the persistent work-stealing
+    /// pool by default, or the legacy spawn-per-dispatch shared queue
+    /// for the `sched_overhead` ablation.
+    pub scheduler: SchedulerKind,
+    /// Reverse-slot lookup used by similarity value reuse: the
+    /// precomputed index by default, binary search for ablations.
+    pub reverse_lookup: ReverseLookup,
     /// Whether the run activates its own span collector + kernel counter
     /// scope and fills the output's [`RunReport`] with per-worker phase
     /// metrics and counters. On by default; `bin/obs_overhead` measures
@@ -71,9 +118,11 @@ impl Default for PpScanConfig {
     fn default() -> Self {
         Self {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
-            kernel: Kernel::auto(),
+            kernel: Kernel::Adaptive,
             degree_threshold: DEFAULT_DEGREE_THRESHOLD,
             strategy: ExecutionStrategy::Parallel,
+            scheduler: SchedulerKind::default(),
+            reverse_lookup: ReverseLookup::default(),
             observe: true,
         }
     }
@@ -103,6 +152,18 @@ impl PpScanConfig {
     /// Builder-style execution-strategy override.
     pub fn strategy(mut self, strategy: ExecutionStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Builder-style scheduler-backend override.
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Builder-style reverse-lookup override.
+    pub fn reverse_lookup(mut self, lookup: ReverseLookup) -> Self {
+        self.reverse_lookup = lookup;
         self
     }
 
@@ -141,8 +202,10 @@ pub fn ppscan_ablation(
     config: &PpScanConfig,
     skip_cluster_phase_one: bool,
 ) -> PpScanOutput {
-    let pool = WorkerPool::with_strategy(config.threads, config.strategy);
-    let shared = shared::Shared::new(g, params, config.kernel, config.strategy);
+    let pool = WorkerPool::with_scheduler(config.threads, config.strategy, config.scheduler);
+    let mut shared = shared::Shared::new(g, params, config.kernel, config.strategy);
+    shared.rev_lookup = config.reverse_lookup;
+    let shared = shared;
     let mut timings = StageTimings::default();
 
     // Observation: a collector + counter scope for this run, activated

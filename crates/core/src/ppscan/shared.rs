@@ -23,6 +23,9 @@ pub(crate) struct Shared<'g> {
     pub g: &'g CsrGraph,
     pub params: ScanParams,
     pub kernel: Kernel,
+    /// How [`Shared::comp_sim_both`] locates the reverse directed slot
+    /// (defaults to the precomputed index; see [`super::ReverseLookup`]).
+    pub rev_lookup: super::ReverseLookup,
     pub sim: SimStore,
     /// Under the sequential-deterministic schedule no concurrent writer
     /// exists, so per-vertex invariants (`sd == ed` after the counting
@@ -59,6 +62,7 @@ impl<'g> Shared<'g> {
             g,
             params,
             kernel,
+            rev_lookup: super::ReverseLookup::default(),
             sim: SimStore::new(g.num_directed_edges()),
             strict_invariants: strategy == ExecutionStrategy::SequentialDeterministic,
             yield_seed: match strategy {
@@ -165,15 +169,20 @@ impl<'g> Shared<'g> {
 
     /// `CompSim(u, v)` for the slot `eo = e(u, v)`: runs the configured
     /// kernel and publishes the label at **both** directed slots
-    /// (similarity value reuse; the reverse offset is a binary search in
-    /// `v`'s sorted neighbors, §3.2.1).
+    /// (similarity value reuse, §3.2.1). The reverse offset comes from
+    /// the graph's precomputed reverse-edge index in O(1) by default;
+    /// [`super::ReverseLookup::BinarySearch`] restores the paper's
+    /// O(log d) search in `v`'s sorted neighbors for ablations.
     pub fn comp_sim_both(&self, u: VertexId, v: VertexId, eo: usize) -> Similarity {
         let label = self.comp_sim_value(u, v);
         self.sim.set(eo, label);
-        let rev = self
-            .g
-            .edge_offset(v, u)
-            .expect("undirected graph must contain the reverse edge");
+        let rev = match self.rev_lookup {
+            super::ReverseLookup::Index => self.g.rev_offset(eo),
+            super::ReverseLookup::BinarySearch => self
+                .g
+                .edge_offset(v, u)
+                .expect("undirected graph must contain the reverse edge"),
+        };
         self.sim.set(rev, label);
         label
     }

@@ -201,11 +201,11 @@ impl<'g> PScan<'g> {
         let (g, sim) = (self.g, &self.sim);
         self.prune_timer.time(|| {
             sim.set(eo, label);
-            // Similarity value reuse: binary-search the reverse slot.
-            let rev = g
-                .edge_offset(v, u)
-                .expect("undirected graph must contain the reverse edge");
-            sim.set(rev, label);
+            // Similarity value reuse: the reverse slot comes from the
+            // precomputed reverse-edge index in O(1) (the paper's
+            // binary search survives as `CsrGraph::rev_offset`'s
+            // fallback for index-less graphs).
+            sim.set(g.rev_offset(eo), label);
         });
         if label == Similarity::Sim {
             self.sd[u as usize] += 1;

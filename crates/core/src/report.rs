@@ -105,6 +105,8 @@ pub fn counters_from(snapshot: ppscan_intersect::counters::CounterSnapshot) -> K
     KernelCounters {
         compsim_invocations: snapshot.compsim_invocations,
         elements_scanned: snapshot.elements_scanned,
+        adaptive_gallop: snapshot.adaptive_gallop,
+        adaptive_block: snapshot.adaptive_block,
     }
 }
 

@@ -113,7 +113,7 @@ fn check_vertex(
                 let nv = g.neighbors(v);
                 let label = Kernel::MergeEarly.check(nu, nv, params.min_cn(nu.len(), nv.len()));
                 sim.set(eo, label);
-                let rev = g.edge_offset(v, u).expect("reverse edge");
+                let rev = g.rev_offset(eo);
                 sim.set(rev, label);
                 label
             }

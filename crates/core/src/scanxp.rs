@@ -64,7 +64,7 @@ pub fn scanxp(g: &CsrGraph, params: ScanParams, threads: usize) -> Clustering {
                         Similarity::NSim
                     };
                     sim.set(eo, label);
-                    let rev = g.edge_offset(v, u).expect("reverse edge");
+                    let rev = g.rev_offset(eo);
                     sim.set(rev, label);
                 }
             }

@@ -23,6 +23,12 @@ pub struct CsrGraph {
     offsets: Vec<usize>,
     /// Concatenated, per-vertex-sorted adjacency (the paper's `dst` array).
     neighbors: Vec<VertexId>,
+    /// Precomputed reverse-edge index: `rev[e(u, v)] = e(v, u)`. Built in
+    /// one O(m) counting pass at construction time; empty when the index
+    /// could not be built (corrupt parts awaiting `validate`, or more than
+    /// `u32::MAX` directed slots), in which case [`Self::rev_offset`] falls
+    /// back to binary search.
+    rev: Vec<u32>,
 }
 
 impl CsrGraph {
@@ -35,7 +41,12 @@ impl CsrGraph {
     /// `neighbors.len()`; each neighbor list must be strictly increasing,
     /// free of self loops, and every edge must have its reverse edge.
     pub fn from_sorted_parts(offsets: Vec<usize>, neighbors: Vec<VertexId>) -> Self {
-        let g = Self { offsets, neighbors };
+        let rev = build_rev(&offsets, &neighbors).unwrap_or_default();
+        let g = Self {
+            offsets,
+            neighbors,
+            rev,
+        };
         g.validate().expect("invalid CSR parts");
         g
     }
@@ -45,7 +56,12 @@ impl CsrGraph {
     /// Intended for generators that construct valid CSR by construction;
     /// in debug builds the invariants are still asserted.
     pub fn from_sorted_parts_unchecked(offsets: Vec<usize>, neighbors: Vec<VertexId>) -> Self {
-        let g = Self { offsets, neighbors };
+        let rev = build_rev(&offsets, &neighbors).unwrap_or_default();
+        let g = Self {
+            offsets,
+            neighbors,
+            rev,
+        };
         debug_assert!(g.validate().is_ok(), "invalid CSR parts");
         g
     }
@@ -95,6 +111,7 @@ impl CsrGraph {
         Self {
             offsets: vec![0; n + 1],
             neighbors: Vec::new(),
+            rev: Vec::new(),
         }
     }
 
@@ -171,6 +188,46 @@ impl CsrGraph {
         self.edge_offset(u, v).is_some()
     }
 
+    /// The CSR slot of the reverse directed edge: for the slot `eo`
+    /// holding edge `(u, v)`, returns the slot of `(v, u)`. O(1) via the
+    /// precomputed index built at construction time — this replaces the
+    /// per-edge binary search in pSCAN's similarity-value-reuse technique
+    /// (§3.2.1). Falls back to [`Self::rev_offset_search`] when the index
+    /// is absent (more than `u32::MAX` directed slots).
+    #[inline]
+    pub fn rev_offset(&self, eo: usize) -> usize {
+        match self.rev.get(eo) {
+            Some(&r) => r as usize,
+            None => self.rev_offset_search(eo),
+        }
+    }
+
+    /// Binary-search reference implementation of [`Self::rev_offset`]:
+    /// recovers the source vertex of slot `eo` from `offsets`, then
+    /// searches the destination's neighbor list. Kept public as the
+    /// fallback path, for the ablation benches, and for the
+    /// index-agreement property tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eo` is out of range or the reverse edge is missing
+    /// (impossible on a validated graph).
+    pub fn rev_offset_search(&self, eo: usize) -> usize {
+        let v = self.neighbors[eo];
+        let u = self.slot_src(eo);
+        self.edge_offset(v, u)
+            .expect("undirected graph must contain the reverse edge")
+    }
+
+    /// Source vertex of the directed edge stored at CSR slot `eo` — the
+    /// inverse of [`Self::neighbor_range`], found by binary search over
+    /// `offsets`.
+    #[inline]
+    pub fn slot_src(&self, eo: usize) -> VertexId {
+        debug_assert!(eo < self.neighbors.len());
+        (self.offsets.partition_point(|&o| o <= eo) - 1) as VertexId
+    }
+
     /// Iterates over all vertices.
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
         0..self.num_vertices() as VertexId
@@ -212,7 +269,57 @@ impl CsrGraph {
     pub fn heap_bytes(&self) -> usize {
         self.offsets.len() * std::mem::size_of::<usize>()
             + self.neighbors.len() * std::mem::size_of::<VertexId>()
+            + self.rev.len() * std::mem::size_of::<u32>()
     }
+}
+
+/// Builds the reverse-edge index in one O(m) counting pass, or `None` if
+/// the parts do not describe a symmetric sorted CSR (or exceed `u32`
+/// slot range).
+///
+/// The pass walks sources `u` in ascending order keeping one write
+/// cursor per destination list, initialized to `offsets[v]`. Because
+/// every neighbor list is strictly increasing and symmetric, the slots
+/// of `v`'s list are consumed exactly in ascending source order, so the
+/// next unconsumed slot of `v`'s list is always `(v, u)` — no search
+/// needed. Every access is bounds-checked so the builder is safe to run
+/// on unvalidated input (e.g. a binary graph file before `validate`);
+/// any inconsistency yields `None` and the caller falls back to binary
+/// search until validation rejects the graph.
+fn build_rev(offsets: &[usize], neighbors: &[VertexId]) -> Option<Vec<u32>> {
+    let m = neighbors.len();
+    if m == 0 {
+        return Some(Vec::new());
+    }
+    if m > u32::MAX as usize || offsets.len() < 2 || *offsets.last()? != m {
+        return None;
+    }
+    let n = offsets.len() - 1;
+    let mut cursor: Vec<usize> = offsets[..n].to_vec();
+    let mut rev = vec![0u32; m];
+    for u in 0..n {
+        let start = *offsets.get(u)?;
+        let end = *offsets.get(u + 1)?;
+        if start > end || end > m {
+            return None;
+        }
+        for (eo, slot) in rev.iter_mut().enumerate().take(end).skip(start) {
+            let v = *neighbors.get(eo)? as usize;
+            if v >= n {
+                return None;
+            }
+            let c = cursor[v];
+            // The reverse slot must sit inside v's list and point back
+            // at u; anything else means the parts are not symmetric
+            // sorted CSR.
+            if c >= *offsets.get(v + 1)? || *neighbors.get(c)? as usize != u {
+                return None;
+            }
+            *slot = c as u32;
+            cursor[v] = c + 1;
+        }
+    }
+    Some(rev)
 }
 
 #[cfg(test)]
@@ -283,6 +390,7 @@ mod tests {
         let g = CsrGraph {
             offsets: vec![0, 2, 3, 4],
             neighbors: vec![2, 1, 0, 0],
+            rev: Vec::new(),
         };
         assert!(g.validate().is_err());
     }
@@ -292,6 +400,7 @@ mod tests {
         let g = CsrGraph {
             offsets: vec![0, 1, 1],
             neighbors: vec![1],
+            rev: Vec::new(),
         };
         assert!(g.validate().unwrap_err().contains("reverse"));
     }
@@ -301,6 +410,7 @@ mod tests {
         let g = CsrGraph {
             offsets: vec![0, 1],
             neighbors: vec![0],
+            rev: Vec::new(),
         };
         assert!(g.validate().unwrap_err().contains("self loop"));
     }
@@ -310,6 +420,7 @@ mod tests {
         let g = CsrGraph {
             offsets: vec![0, 1],
             neighbors: vec![7],
+            rev: Vec::new(),
         };
         assert!(g.validate().unwrap_err().contains("out of range"));
     }
@@ -323,5 +434,43 @@ mod tests {
     #[test]
     fn heap_bytes_positive() {
         assert!(triangle().heap_bytes() > 0);
+    }
+
+    #[test]
+    fn rev_offset_matches_search_and_is_an_involution() {
+        for g in [
+            triangle(),
+            CsrGraph::empty(0),
+            CsrGraph::empty(5),
+            crate::gen::star(12),
+            crate::gen::clique_chain(5, 3),
+        ] {
+            for (u, v, eo) in g.directed_edges() {
+                let r = g.rev_offset(eo);
+                assert_eq!(r, g.rev_offset_search(eo), "({u}, {v}) slot {eo}");
+                assert_eq!(g.edge_dst(r), u);
+                assert_eq!(g.slot_src(eo), u);
+                assert_eq!(g.rev_offset(r), eo, "rev must be an involution");
+            }
+        }
+    }
+
+    #[test]
+    fn rev_offset_falls_back_without_index() {
+        let mut g = triangle();
+        g.rev = Vec::new();
+        for (_, _, eo) in triangle().directed_edges() {
+            assert_eq!(g.rev_offset(eo), triangle().rev_offset(eo));
+        }
+    }
+
+    #[test]
+    fn build_rev_rejects_asymmetric_parts() {
+        // (0, 1) present without (1, 0): cursor check must fail.
+        assert_eq!(build_rev(&[0, 1, 1], &[1]), None);
+        // Unsorted list: slots consumed out of ascending-source order.
+        assert_eq!(build_rev(&[0, 2, 3, 4], &[2, 1, 0, 0]), None);
+        // Out-of-range destination.
+        assert_eq!(build_rev(&[0, 1], &[7]), None);
     }
 }

@@ -95,6 +95,35 @@ fn binary_roundtrip() {
     });
 }
 
+/// The precomputed reverse-edge index agrees with the binary-search
+/// lookup on every directed edge of the golden example and seeded
+/// ROLL/RMAT graphs, and survives a binary I/O round trip (the index is
+/// rebuilt on load, not serialized).
+#[test]
+fn rev_index_agrees_with_binary_search_everywhere() {
+    let mut graphs = vec![crate::gen::scan_paper_example()];
+    for seed in 0..4u64 {
+        graphs.push(crate::gen::roll(300, 8, 0xA0 + seed));
+        graphs.push(crate::gen::rmat_social(7, 6, 0xB0 + seed));
+    }
+    for g in graphs {
+        for (u, v, eo) in g.directed_edges() {
+            let expect = g
+                .edge_offset(v, u)
+                .expect("undirected graph must contain the reverse edge");
+            assert_eq!(g.rev_offset(eo), expect, "edge ({u}, {v}) slot {eo}");
+            assert_eq!(g.rev_offset_search(eo), expect);
+        }
+        let mut buf = Vec::new();
+        io::write_binary(&g, &mut buf).unwrap();
+        let back = io::read_binary(&buf[..]).unwrap();
+        assert_eq!(back, g);
+        for (_, _, eo) in back.directed_edges() {
+            assert_eq!(back.rev_offset(eo), g.rev_offset(eo));
+        }
+    }
+}
+
 #[test]
 fn degree_sum_equals_directed_edges() {
     for_random_edge_lists(64, 40, 200, |edges| {

@@ -34,7 +34,7 @@ impl<'g> GsIndex<'g> {
                         }
                         let c = count(nu, graph.neighbors(v)) as u32 + 2;
                         cn[eo].store(c, Ordering::Relaxed);
-                        let rev = graph.edge_offset(v, u).expect("reverse edge");
+                        let rev = graph.rev_offset(eo);
                         cn[rev].store(c, Ordering::Relaxed);
                     }
                 }

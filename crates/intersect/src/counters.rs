@@ -55,6 +55,8 @@ use std::sync::{Arc, Once};
 struct ScopeInner {
     invocations: AtomicU64,
     scanned: AtomicU64,
+    adaptive_gallop: AtomicU64,
+    adaptive_block: AtomicU64,
 }
 
 /// One entry on a thread's active-scope stack: the scope plus the
@@ -62,14 +64,25 @@ struct ScopeInner {
 /// `LOCAL - base` is what this activation charges to the scope.
 struct ActiveEntry {
     scope: Arc<ScopeInner>,
-    base: (u64, u64),
+    base: Totals,
 }
 
-/// This thread's monotone `(invocations, scanned)` totals. `record_*`
-/// only ever touches these; scopes are charged by delta on guard drop.
+/// A point-in-time copy of one thread's monotone totals.
+#[derive(Clone, Copy, Default)]
+struct Totals {
+    invocations: u64,
+    scanned: u64,
+    adaptive_gallop: u64,
+    adaptive_block: u64,
+}
+
+/// This thread's monotone totals. `record_*` only ever touches these;
+/// scopes are charged by delta on guard drop.
 struct LocalCounts {
     invocations: Cell<u64>,
     scanned: Cell<u64>,
+    adaptive_gallop: Cell<u64>,
+    adaptive_block: Cell<u64>,
 }
 
 thread_local! {
@@ -80,13 +93,20 @@ thread_local! {
         LocalCounts {
             invocations: Cell::new(0),
             scanned: Cell::new(0),
+            adaptive_gallop: Cell::new(0),
+            adaptive_block: Cell::new(0),
         }
     };
 }
 
 /// Current thread-local totals.
-fn local_counts() -> (u64, u64) {
-    LOCAL.with(|l| (l.invocations.get(), l.scanned.get()))
+fn local_counts() -> Totals {
+    LOCAL.with(|l| Totals {
+        invocations: l.invocations.get(),
+        scanned: l.scanned.get(),
+        adaptive_gallop: l.adaptive_gallop.get(),
+        adaptive_block: l.adaptive_block.get(),
+    })
 }
 
 /// A point-in-time snapshot of one scope's counters.
@@ -97,6 +117,12 @@ pub struct CounterSnapshot {
     /// Number of array elements consumed across all intersections
     /// (a proxy for comparison work).
     pub elements_scanned: u64,
+    /// Invocations [`crate::Kernel::Adaptive`] routed to galloping
+    /// (skewed neighbor-list pair). Zero for every other kernel.
+    pub adaptive_gallop: u64,
+    /// Invocations [`crate::Kernel::Adaptive`] routed to the block/pivot
+    /// kernel (balanced pair). Zero for every other kernel.
+    pub adaptive_block: u64,
 }
 
 impl CounterSnapshot {
@@ -105,6 +131,8 @@ impl CounterSnapshot {
         CounterSnapshot {
             compsim_invocations: self.compsim_invocations - earlier.compsim_invocations,
             elements_scanned: self.elements_scanned - earlier.elements_scanned,
+            adaptive_gallop: self.adaptive_gallop - earlier.adaptive_gallop,
+            adaptive_block: self.adaptive_block - earlier.adaptive_block,
         }
     }
 }
@@ -143,16 +171,20 @@ impl CounterScope {
         let mut snap = CounterSnapshot {
             compsim_invocations: self.inner.invocations.load(Ordering::Relaxed),
             elements_scanned: self.inner.scanned.load(Ordering::Relaxed),
+            adaptive_gallop: self.inner.adaptive_gallop.load(Ordering::Relaxed),
+            adaptive_block: self.inner.adaptive_block.load(Ordering::Relaxed),
         };
-        let (inv, scanned) = local_counts();
+        let now = local_counts();
         ACTIVE.with(|a| {
             if let Some(e) = a
                 .borrow()
                 .iter()
                 .find(|e| Arc::ptr_eq(&e.scope, &self.inner))
             {
-                snap.compsim_invocations += inv - e.base.0;
-                snap.elements_scanned += scanned - e.base.1;
+                snap.compsim_invocations += now.invocations - e.base.invocations;
+                snap.elements_scanned += now.scanned - e.base.scanned;
+                snap.adaptive_gallop += now.adaptive_gallop - e.base.adaptive_gallop;
+                snap.adaptive_block += now.adaptive_block - e.base.adaptive_block;
             }
         });
         snap
@@ -258,17 +290,25 @@ pub struct AttachGuard {
 
 impl Drop for AttachGuard {
     fn drop(&mut self) {
-        let (inv, scanned) = local_counts();
+        let now = local_counts();
         ACTIVE.with(|a| {
             let mut stack = a.borrow_mut();
             for _ in 0..self.pushed {
                 let e = stack.pop().expect("guard outlived its stack entries");
                 e.scope
                     .invocations
-                    .fetch_add(inv - e.base.0, Ordering::Relaxed);
+                    .fetch_add(now.invocations - e.base.invocations, Ordering::Relaxed);
                 e.scope
                     .scanned
-                    .fetch_add(scanned - e.base.1, Ordering::Relaxed);
+                    .fetch_add(now.scanned - e.base.scanned, Ordering::Relaxed);
+                e.scope.adaptive_gallop.fetch_add(
+                    now.adaptive_gallop - e.base.adaptive_gallop,
+                    Ordering::Relaxed,
+                );
+                e.scope.adaptive_block.fetch_add(
+                    now.adaptive_block - e.base.adaptive_block,
+                    Ordering::Relaxed,
+                );
             }
         });
     }
@@ -288,6 +328,34 @@ pub fn record_scanned(n: u64) {
     LOCAL.with(|l| l.scanned.set(l.scanned.get() + n));
 }
 
+/// Records one `CompSim` invocation together with its scanned-element
+/// count in a single thread-local access. The block kernels call this
+/// once at each exit instead of paying two `LOCAL.with` round trips per
+/// invocation.
+#[inline]
+pub fn record_invocation_scanned(n: u64) {
+    LOCAL.with(|l| {
+        l.invocations.set(l.invocations.get() + 1);
+        l.scanned.set(l.scanned.get() + n);
+    });
+}
+
+/// Records one [`crate::Kernel::Adaptive`] dispatch decision: `gallop`
+/// says which branch the degree-ratio test picked. The mix lets
+/// `fig4_invocations` and the ablations report how often the skew
+/// heuristic fires on each dataset.
+#[inline]
+pub fn record_adaptive_choice(gallop: bool) {
+    LOCAL.with(|l| {
+        let c = if gallop {
+            &l.adaptive_gallop
+        } else {
+            &l.adaptive_block
+        };
+        c.set(c.get() + 1);
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +371,19 @@ mod tests {
         });
         assert_eq!(d.compsim_invocations, 2);
         assert_eq!(d.elements_scanned, 10);
+    }
+
+    #[test]
+    fn adaptive_choice_mix_is_scoped() {
+        let scope = CounterScope::new();
+        let (d, ()) = scope.measure(|| {
+            record_adaptive_choice(true);
+            record_adaptive_choice(false);
+            record_adaptive_choice(false);
+        });
+        assert_eq!(d.adaptive_gallop, 1);
+        assert_eq!(d.adaptive_block, 2);
+        assert_eq!(d.compsim_invocations, 0);
     }
 
     #[test]

@@ -29,11 +29,24 @@ pub enum Kernel {
     BlockAvx2,
     /// Block-based all-pairs AVX-512 (extension).
     BlockAvx512,
+    /// Degree-ratio adaptive dispatch (extension): galloping when one
+    /// neighbor list is at least [`ADAPTIVE_GALLOP_RATIO`]× longer than
+    /// the other, the best available block kernel otherwise. The mix of
+    /// decisions is recorded via [`counters::record_adaptive_choice`]
+    /// so `fig4_invocations` and the ablations can report it.
+    Adaptive,
 }
+
+/// Length ratio at which [`Kernel::Adaptive`] switches from the block
+/// kernel to galloping. Tuned on the skewed ROLL suite: galloping wins
+/// once the long list dwarfs the short one enough that O(s·log l) beats
+/// the block kernel's O(s + l) streaming — on AVX-512 hardware that
+/// crossover sits around 32× (16 lanes × ~2 for early termination).
+pub const ADAPTIVE_GALLOP_RATIO: usize = 32;
 
 impl Kernel {
     /// All kernels, for exhaustive differential testing.
-    pub const ALL: [Kernel; 7] = [
+    pub const ALL: [Kernel; 8] = [
         Kernel::MergeEarly,
         Kernel::PivotScalar,
         Kernel::PivotAvx2,
@@ -41,6 +54,7 @@ impl Kernel {
         Kernel::Galloping,
         Kernel::BlockAvx2,
         Kernel::BlockAvx512,
+        Kernel::Adaptive,
     ];
 
     /// The fastest vectorized kernel this CPU supports, falling back to
@@ -76,6 +90,7 @@ impl Kernel {
             Kernel::Galloping => "galloping",
             Kernel::BlockAvx2 => "block-avx2",
             Kernel::BlockAvx512 => "block-avx512",
+            Kernel::Adaptive => "adaptive",
         }
     }
 
@@ -89,6 +104,7 @@ impl Kernel {
             "galloping" => Some(Kernel::Galloping),
             "block-avx2" => Some(Kernel::BlockAvx2),
             "block-avx512" => Some(Kernel::BlockAvx512),
+            "adaptive" => Some(Kernel::Adaptive),
             _ => None,
         }
     }
@@ -111,6 +127,24 @@ impl Kernel {
             Kernel::Galloping => galloping::check_early(a, b, min_cn),
             Kernel::BlockAvx2 => simd_block::avx2::check_early(a, b, min_cn),
             Kernel::BlockAvx512 => simd_block::avx512::check_early(a, b, min_cn),
+            Kernel::Adaptive => {
+                let (short, long) = if a.len() <= b.len() {
+                    (a.len(), b.len())
+                } else {
+                    (b.len(), a.len())
+                };
+                let gallop = long >= short.max(1).saturating_mul(ADAPTIVE_GALLOP_RATIO);
+                crate::counters::record_adaptive_choice(gallop);
+                if gallop {
+                    galloping::check_early(a, b, min_cn)
+                } else if simd::avx512_available() {
+                    simd_block::avx512::check_early(a, b, min_cn)
+                } else if simd::avx2_available() {
+                    simd_block::avx2::check_early(a, b, min_cn)
+                } else {
+                    pivot::check_early(a, b, min_cn)
+                }
+            }
         }
     }
 }
@@ -155,6 +189,34 @@ mod tests {
         let expected = merge::check_reference(&a, &b, 7);
         for k in Kernel::ALL.into_iter().filter(|k| k.available()) {
             assert_eq!(k.check(&a, &b, 7), expected, "kernel {k}");
+        }
+    }
+
+    #[test]
+    fn adaptive_picks_galloping_only_on_skewed_pairs() {
+        use crate::counters::CounterScope;
+        let short: Vec<u32> = (0..4).map(|x| x * 7).collect();
+        let long: Vec<u32> = (0..(4 * ADAPTIVE_GALLOP_RATIO) as u32).collect();
+        let balanced: Vec<u32> = (0..64).map(|x| x * 2).collect();
+
+        let scope = CounterScope::new();
+        let (d, ()) = scope.measure(|| {
+            // Skewed: ratio exactly at the threshold → galloping.
+            Kernel::Adaptive.check(&short, &long, 1);
+            Kernel::Adaptive.check(&long, &short, 1); // order-insensitive
+                                                      // Balanced → block kernel.
+            Kernel::Adaptive.check(&balanced, &long, 1);
+        });
+        assert_eq!(d.adaptive_gallop, 2);
+        assert_eq!(d.adaptive_block, 1);
+        assert_eq!(d.compsim_invocations, 3, "delegate records exactly once");
+
+        // Both branches agree with the reference on both input shapes.
+        for (x, y) in [(&short, &long), (&balanced, &long)] {
+            assert_eq!(
+                Kernel::Adaptive.check(x, y, 3),
+                merge::check_reference(x, y, 3)
+            );
         }
     }
 }

@@ -15,11 +15,20 @@
 //! data-dependent addressing — blocks advance by the full lane width —
 //! so the loop runs at load/compare throughput on any density.
 //!
+//! Partial trailing blocks are processed by the same all-pairs loop via
+//! masked/partial loads: dead lanes are filled with sentinels above the
+//! `i32::MAX` vertex-id ceiling (a distinct sentinel per side, so dead
+//! lanes can match neither a real id nor each other). This matters for
+//! low-degree graphs — with 16-lane blocks and average degree ~40, a
+//! scalar tail would otherwise handle up to 15 elements per side, more
+//! than a third of the work.
+//!
 //! Early termination happens at block granularity, which preserves the
 //! Definition 3.9 guarantees:
 //! * `cn` grows only when matches are counted → the `Sim` exit is exact;
-//! * `du`/`dv` drop by `L − (matches inside the advanced block)` when a
-//!   block retires, which keeps them true upper bounds of `|Γ(u) ∩ Γ(v)|`.
+//! * `du`/`dv` drop by `l − (matches inside the advanced block)` when a
+//!   block of `l` live elements retires, which keeps them true upper
+//!   bounds of `|Γ(u) ∩ Γ(v)|`.
 //!
 //! Inputs must be strictly increasing (the CSR neighbor-array contract):
 //! strictness guarantees each element matches at most one element of the
@@ -27,7 +36,7 @@
 //! counts matches exactly once.
 
 use crate::counters;
-use crate::pivot::{self, PivotState};
+use crate::pivot::PivotState;
 use crate::similarity::Similarity;
 
 /// AVX2 block kernel (8-lane blocks).
@@ -36,13 +45,18 @@ pub mod avx2 {
 
     /// Block-based vectorized `CompSim`; same contract as
     /// [`crate::merge::check_early`].
+    ///
+    /// The invocation counter is charged together with the scanned count
+    /// in one thread-local access at each exit (`inner` owns the exits
+    /// of the vectorized path).
     pub fn check_early(a: &[u32], b: &[u32], min_cn: u64) -> Similarity {
-        counters::record_invocation();
         if min_cn <= 2 {
+            counters::record_invocation();
             return Similarity::Sim;
         }
         let s = PivotState::new(a, b);
         if s.du < min_cn || s.dv < min_cn {
+            counters::record_invocation();
             return Similarity::NSim;
         }
         #[cfg(target_arch = "x86_64")]
@@ -53,8 +67,13 @@ pub mod avx2 {
             }
         }
         debug_assert!(false, "AVX2 block kernel invoked without avx2");
-        pivot::run_from(a, b, s, min_cn)
+        counters::record_invocation();
+        crate::pivot::run_from(a, b, s, min_cn)
     }
+
+    /// Row `r` of the maskload table: `8 - r` leading live lanes.
+    #[cfg(target_arch = "x86_64")]
+    static MASKS: [i32; 16] = [-1, -1, -1, -1, -1, -1, -1, -1, 0, 0, 0, 0, 0, 0, 0, 0];
 
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2")]
@@ -63,13 +82,27 @@ pub mod avx2 {
         const LANES: usize = 8;
         // Lane rotation by one: vb[k] ← vb[(k + 1) % 8].
         let rot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+        // Dead-lane sentinels above the i32::MAX id ceiling; the two
+        // sides differ so dead lanes never match each other either.
+        let fill_a = _mm256_set1_epi32(-1);
+        let fill_b = _mm256_set1_epi32(-2);
         // Matches already counted inside the *current* a-/b-block.
         let mut acc_a = 0u64;
         let mut acc_b = 0u64;
-        while s.i + LANES <= a.len() && s.j + LANES <= b.len() {
-            // SAFETY: both loads are guarded by the loop condition.
-            let va = _mm256_loadu_si256(a.as_ptr().add(s.i) as *const _);
-            let vb = _mm256_loadu_si256(b.as_ptr().add(s.j) as *const _);
+        while s.i < a.len() && s.j < b.len() {
+            let la = (a.len() - s.i).min(LANES);
+            let lb = (b.len() - s.j).min(LANES);
+            // SAFETY: maskload touches only the `la`/`lb` live lanes,
+            // which the length subtraction keeps in bounds; the mask
+            // table rows start at LANES - l ∈ [0, 8].
+            let ma = _mm256_loadu_si256(MASKS.as_ptr().add(LANES - la) as *const _);
+            let mb = _mm256_loadu_si256(MASKS.as_ptr().add(LANES - lb) as *const _);
+            let va = _mm256_maskload_epi32(a.as_ptr().add(s.i) as *const i32, ma);
+            let vb = _mm256_maskload_epi32(b.as_ptr().add(s.j) as *const i32, mb);
+            // Masked-out lanes load as 0, which is a valid vertex id —
+            // blend in the sentinels before comparing.
+            let va = _mm256_blendv_epi8(fill_a, va, ma);
+            let vb = _mm256_blendv_epi8(fill_b, vb, mb);
             // All-pairs equality: rotate vb through all 8 alignments.
             let mut hits = _mm256_cmpeq_epi32(va, vb);
             let mut vb_rot = vb;
@@ -80,45 +113,40 @@ pub mod avx2 {
             let m = (_mm256_movemask_ps(_mm256_castsi256_ps(hits)) as u32).count_ones() as u64;
             s.cn += m;
             if s.cn >= min_cn {
+                counters::record_invocation_scanned((s.i + s.j) as u64);
                 return Similarity::Sim;
             }
             acc_a += m;
             acc_b += m;
-            // SAFETY: block-tail indices are below the guarded bounds.
-            let amax = *a.get_unchecked(s.i + LANES - 1);
-            let bmax = *b.get_unchecked(s.j + LANES - 1);
+            // SAFETY: block-tail indices are below the live lengths.
+            let amax = *a.get_unchecked(s.i + la - 1);
+            let bmax = *b.get_unchecked(s.j + lb - 1);
             // Advance the block(s) with the smaller maximum. Strictly
             // increasing arrays make this safe: every element of the
             // retired block is ≤ its max ≤ the other block's max < the
             // other array's next block, so no match is skipped.
             if amax <= bmax {
-                s.du -= LANES as u64 - acc_a;
-                s.i += LANES;
+                s.du -= la as u64 - acc_a;
+                s.i += la;
                 acc_a = 0;
                 if s.du < min_cn {
+                    counters::record_invocation_scanned((s.i + s.j) as u64);
                     return Similarity::NSim;
                 }
             }
             if bmax <= amax {
-                s.dv -= LANES as u64 - acc_b;
-                s.j += LANES;
+                s.dv -= lb as u64 - acc_b;
+                s.j += lb;
                 acc_b = 0;
                 if s.dv < min_cn {
+                    counters::record_invocation_scanned((s.i + s.j) as u64);
                     return Similarity::NSim;
                 }
             }
         }
-        // Fewer than 8 elements remain on one side: the scalar pivot
-        // tail resumes at (i, j). Every iteration retired at least one
-        // block, so the final live block pair was never compared: cn
-        // holds no match between elements at ≥ i and ≥ j, and the tail
-        // cannot double-count. It will, however, skip live-block elements
-        // whose partner already retired (the acc_a/acc_b matches) and
-        // decrement du/dv for them as if unmatched — loosen the bounds by
-        // exactly that amount so they stay valid upper bounds.
-        s.du += acc_a;
-        s.dv += acc_b;
-        pivot::run_from(a, b, s, min_cn)
+        // One side exhausted with cn < min_cn: cn can no longer grow.
+        counters::record_invocation_scanned((s.i + s.j) as u64);
+        Similarity::NSim
     }
 }
 
@@ -128,13 +156,18 @@ pub mod avx512 {
 
     /// Block-based vectorized `CompSim`; same contract as
     /// [`crate::merge::check_early`].
+    ///
+    /// The invocation counter is charged together with the scanned count
+    /// in one thread-local access at each exit (`inner` owns the exits
+    /// of the vectorized path).
     pub fn check_early(a: &[u32], b: &[u32], min_cn: u64) -> Similarity {
-        counters::record_invocation();
         if min_cn <= 2 {
+            counters::record_invocation();
             return Similarity::Sim;
         }
         let s = PivotState::new(a, b);
         if s.du < min_cn || s.dv < min_cn {
+            counters::record_invocation();
             return Similarity::NSim;
         }
         #[cfg(target_arch = "x86_64")]
@@ -145,7 +178,8 @@ pub mod avx512 {
             }
         }
         debug_assert!(false, "AVX-512 block kernel invoked without avx512f");
-        pivot::run_from(a, b, s, min_cn)
+        counters::record_invocation();
+        crate::pivot::run_from(a, b, s, min_cn)
     }
 
     #[cfg(target_arch = "x86_64")]
@@ -154,12 +188,22 @@ pub mod avx512 {
         use std::arch::x86_64::*;
         const LANES: usize = 16;
         let rot1 = _mm512_setr_epi32(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 0);
+        // Dead-lane sentinels above the i32::MAX id ceiling; the two
+        // sides differ so dead lanes never match each other either.
+        let fill_a = _mm512_set1_epi32(-1);
+        let fill_b = _mm512_set1_epi32(-2);
         let mut acc_a = 0u64;
         let mut acc_b = 0u64;
-        while s.i + LANES <= a.len() && s.j + LANES <= b.len() {
-            // SAFETY: both loads are guarded by the loop condition.
-            let va = _mm512_loadu_si512(a.as_ptr().add(s.i) as *const _);
-            let vb = _mm512_loadu_si512(b.as_ptr().add(s.j) as *const _);
+        while s.i < a.len() && s.j < b.len() {
+            let la = (a.len() - s.i).min(LANES);
+            let lb = (b.len() - s.j).min(LANES);
+            let ka: __mmask16 = 0xFFFF >> (LANES - la);
+            let kb: __mmask16 = 0xFFFF >> (LANES - lb);
+            // SAFETY: the masked loads fault-suppress dead lanes; live
+            // lanes are in bounds by the length subtraction. Dead lanes
+            // take the sentinel from the src operand.
+            let va = _mm512_mask_loadu_epi32(fill_a, ka, a.as_ptr().add(s.i) as *const i32);
+            let vb = _mm512_mask_loadu_epi32(fill_b, kb, b.as_ptr().add(s.j) as *const i32);
             let mut hits: u16 = _mm512_cmpeq_epi32_mask(va, vb);
             let mut vb_rot = vb;
             for _ in 1..LANES {
@@ -169,34 +213,36 @@ pub mod avx512 {
             let m = hits.count_ones() as u64;
             s.cn += m;
             if s.cn >= min_cn {
+                counters::record_invocation_scanned((s.i + s.j) as u64);
                 return Similarity::Sim;
             }
             acc_a += m;
             acc_b += m;
-            // SAFETY: block-tail indices are below the guarded bounds.
-            let amax = *a.get_unchecked(s.i + LANES - 1);
-            let bmax = *b.get_unchecked(s.j + LANES - 1);
+            // SAFETY: block-tail indices are below the live lengths.
+            let amax = *a.get_unchecked(s.i + la - 1);
+            let bmax = *b.get_unchecked(s.j + lb - 1);
             if amax <= bmax {
-                s.du -= LANES as u64 - acc_a;
-                s.i += LANES;
+                s.du -= la as u64 - acc_a;
+                s.i += la;
                 acc_a = 0;
                 if s.du < min_cn {
+                    counters::record_invocation_scanned((s.i + s.j) as u64);
                     return Similarity::NSim;
                 }
             }
             if bmax <= amax {
-                s.dv -= LANES as u64 - acc_b;
-                s.j += LANES;
+                s.dv -= lb as u64 - acc_b;
+                s.j += lb;
                 acc_b = 0;
                 if s.dv < min_cn {
+                    counters::record_invocation_scanned((s.i + s.j) as u64);
                     return Similarity::NSim;
                 }
             }
         }
-        // See the AVX2 kernel for why this adjustment is exact.
-        s.du += acc_a;
-        s.dv += acc_b;
-        pivot::run_from(a, b, s, min_cn)
+        // One side exhausted with cn < min_cn: cn can no longer grow.
+        counters::record_invocation_scanned((s.i + s.j) as u64);
+        Similarity::NSim
     }
 }
 
@@ -245,6 +291,21 @@ mod tests {
             assert_eq!(f(&a, &a, 514), Similarity::Sim, "{name}");
             assert_eq!(f(&a, &a, 515), Similarity::NSim, "{name}");
             assert_eq!(f(&a, &c, 3), Similarity::NSim, "{name}");
+        }
+    }
+
+    #[test]
+    fn zero_id_does_not_match_dead_lanes() {
+        // Vertex id 0 is valid; masked-out lanes must not collide with
+        // it (the sentinels sit above i32::MAX).
+        let a: Vec<u32> = vec![0, 5];
+        let b: Vec<u32> = vec![1, 2, 3];
+        for (name, f) in check_fns() {
+            assert_eq!(
+                f(&a, &b, 3),
+                merge::check_early(&a, &b, 3),
+                "{name} zero-id partial blocks"
+            );
         }
     }
 }

@@ -35,6 +35,13 @@ pub struct KernelCounters {
     pub compsim_invocations: u64,
     /// Adjacency-list elements scanned by the kernels.
     pub elements_scanned: u64,
+    /// Adaptive-kernel invocations routed to galloping (0 unless the
+    /// adaptive kernel ran). Serialized only when nonzero, parsed with a
+    /// default of 0, so schema 1 files stay round-trip exact.
+    pub adaptive_gallop: u64,
+    /// Adaptive-kernel invocations routed to the block kernel (0 unless
+    /// the adaptive kernel ran).
+    pub adaptive_block: u64,
 }
 
 /// Per-worker totals within one phase.
@@ -48,6 +55,9 @@ pub struct WorkerMetrics {
     pub tasks: u64,
     /// Injected scheduler yields attributed to this worker.
     pub yields: u64,
+    /// Tasks this worker stole from other workers' deques (serialized
+    /// only when nonzero; defaults to 0 on parse).
+    pub steals: u64,
 }
 
 /// One algorithm phase: wall time plus per-worker breakdown.
@@ -172,6 +182,7 @@ impl RunReport {
                         busy_nanos: w.busy_nanos,
                         tasks: w.tasks,
                         yields: w.yields,
+                        steals: w.steals,
                     })
                     .collect(),
             })
@@ -212,19 +223,29 @@ impl RunReport {
             "phases".into(),
             Json::Arr(self.phases.iter().map(phase_to_json).collect()),
         ));
-        fields.push((
-            "counters".into(),
-            Json::Obj(vec![
-                (
-                    "compsim_invocations".into(),
-                    Json::from_u64(self.counters.compsim_invocations),
-                ),
-                (
-                    "elements_scanned".into(),
-                    Json::from_u64(self.counters.elements_scanned),
-                ),
-            ]),
-        ));
+        let mut counters = vec![
+            (
+                "compsim_invocations".into(),
+                Json::from_u64(self.counters.compsim_invocations),
+            ),
+            (
+                "elements_scanned".into(),
+                Json::from_u64(self.counters.elements_scanned),
+            ),
+        ];
+        if self.counters.adaptive_gallop != 0 {
+            counters.push((
+                "adaptive_gallop".into(),
+                Json::from_u64(self.counters.adaptive_gallop),
+            ));
+        }
+        if self.counters.adaptive_block != 0 {
+            counters.push((
+                "adaptive_block".into(),
+                Json::from_u64(self.counters.adaptive_block),
+            ));
+        }
+        fields.push(("counters".into(), Json::Obj(counters)));
         if !self.extra.is_empty() {
             fields.push(("extra".into(), Json::Obj(self.extra.clone())));
         }
@@ -265,6 +286,8 @@ impl RunReport {
         report.counters = KernelCounters {
             compsim_invocations: req_u64(counters, "compsim_invocations")?,
             elements_scanned: req_u64(counters, "elements_scanned")?,
+            adaptive_gallop: opt_u64(counters, "adaptive_gallop").unwrap_or(0),
+            adaptive_block: opt_u64(counters, "adaptive_block").unwrap_or(0),
         };
         if let Some(Json::Obj(extra)) = v.get("extra") {
             report.extra = extra.clone();
@@ -302,12 +325,16 @@ fn phase_to_json(p: &PhaseMetrics) -> Json {
                 p.workers
                     .iter()
                     .map(|w| {
-                        Json::Obj(vec![
+                        let mut fields = vec![
                             ("worker".into(), Json::from_u64(w.worker)),
                             ("busy_nanos".into(), Json::from_u64(w.busy_nanos)),
                             ("tasks".into(), Json::from_u64(w.tasks)),
                             ("yields".into(), Json::from_u64(w.yields)),
-                        ])
+                        ];
+                        if w.steals != 0 {
+                            fields.push(("steals".into(), Json::from_u64(w.steals)));
+                        }
+                        Json::Obj(fields)
                     })
                     .collect(),
             ),
@@ -330,6 +357,7 @@ fn phase_from_json(v: &Json) -> Result<PhaseMetrics, String> {
                 busy_nanos: req_u64(w, "busy_nanos")?,
                 tasks: req_u64(w, "tasks")?,
                 yields: req_u64(w, "yields")?,
+                steals: opt_u64(w, "steals").unwrap_or(0),
             });
         }
     }
@@ -577,6 +605,8 @@ mod tests {
                     busy_nanos: rng.below(1 << 40),
                     tasks: rng.below(1 << 20),
                     yields: rng.below(1 << 10),
+                    // Often zero, so the emit-iff-nonzero path is covered.
+                    steals: rng.below(3),
                 });
             }
             r.phases.push(phase);
@@ -584,6 +614,8 @@ mod tests {
         r.counters = KernelCounters {
             compsim_invocations: rng.next() >> 1,
             elements_scanned: rng.next() >> 1,
+            adaptive_gallop: rng.below(3) * rng.below(1 << 20),
+            adaptive_block: rng.below(3) * rng.below(1 << 20),
         };
         if rng.chance(40) {
             r.push_extra("seed", Json::from_u64(rng.next()));

@@ -163,6 +163,23 @@ pub fn record_yields(n: u64) {
     });
 }
 
+/// Records `n` successful steals against the current stage and worker in
+/// every active collector. Used by the work-stealing scheduler so load
+/// imbalance (how much work migrated between workers) shows up in
+/// reports.
+pub fn record_steals(n: u64) {
+    if n == 0 {
+        return;
+    }
+    let stage = current_stage().unwrap_or("task");
+    let worker = WORKER.with(|w| w.get());
+    ACTIVE.with(|a| {
+        for collector in a.borrow().iter() {
+            collector.record_steals(stage, worker, n);
+        }
+    });
+}
+
 /// Aggregated totals for one worker within one stage.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct WorkerAgg {
@@ -174,6 +191,8 @@ pub struct WorkerAgg {
     pub tasks: u64,
     /// Injected yields recorded by this worker.
     pub yields: u64,
+    /// Tasks this worker stole from other workers' deques.
+    pub steals: u64,
 }
 
 /// Aggregated totals for one stage.
@@ -242,6 +261,13 @@ impl CollectorInner {
         self.with_stage(stage, |agg| {
             let w = worker.unwrap_or(0);
             worker_slot(&mut agg.workers, w).yields += n;
+        });
+    }
+
+    fn record_steals(&self, stage: &'static str, worker: Option<usize>, n: u64) {
+        self.with_stage(stage, |agg| {
+            let w = worker.unwrap_or(0);
+            worker_slot(&mut agg.workers, w).steals += n;
         });
     }
 }
@@ -512,6 +538,23 @@ mod tests {
         let snap = collector.snapshot();
         let agg = snap.iter().find(|s| s.stage == "stage").unwrap();
         assert_eq!(agg.workers[0].yields, 7);
+    }
+
+    #[test]
+    fn steals_are_attributed() {
+        let collector = Collector::new();
+        let _guard = collector.activate();
+        {
+            let _w = enter_worker(2);
+            let _span = Span::enter("stage");
+            record_steals(3);
+            record_steals(0); // no-op
+        }
+        let snap = collector.snapshot();
+        let agg = snap.iter().find(|s| s.stage == "stage").unwrap();
+        assert_eq!(agg.workers[0].worker, 2);
+        assert_eq!(agg.workers[0].steals, 3);
+        assert_eq!(agg.workers[0].yields, 0);
     }
 
     #[test]

@@ -1,14 +1,15 @@
 //! # ppscan-sched
 //!
 //! Degree-based dynamic task scheduling (paper §4.4, Algorithm 5) on a
-//! dependency-free thread pool with **pluggable execution strategies**.
+//! persistent work-stealing thread pool with **pluggable execution
+//! strategies**.
 //!
 //! ppSCAN bundles vertex computations into tasks by accumulating the
 //! degrees of vertices that still require work and cutting a task every
 //! time the running sum exceeds a threshold (32768 in the paper's tuned
 //! setting). Tasks are contiguous vertex ranges — so worker threads touch
 //! adjacent regions of the CSR `dst`/`sim` arrays — and are executed on
-//! worker threads with dynamic (shared-queue) scheduling.
+//! worker threads with dynamic scheduling.
 //!
 //! This crate provides that scheduler as a reusable primitive:
 //!
@@ -20,16 +21,39 @@
 //!   ([`WorkerPool::run_vertices`]), or over disjoint mutable items
 //!   ([`WorkerPool::run_mut`]), under a chosen [`ExecutionStrategy`].
 //!
+//! ## Scheduler backends
+//!
+//! A pool dispatches through one of two [`SchedulerKind`] backends:
+//!
+//! * [`SchedulerKind::WorkStealing`] (the default) — worker threads are
+//!   spawned **once**, when the pool is built, and parked on a condvar
+//!   between dispatches. Each dispatch partitions the task positions
+//!   into per-worker bounded deques; a worker drains its own deque from
+//!   the bottom and, when empty, steals from the top of a randomly
+//!   chosen victim's deque (Chase–Lev protocol, std-only). This removes
+//!   the per-phase thread spawn/join cost — ppSCAN runs six
+//!   barrier-separated phases per clustering, so the old
+//!   spawn-per-dispatch pool paid that cost repeatedly on every run.
+//! * [`SchedulerKind::SharedQueue`] — the legacy backend: scoped workers
+//!   spawned per dispatch, all claiming positions from one shared atomic
+//!   cursor. Kept for the `sched_overhead` before/after ablation.
+//!
+//! Both backends execute the same task set and claim positions in a
+//! compatible order (contiguous for `Parallel`, seed-permuted for
+//! `AdversarialSeeded`), so results — which Theorems 4.1/4.2 require to
+//! be schedule-independent — are directly comparable across backends.
+//!
 //! ## Execution strategies
 //!
 //! Parallel SCAN reproductions live or die on determinism of the *result*
 //! under nondeterministic schedules (Theorems 4.1/4.2). To make schedule
 //! bugs reproducible on demand instead of once-in-a-hundred CI runs,
-//! every phase can be replayed under one of three strategies:
+//! every phase can be replayed under one of these strategies:
 //!
 //! * [`ExecutionStrategy::Parallel`] — the production path: worker
-//!   threads claim tasks from a shared queue (work conservation without
-//!   static assignment, the `SubmitTaskToPool` of Algorithm 5).
+//!   threads drain per-worker deques with randomized-victim stealing
+//!   (work conservation without static assignment, the
+//!   `SubmitTaskToPool` of Algorithm 5).
 //! * [`ExecutionStrategy::SequentialDeterministic`] — every task runs in
 //!   submission order on the caller thread. A reference schedule: any
 //!   result difference against `Parallel` is a concurrency bug.
@@ -38,20 +62,21 @@
 //!   interleavings vary reproducibly with the seed. Used by the
 //!   differential stress driver to hunt schedule-dependent bugs and to
 //!   pin regressions to a replayable seed.
+//! * [`ExecutionStrategy::Modeled`] — caller thread, oracle-chosen order
+//!   (the model-checking seam; see [`modeled`]).
 //!
 //! ## Observability
 //!
-//! The pool is the workspace's single context-propagation point: before
-//! spawning workers it captures the submitting thread's ambient context
-//! through the `ppscan_obs::propagate` registry (span collectors, kernel
-//! counter scopes, and anything else a layer registers) and attaches it
-//! on every worker thread. Each task additionally runs inside a
-//! `ppscan_obs::Span` named after the submitting thread's current stage,
-//! with the worker id tagged, so an active `ppscan_obs::Collector` sees
-//! per-stage / per-worker busy time, task counts, and injected-yield
-//! counts — with zero plumbing at call sites. (This replaces the old
-//! convention of calling `counters::inherit()` / `attach()` manually
-//! around every pool submission.)
+//! The pool is the workspace's single context-propagation point: on every
+//! dispatch it captures the submitting thread's ambient context through
+//! the `ppscan_obs::propagate` registry (span collectors, kernel counter
+//! scopes, and anything else a layer registers) and attaches it on every
+//! worker thread for the duration of that dispatch. Each task
+//! additionally runs inside a `ppscan_obs::Span` named after the
+//! submitting thread's current stage, with the worker id tagged, so an
+//! active `ppscan_obs::Collector` sees per-stage / per-worker busy time,
+//! task counts, injected-yield counts, and steal counts — with zero
+//! plumbing at call sites.
 //!
 //! ```
 //! use ppscan_sched::{chunk_by_weight, ExecutionStrategy, WorkerPool, DEFAULT_DEGREE_THRESHOLD};
@@ -78,8 +103,11 @@
 //! let _ = DEFAULT_DEGREE_THRESHOLD;
 //! ```
 
+use std::any::Any;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
 
 /// The paper's tuned degree-sum threshold: "when the degree sum is above
 /// the threshold 32768 … a task is submitted". Tuned by doubling from 1
@@ -89,8 +117,8 @@ pub const DEFAULT_DEGREE_THRESHOLD: u64 = 32_768;
 /// How a [`WorkerPool`] orders and interleaves its tasks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum ExecutionStrategy {
-    /// Production path: tasks are claimed from a shared queue by
-    /// `threads` worker threads in submission order.
+    /// Production path: tasks are claimed from per-worker deques (with
+    /// stealing) by `threads` worker threads.
     #[default]
     Parallel,
     /// Every task runs in submission order on the caller thread; no
@@ -115,6 +143,48 @@ pub enum ExecutionStrategy {
     /// installs an oracle with [`modeled::with_oracle`] and drives the
     /// pool through every task order it cares about, deterministically.
     Modeled,
+}
+
+/// Which dispatch backend a [`WorkerPool`] uses for its parallel
+/// strategies. Strategies that run on the caller thread
+/// (`SequentialDeterministic`, `Modeled`) never touch the backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum SchedulerKind {
+    /// Persistent parked workers draining per-worker deques with
+    /// randomized-victim stealing. Workers are spawned once per pool and
+    /// woken per dispatch.
+    #[default]
+    WorkStealing,
+    /// The pre-stealing backend: workers spawned per dispatch, claiming
+    /// positions from one shared atomic cursor. Kept so the
+    /// `sched_overhead` harness can measure what the persistent pool
+    /// buys end to end.
+    SharedQueue,
+}
+
+impl SchedulerKind {
+    /// Harness display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::WorkStealing => "work-stealing",
+            SchedulerKind::SharedQueue => "shared-queue",
+        }
+    }
+
+    /// Parses a scheduler name as printed by [`SchedulerKind::name`].
+    pub fn parse(s: &str) -> Option<SchedulerKind> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "work-stealing" | "stealing" => Some(SchedulerKind::WorkStealing),
+            "shared-queue" | "shared" => Some(SchedulerKind::SharedQueue),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// The task-order oracle backing [`ExecutionStrategy::Modeled`].
@@ -205,8 +275,8 @@ impl std::fmt::Display for ExecutionStrategy {
 }
 
 /// SplitMix64 step — the standard 64-bit mixer (Steele et al.), used for
-/// seeded permutations and yield counts so the crate stays free of
-/// external RNG dependencies.
+/// seeded permutations, yield counts, and victim selection so the crate
+/// stays free of external RNG dependencies.
 #[inline]
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -273,18 +343,446 @@ pub fn chunk_by_weight(
     tasks
 }
 
-/// A task-execution engine with an explicit thread count and
-/// [`ExecutionStrategy`]. One pool is built per algorithm run so the
-/// thread count is an explicit experiment parameter (Figure 6 sweeps it
-/// from 1 to 256).
+/// The task set [`WorkerPool::run_weighted`] executes: Algorithm 5's
+/// [`chunk_by_weight`], except that when there are *fewer vertices than
+/// workers* the accumulator would almost always emit a single task (a
+/// tiny range rarely exceeds the threshold), leaving every other thread
+/// idle and — worse for the differential stress driver — collapsing the
+/// schedule space to one interleaving. Emit one task per vertex instead,
+/// so even degenerate graphs exercise multi-task schedules.
+pub fn weighted_tasks(
+    n: usize,
+    threshold: u64,
+    threads: usize,
+    weight: impl FnMut(u32) -> u64,
+) -> Vec<Range<u32>> {
+    if n > 0 && n < threads {
+        return (0..n as u32).map(|v| v..v + 1).collect();
+    }
+    chunk_by_weight(n, threshold, weight)
+}
+
+/// Locks a mutex, ignoring poisoning: the pool's own state transitions
+/// never panic mid-update, and a poisoned lock here would otherwise turn
+/// one propagated task panic into a wedged pool.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Runs queue position `queue_pos` of a dispatch: maps the position
+/// through the adversarial claim-order permutation if one is installed,
+/// brackets the task with seeded yields under adversarial replay, and
+/// records the task as a span under `stage`. Shared by the inline,
+/// shared-queue, and work-stealing paths so every backend executes
+/// byte-identical task bodies.
+fn run_position<F>(
+    run_task: &F,
+    stage: &'static str,
+    order: Option<&[usize]>,
+    seed: u64,
+    queue_pos: usize,
+) where
+    F: Fn(usize) + Sync,
+{
+    let task = order.map_or(queue_pos, |o| o[queue_pos]);
+    if order.is_some() {
+        // Seeded pre/post-task yield injection: perturb where this
+        // worker sits relative to the others without changing what it
+        // computes.
+        let mut state = seed ^ (task as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let pre = splitmix64(&mut state) % 4;
+        for _ in 0..pre {
+            std::thread::yield_now();
+        }
+        {
+            let _span = ppscan_obs::Span::enter(stage);
+            run_task(task);
+        }
+        let post = splitmix64(&mut state) % 2;
+        for _ in 0..post {
+            std::thread::yield_now();
+        }
+        ppscan_obs::span::record_yields(pre + post);
+    } else {
+        let _span = ppscan_obs::Span::enter(stage);
+        run_task(task);
+    }
+}
+
+/// One worker's slice of the dispatch positions, stealable from the
+/// other end: a Chase–Lev deque specialised to the pool's drain-only
+/// life cycle. Positions `top..bottom` are outstanding; the owner pops
+/// from `bottom`, thieves advance `top`. No pushes ever happen after
+/// publication (the task set is fixed at dispatch), so the classic
+/// protocol loses its grow/overflow cases and needs no buffer — the
+/// indices *are* the values.
+struct Deque {
+    /// Steal end (thieves advance this upward). `isize` so the owner's
+    /// speculative `bottom - 1` underflow on an empty deque stays
+    /// well-defined.
+    top: AtomicIsize,
+    /// Owner end (the owner moves this downward).
+    bottom: AtomicIsize,
+}
+
+enum Steal {
+    Taken(usize),
+    Empty,
+    /// Lost a CAS race with the owner or another thief; the deque may
+    /// still hold work, so a draining scan must revisit it.
+    Retry,
+}
+
+impl Deque {
+    fn new(range: Range<usize>) -> Self {
+        Deque {
+            top: AtomicIsize::new(range.start as isize),
+            bottom: AtomicIsize::new(range.end as isize),
+        }
+    }
+
+    /// Owner pop from the bottom. The SeqCst fence orders the
+    /// speculative `bottom` decrement against the thief's `top` read —
+    /// the heart of the Chase–Lev protocol: either the thief sees the
+    /// decrement (and finds the deque empty) or the owner sees the
+    /// thief's `top` advance (and backs off / races the CAS on the last
+    /// element).
+    fn take(&self) -> Option<usize> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            if t == b {
+                // Single element left: race thieves for it, then reset
+                // to the canonical empty state either way.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                return won.then_some(b as usize);
+            }
+            Some(b as usize)
+        } else {
+            // Already empty; undo the speculative decrement.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Thief steal from the top.
+    fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t < b {
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                Steal::Taken(t as usize)
+            } else {
+                Steal::Retry
+            }
+        } else {
+            Steal::Empty
+        }
+    }
+}
+
+/// Splits dispatch positions `0..num_tasks` into one contiguous deque
+/// per worker (balanced to within one task; empty deques for surplus
+/// workers).
+fn deques_for(num_tasks: usize, workers: usize) -> Vec<Deque> {
+    (0..workers)
+        .map(|w| Deque::new(w * num_tasks / workers..(w + 1) * num_tasks / workers))
+        .collect()
+}
+
+/// Everything one dispatch shares with the persistent workers. Lives on
+/// the submitting thread's stack: the submitter blocks until every
+/// worker has signalled completion, so the borrow outlives all use (that
+/// barrier is what makes the type-erased [`Job`] pointer sound).
+struct DispatchCtx<'a, F: Fn(usize) + Sync> {
+    run_task: &'a F,
+    stage: &'static str,
+    /// Adversarial claim-order permutation (`None` ⇒ plain parallel).
+    order: Option<Vec<usize>>,
+    seed: u64,
+    deques: Vec<Deque>,
+    /// The submitter's ambient observability context, attached by every
+    /// worker for the duration of the dispatch.
+    ambient: ppscan_obs::propagate::CapturedContext,
+    /// First task panic, re-raised on the submitting thread.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Set after a task panicked: the remaining workers stop claiming.
+    abort: AtomicBool,
+}
+
+impl<F: Fn(usize) + Sync> DispatchCtx<'_, F> {
+    /// A persistent worker's share of one dispatch: drain the own deque,
+    /// then steal from randomized victims until every deque is empty.
+    /// All observability guards are scoped *inside* this call, so their
+    /// deferred counter/span flushes land before the worker signals
+    /// completion and releases the submitter.
+    fn worker_main(&self, w: usize) {
+        let _worker = ppscan_obs::span::enter_worker(w);
+        let _ambient = self.ambient.attach();
+        let mut rng = self.seed ^ (w as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5eed;
+        let mut steals = 0u64;
+        let own = &self.deques[w];
+        while !self.abort.load(Ordering::Relaxed) {
+            if let Some(pos) = own.take() {
+                self.run_pos(pos);
+                continue;
+            }
+            match self.steal_from_any(w, &mut rng) {
+                Some(pos) => {
+                    steals += 1;
+                    self.run_pos(pos);
+                }
+                None => break,
+            }
+        }
+        ppscan_obs::span::record_steals(steals);
+    }
+
+    /// One full randomized-victim sweep, repeated while any victim
+    /// reports a lost race. Termination needs no consensus round: the
+    /// task set is fixed at publication (deques only drain), so a single
+    /// sweep observing every deque empty with no contention is final.
+    fn steal_from_any(&self, w: usize, rng: &mut u64) -> Option<usize> {
+        let n = self.deques.len();
+        loop {
+            if self.abort.load(Ordering::Relaxed) {
+                return None;
+            }
+            let offset = (splitmix64(rng) % n as u64) as usize;
+            let mut contended = false;
+            for i in 0..n {
+                let victim = (offset + i) % n;
+                if victim == w {
+                    continue;
+                }
+                match self.deques[victim].steal() {
+                    Steal::Taken(pos) => return Some(pos),
+                    Steal::Retry => contended = true,
+                    Steal::Empty => {}
+                }
+            }
+            if !contended {
+                return None;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    fn run_pos(&self, pos: usize) {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_position(
+                self.run_task,
+                self.stage,
+                self.order.as_deref(),
+                self.seed,
+                pos,
+            );
+        }));
+        if let Err(payload) = result {
+            let mut slot = lock(&self.panic);
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+            self.abort.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// A type-erased pointer to the current dispatch's [`DispatchCtx`],
+/// published to the persistent workers through the pool mutex.
+#[derive(Clone, Copy)]
+struct Job {
+    data: *const (),
+    call: unsafe fn(*const (), usize),
+}
+
+// SAFETY: `data` points at a `DispatchCtx` (which is `Sync` — all its
+// fields are shared-access-safe) pinned on the submitting thread's
+// stack; the submitter blocks until every worker finishes, so the
+// pointee strictly outlives all worker access.
+unsafe impl Send for Job {}
+
+/// Monomorphized entry point stored in [`Job::call`]: recovers the
+/// concrete `DispatchCtx` type and runs one worker's share.
+unsafe fn worker_shim<F: Fn(usize) + Sync>(data: *const (), w: usize) {
+    // SAFETY: `data` was created from `&DispatchCtx<F>` in
+    // `WorkerPool::dispatch` and is kept alive by the completion
+    // barrier (see `Job`).
+    let ctx = unsafe { &*data.cast::<DispatchCtx<'_, F>>() };
+    ctx.worker_main(w);
+}
+
+struct PoolState {
+    /// Bumped once per dispatch; workers run each epoch exactly once.
+    epoch: u64,
+    /// The published dispatch, `Some` from publication until the
+    /// submitter observes completion.
+    job: Option<Job>,
+    /// Workers still inside the current epoch.
+    active: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers park here between dispatches (the park/unpark handshake).
+    work_cv: Condvar,
+    /// The submitter parks here until `active` drops to zero.
+    done_cv: Condvar,
+}
+
+/// The persistent worker threads of a [`SchedulerKind::WorkStealing`]
+/// pool. Spawned once at pool construction, parked on `work_cv` between
+/// dispatches, joined on drop.
+struct PersistentWorkers {
+    shared: Arc<PoolShared>,
+    /// Serialises concurrent dispatches on a shared pool (the epoch
+    /// protocol carries one job at a time).
+    submit: Mutex<()>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl PersistentWorkers {
+    fn spawn(threads: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                active: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ppscan-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        PersistentWorkers {
+            shared,
+            submit: Mutex::new(()),
+            handles,
+        }
+    }
+
+    /// Publishes `ctx` to the workers, blocks until all of them have
+    /// finished the epoch, then re-raises the first task panic (if any)
+    /// on the calling thread.
+    fn dispatch<F: Fn(usize) + Sync>(&self, threads: usize, ctx: &DispatchCtx<'_, F>) {
+        let payload = {
+            let _submit = lock(&self.submit);
+            {
+                let mut st = lock(&self.shared.state);
+                st.epoch += 1;
+                st.job = Some(Job {
+                    data: (ctx as *const DispatchCtx<'_, F>).cast(),
+                    call: worker_shim::<F>,
+                });
+                st.active = threads;
+                self.shared.work_cv.notify_all();
+            }
+            let mut st = lock(&self.shared.state);
+            while st.active > 0 {
+                st = self
+                    .shared
+                    .done_cv
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            st.job = None;
+            drop(st);
+            lock(&ctx.panic).take()
+            // `_submit` drops here — before the resume below — so a
+            // propagated panic cannot poison the submit lock.
+        };
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for PersistentWorkers {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A persistent worker's outer loop: park until the epoch advances, run
+/// the published job, signal completion, repeat until shutdown.
+fn worker_loop(shared: &PoolShared, w: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = lock(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch > seen {
+                    seen = st.epoch;
+                    break st.job.expect("an open epoch must carry a job");
+                }
+                st = shared
+                    .work_cv
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        // SAFETY: the submitter holds the DispatchCtx alive until
+        // `active` reaches zero, which happens only after this call
+        // returns and we decrement below.
+        unsafe { (job.call)(job.data, w) };
+        let mut st = lock(&shared.state);
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// A task-execution engine with an explicit thread count,
+/// [`ExecutionStrategy`], and [`SchedulerKind`]. One pool is built per
+/// algorithm run so the thread count is an explicit experiment parameter
+/// (Figure 6 sweeps it from 1 to 256).
 ///
-/// Worker threads are spawned per submission (scoped), not kept resident:
-/// the pool is a policy object, cheap to construct, and a task panic
-/// propagates to the submitting thread exactly like a sequential panic
-/// would.
+/// Under the default [`SchedulerKind::WorkStealing`] backend the worker
+/// threads are spawned once, at construction, and parked between
+/// dispatches; a task panic still propagates to the submitting thread
+/// exactly like a sequential panic would. Under
+/// [`SchedulerKind::SharedQueue`] workers are spawned per submission
+/// (scoped), reproducing the pre-stealing scheduler for ablations.
 pub struct WorkerPool {
     threads: usize,
     strategy: ExecutionStrategy,
+    scheduler: SchedulerKind,
+    /// `Some` iff the backend is `WorkStealing` *and* the strategy can
+    /// dispatch in parallel (`Parallel` / `AdversarialSeeded`) *and*
+    /// `threads > 1` — caller-thread strategies never pay for idle
+    /// workers.
+    persistent: Option<PersistentWorkers>,
 }
 
 impl WorkerPool {
@@ -297,13 +795,38 @@ impl WorkerPool {
         Self::with_strategy(threads, ExecutionStrategy::Parallel)
     }
 
-    /// Builds a pool with an explicit execution strategy.
+    /// Builds a pool with an explicit execution strategy on the default
+    /// work-stealing backend.
     ///
     /// # Panics
     /// Panics if `threads == 0`.
     pub fn with_strategy(threads: usize, strategy: ExecutionStrategy) -> Self {
+        Self::with_scheduler(threads, strategy, SchedulerKind::default())
+    }
+
+    /// Builds a pool with an explicit execution strategy and dispatch
+    /// backend.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn with_scheduler(
+        threads: usize,
+        strategy: ExecutionStrategy,
+        scheduler: SchedulerKind,
+    ) -> Self {
         assert!(threads > 0, "need at least one thread");
-        Self { threads, strategy }
+        let wants_workers = matches!(
+            strategy,
+            ExecutionStrategy::Parallel | ExecutionStrategy::AdversarialSeeded { .. }
+        );
+        let persistent = (scheduler == SchedulerKind::WorkStealing && threads > 1 && wants_workers)
+            .then(|| PersistentWorkers::spawn(threads));
+        Self {
+            threads,
+            strategy,
+            scheduler,
+            persistent,
+        }
     }
 
     /// Number of worker threads.
@@ -316,6 +839,11 @@ impl WorkerPool {
         self.strategy
     }
 
+    /// The pool's dispatch backend.
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.scheduler
+    }
+
     /// Runs `body` once per task range under the pool's strategy — the
     /// `SubmitTaskToPool` + `JoinThreadPool` pair of Algorithm 5. Returns
     /// only after all tasks complete (the paper's phase barrier).
@@ -326,14 +854,15 @@ impl WorkerPool {
         self.execute(tasks.len(), |i| body(tasks[i].clone()));
     }
 
-    /// Convenience: chunks `0..n` by `weight` with `threshold`, then runs
-    /// `body` per range. This is the full Algorithm 5 in one call.
+    /// Convenience: chunks `0..n` by `weight` with `threshold` (see
+    /// [`weighted_tasks`]), then runs `body` per range. This is the full
+    /// Algorithm 5 in one call.
     pub fn run_weighted<W, F>(&self, n: usize, threshold: u64, weight: W, body: F)
     where
         W: FnMut(u32) -> u64,
         F: Fn(Range<u32>) + Sync,
     {
-        let tasks = chunk_by_weight(n, threshold, weight);
+        let tasks = weighted_tasks(n, threshold, self.threads, weight);
         self.run_chunks(&tasks, body);
     }
 
@@ -354,56 +883,40 @@ impl WorkerPool {
     }
 
     /// Runs `body` once per item of `items`, mutably and under the pool's
-    /// strategy (items are distributed to workers through the same shared
-    /// queue as [`run_chunks`](Self::run_chunks) tasks). Used for
-    /// per-slice work like the GS*-Index's parallel neighbor-order sorts.
+    /// strategy — items dispatch through exactly the same engine as
+    /// [`run_chunks`](Self::run_chunks) tasks (one task per item), so
+    /// every strategy's ordering and interleaving guarantees carry over.
+    /// Used for per-slice work like the GS*-Index's parallel
+    /// neighbor-order sorts.
     pub fn run_mut<T, F>(&self, items: &mut [T], body: F)
     where
         T: Send,
         F: Fn(&mut T) + Sync,
     {
-        // Temporarily move the items behind shared references so the
-        // queue-claiming workers can each take disjoint elements. A
-        // Mutex-free hand-out is possible with unsafe slice indexing; the
-        // per-worker contiguous split below keeps the code safe and is
-        // load-balanced enough for the sort workloads it serves.
-        let stage = ppscan_obs::span::current_stage().unwrap_or("task");
-        match self.strategy {
-            ExecutionStrategy::SequentialDeterministic => {
-                let _worker = ppscan_obs::span::enter_worker(0);
-                for item in items.iter_mut() {
-                    let _span = ppscan_obs::Span::enter(stage);
-                    body(item);
-                }
-            }
-            ExecutionStrategy::Modeled => {
-                let order = modeled::order_for(items.len());
-                let _worker = ppscan_obs::span::enter_worker(0);
-                for i in order {
-                    let _span = ppscan_obs::Span::enter(stage);
-                    body(&mut items[i]);
-                }
-            }
-            _ => {
-                let workers = self.threads.min(items.len()).max(1);
-                let per = items.len().div_ceil(workers);
-                let ctx = ppscan_obs::propagate::capture();
-                std::thread::scope(|s| {
-                    for (w, chunk) in items.chunks_mut(per).enumerate() {
-                        let body = &body;
-                        let ctx = &ctx;
-                        s.spawn(move || {
-                            let _worker = ppscan_obs::span::enter_worker(w);
-                            let _ctx = ctx.attach();
-                            for item in chunk {
-                                let _span = ppscan_obs::Span::enter(stage);
-                                body(item);
-                            }
-                        });
-                    }
-                });
+        struct SendPtr<T>(*mut T);
+        // SAFETY: sharing the base pointer across workers is sound
+        // because each index is claimed by exactly one task (below), so
+        // the derived `&mut T`s are disjoint; `T: Send` makes handing
+        // them to worker threads legal.
+        unsafe impl<T: Send> Sync for SendPtr<T> {}
+        impl<T> SendPtr<T> {
+            /// Keeps the closure capturing the whole `Sync` wrapper, not
+            /// the raw pointer field (disjoint closure capture would
+            /// otherwise defeat the impl above).
+            fn at(&self, i: usize) -> *mut T {
+                // SAFETY bound: caller stays within the original slice.
+                unsafe { self.0.add(i) }
             }
         }
+        let base = SendPtr(items.as_mut_ptr());
+        let body = &body;
+        self.execute(items.len(), move |i| {
+            // SAFETY: `execute` hands each index in `0..items.len()` to
+            // exactly one task, and the dispatch barrier keeps `items`
+            // borrowed for the duration — the &mut below never aliases.
+            let item = unsafe { &mut *base.at(i) };
+            body(item);
+        });
     }
 
     /// Dispatches `num_tasks` logical tasks (`run_task(i)` for each `i in
@@ -454,10 +967,10 @@ impl WorkerPool {
         }
     }
 
-    /// Shared-queue dispatch: workers claim the next task index with an
-    /// atomic counter (dynamic scheduling — a fast task-stealing
-    /// approximation with contiguous claim order). `adversarial` supplies
-    /// the permuted claim order and the yield-injection seed.
+    /// Parallel dispatch: routes to the inline loop (one effective
+    /// worker), the persistent work-stealing pool, or the legacy
+    /// shared-queue backend. `adversarial` supplies the permuted claim
+    /// order and the yield-injection seed.
     fn dispatch<F>(
         &self,
         num_tasks: usize,
@@ -467,43 +980,52 @@ impl WorkerPool {
     ) where
         F: Fn(usize) + Sync,
     {
-        let workers = self.threads.min(num_tasks);
-        let (order, seed) = match &adversarial {
-            Some((order, seed)) => (Some(order.as_slice()), *seed),
+        let (order, seed) = match adversarial {
+            Some((order, seed)) => (Some(order), seed),
             None => (None, 0),
         };
-        let run_one = |queue_pos: usize| {
-            let task = order.map_or(queue_pos, |o| o[queue_pos]);
-            if adversarial.is_some() {
-                // Seeded pre/post-task yield injection: perturb where
-                // this worker sits relative to the others without
-                // changing what it computes.
-                let mut state = seed ^ (task as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-                let pre = splitmix64(&mut state) % 4;
-                for _ in 0..pre {
-                    std::thread::yield_now();
-                }
-                {
-                    let _span = ppscan_obs::Span::enter(stage);
-                    run_task(task);
-                }
-                let post = splitmix64(&mut state) % 2;
-                for _ in 0..post {
-                    std::thread::yield_now();
-                }
-                ppscan_obs::span::record_yields(pre + post);
-            } else {
-                let _span = ppscan_obs::Span::enter(stage);
-                run_task(task);
-            }
-        };
-        if workers <= 1 {
+        if self.threads.min(num_tasks) <= 1 {
+            // One effective worker: run on the caller thread so claim
+            // order is exactly the (possibly permuted) position order —
+            // the adversarial single-thread replay determinism depends
+            // on this.
             let _worker = ppscan_obs::span::enter_worker(0);
             for queue_pos in 0..num_tasks {
-                run_one(queue_pos);
+                run_position(run_task, stage, order.as_deref(), seed, queue_pos);
             }
             return;
         }
+        match &self.persistent {
+            Some(workers) => {
+                let ctx = DispatchCtx {
+                    run_task,
+                    stage,
+                    order,
+                    seed,
+                    deques: deques_for(num_tasks, self.threads),
+                    ambient: ppscan_obs::propagate::capture(),
+                    panic: Mutex::new(None),
+                    abort: AtomicBool::new(false),
+                };
+                workers.dispatch(self.threads, &ctx);
+            }
+            None => self.dispatch_shared_queue(num_tasks, stage, run_task, order.as_deref(), seed),
+        }
+    }
+
+    /// The legacy backend: workers spawned per dispatch claim the next
+    /// position from a single shared atomic cursor.
+    fn dispatch_shared_queue<F>(
+        &self,
+        num_tasks: usize,
+        stage: &'static str,
+        run_task: &F,
+        order: Option<&[usize]>,
+        seed: u64,
+    ) where
+        F: Fn(usize) + Sync,
+    {
+        let workers = self.threads.min(num_tasks);
         // Capture the submitting thread's ambient context (span
         // collectors, counter scopes, ...) once; each worker attaches it
         // for the duration of its claim loop.
@@ -512,7 +1034,6 @@ impl WorkerPool {
         std::thread::scope(|s| {
             for w in 0..workers {
                 let next = &next;
-                let run_one = &run_one;
                 let ctx = &ctx;
                 std::thread::Builder::new()
                     .name(format!("ppscan-worker-{w}"))
@@ -524,7 +1045,7 @@ impl WorkerPool {
                             if queue_pos >= num_tasks {
                                 break;
                             }
-                            run_one(queue_pos);
+                            run_position(run_task, stage, order, seed, queue_pos);
                         }
                     })
                     .expect("failed to spawn worker thread");
@@ -535,7 +1056,11 @@ impl WorkerPool {
 
 impl std::fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "WorkerPool({} threads, {})", self.threads, self.strategy)
+        write!(
+            f,
+            "WorkerPool({} threads, {}, {})",
+            self.threads, self.strategy, self.scheduler
+        )
     }
 }
 
@@ -606,6 +1131,93 @@ mod tests {
     }
 
     #[test]
+    fn weighted_tasks_split_degenerate_inputs_per_vertex() {
+        // Fewer vertices than workers: one task per vertex, not the
+        // single under-threshold range the accumulator would emit.
+        assert_eq!(
+            weighted_tasks(3, u64::MAX, 4, |_| 1),
+            vec![0..1, 1..2, 2..3]
+        );
+        // At or above the worker count: plain Algorithm 5 chunking.
+        assert_eq!(weighted_tasks(100, u64::MAX, 4, |_| 1), vec![0..100]);
+        assert_eq!(
+            weighted_tasks(10, 5, 4, |_| 2),
+            chunk_by_weight(10, 5, |_| 2)
+        );
+        assert!(weighted_tasks(0, 10, 4, |_| 1).is_empty());
+    }
+
+    #[test]
+    fn run_weighted_covers_degenerate_small_inputs() {
+        for strategy in ALL_STRATEGIES {
+            let pool = WorkerPool::with_strategy(4, strategy);
+            let tasks = AtomicUsize::new(0);
+            let visited = AtomicU64::new(0);
+            pool.run_weighted(
+                3,
+                u64::MAX,
+                |_| 1,
+                |r| {
+                    tasks.fetch_add(1, Ordering::Relaxed);
+                    for v in r {
+                        visited.fetch_add(1 << v, Ordering::Relaxed);
+                    }
+                },
+            );
+            assert_eq!(tasks.load(Ordering::Relaxed), 3, "{strategy}");
+            assert_eq!(visited.load(Ordering::Relaxed), 0b111, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn scheduler_kind_roundtrip() {
+        for kind in [SchedulerKind::WorkStealing, SchedulerKind::SharedQueue] {
+            assert_eq!(SchedulerKind::parse(kind.name()), Some(kind));
+            assert_eq!(format!("{kind}"), kind.name());
+        }
+        assert_eq!(
+            SchedulerKind::parse("stealing"),
+            Some(SchedulerKind::WorkStealing)
+        );
+        assert_eq!(SchedulerKind::parse("bogus"), None);
+        assert_eq!(SchedulerKind::default(), SchedulerKind::WorkStealing);
+    }
+
+    #[test]
+    fn deque_owner_and_thief_drain_disjointly() {
+        let d = Deque::new(0..3);
+        assert!(matches!(d.steal(), Steal::Taken(0)));
+        assert_eq!(d.take(), Some(2));
+        assert_eq!(d.take(), Some(1)); // last element goes through the CAS race
+        assert_eq!(d.take(), None);
+        assert!(matches!(d.steal(), Steal::Empty));
+
+        let d = Deque::new(5..6);
+        assert_eq!(d.take(), Some(5));
+        assert_eq!(d.take(), None);
+
+        let empty = Deque::new(7..7);
+        assert_eq!(empty.take(), None);
+        assert!(matches!(empty.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn deques_partition_positions_exactly() {
+        for (num_tasks, workers) in [(10, 3), (3, 8), (0, 4), (1000, 7)] {
+            let deques = deques_for(num_tasks, workers);
+            assert_eq!(deques.len(), workers);
+            let mut seen = vec![false; num_tasks];
+            for d in &deques {
+                while let Some(pos) = d.take() {
+                    assert!(!seen[pos], "position {pos} handed out twice");
+                    seen[pos] = true;
+                }
+            }
+            assert!(seen.into_iter().all(|s| s), "{num_tasks}/{workers}");
+        }
+    }
+
+    #[test]
     fn pool_runs_every_chunk_once_under_every_strategy() {
         for strategy in ALL_STRATEGIES {
             let pool = WorkerPool::with_strategy(4, strategy);
@@ -618,6 +1230,64 @@ mod tests {
             });
             assert_eq!(visits.load(Ordering::Relaxed), tasks.len(), "{strategy}");
             assert_eq!(sum.load(Ordering::Relaxed), 1000, "{strategy}");
+        }
+    }
+
+    /// Exactly-once delivery under the stealing backend, shaken across
+    /// repeated dispatches on one (reused) pool.
+    #[test]
+    fn work_stealing_delivers_every_task_exactly_once() {
+        let pool = WorkerPool::new(4);
+        for round in 0..20 {
+            let n = 97 + round * 13;
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            let tasks: Vec<Range<u32>> = (0..n as u32).map(|i| i..i + 1).collect();
+            pool.run_chunks(&tasks, |r| {
+                hits[r.start as usize].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "round {round}, task {i}");
+            }
+        }
+    }
+
+    /// The stealing backend must reuse its spawned threads: across many
+    /// dispatches the set of distinct worker thread ids stays bounded by
+    /// the pool size (the legacy backend spawns fresh threads each time).
+    #[test]
+    fn work_stealing_workers_are_persistent() {
+        let pool = WorkerPool::new(2);
+        let ids = Mutex::new(std::collections::HashSet::new());
+        for _ in 0..5 {
+            pool.run_vertices(400, |_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+            });
+        }
+        let ids = ids.into_inner().unwrap();
+        assert!(!ids.is_empty());
+        assert!(
+            ids.len() <= 2,
+            "5 dispatches must reuse the same 2 workers, saw {} ids",
+            ids.len()
+        );
+        assert!(
+            !ids.contains(&std::thread::current().id()),
+            "tasks run on pool workers, not the submitter"
+        );
+    }
+
+    #[test]
+    fn shared_queue_backend_still_works() {
+        for strategy in [
+            ExecutionStrategy::Parallel,
+            ExecutionStrategy::AdversarialSeeded { seed: 9 },
+        ] {
+            let pool = WorkerPool::with_scheduler(4, strategy, SchedulerKind::SharedQueue);
+            let sum = AtomicU64::new(0);
+            pool.run_vertices(257, |v| {
+                sum.fetch_add(v as u64, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 256 * 257 / 2, "{strategy}");
         }
     }
 
@@ -908,5 +1578,42 @@ mod tests {
             });
         });
         assert!(result.is_err(), "worker panic must reach the submitter");
+    }
+
+    #[test]
+    fn task_panic_propagates_under_shared_queue() {
+        let result = std::panic::catch_unwind(|| {
+            let pool = WorkerPool::with_scheduler(
+                2,
+                ExecutionStrategy::Parallel,
+                SchedulerKind::SharedQueue,
+            );
+            pool.run_chunks(&[0..1, 1..2, 2..3, 3..4], |r| {
+                if r.start == 2 {
+                    panic!("task failure");
+                }
+            });
+        });
+        assert!(result.is_err(), "worker panic must reach the submitter");
+    }
+
+    /// A panic must not wedge the persistent pool: the same pool object
+    /// dispatches normally afterwards.
+    #[test]
+    fn pool_survives_a_task_panic() {
+        let pool = WorkerPool::new(3);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_vertices(64, |v| {
+                if v == 13 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        let sum = AtomicU64::new(0);
+        pool.run_vertices(64, |v| {
+            sum.fetch_add(v as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 63 * 64 / 2);
     }
 }
