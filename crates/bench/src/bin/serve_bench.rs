@@ -1,0 +1,183 @@
+//! Serving throughput and latency — closed-loop clients against a
+//! [`ppscan_serve::Server`], sweeping the client count, with live index
+//! swaps in flight. Each cell reports sustained queries/second and the
+//! p50/p99/p999 queue-to-response latency from the server's histogram.
+//!
+//! The run reports are diffable across machines with `report_check
+//! --check-runs`: the phase list ([`PHASE_ORDER`]) is structural, the
+//! machine-dependent dispatch phases (`serve-batch`, `serve-query`)
+//! have their wall share zeroed, and `serve-load` (the index build) is
+//! normalized to the run's whole wall so its share is exactly 1.0 on
+//! every machine. The latency histogram rides along under
+//! `extra["latency"]` (schema
+//! [`ppscan_obs::hist::LATENCY_SCHEMA_VERSION`]).
+//!
+//! ```sh
+//! cargo run --release -p ppscan-bench --bin serve_bench -- \
+//!     [--quick] [--scale S] [--threads 1,2,4,8] [--report FILE]
+//! ```
+//!
+//! `--threads` sweeps the number of *client* threads; the server's
+//! query pool is fixed at [`POOL_THREADS`].
+
+use ppscan_bench::{emit_report, figure_report, load_datasets, HarnessArgs, Table};
+use ppscan_obs::json::Json;
+use ppscan_obs::report::PhaseMetrics;
+use ppscan_obs::{Collector, RunReport, Span};
+use ppscan_serve::{ServeConfig, Server};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Worker threads in the server's query pool (fixed so the sweep
+/// isolates client concurrency).
+const POOL_THREADS: usize = 2;
+/// Queries executed under one snapshot pin.
+const MAX_BATCH: usize = 64;
+/// Index swaps published while the clients run.
+const SWAPS: usize = 2;
+
+/// Canonical phase order for the emitted reports (dispatch phases are
+/// reported with zero wall share — they are dispatcher-utilization
+/// dependent and do not diff across machines).
+const PHASE_ORDER: [&str; 3] = ["serve-load", "serve-batch", "serve-query"];
+
+/// A small deterministic (ε, µ) mix: all parameterizations valid, so
+/// every query exercises the full index path.
+fn query_mix(client: usize, q: usize) -> (f64, usize) {
+    const EPS: [f64; 5] = [0.2, 0.35, 0.5, 0.65, 0.8];
+    (EPS[(client + q) % EPS.len()], 1 + (client * 3 + q) % 6)
+}
+
+fn normalize_phases(stages: Vec<PhaseMetrics>, load_nanos: u64) -> Vec<PhaseMetrics> {
+    PHASE_ORDER
+        .iter()
+        .map(|&name| {
+            let mut p = stages
+                .iter()
+                .find(|p| p.name == name)
+                .cloned()
+                .unwrap_or_else(|| PhaseMetrics {
+                    name: name.to_string(),
+                    ..PhaseMetrics::default()
+                });
+            p.wall_nanos = if name == "serve-load" { load_nanos } else { 0 };
+            p
+        })
+        .collect()
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let queries_per_client: usize = if args.quick { 150 } else { 2000 };
+
+    let mut report = figure_report("serve_bench", &args);
+    let mut table = Table::new(&[
+        "dataset",
+        "clients",
+        "queries",
+        "wall (s)",
+        "q/s",
+        "p50 (us)",
+        "p99 (us)",
+        "p999 (us)",
+        "swaps",
+    ]);
+
+    for (d, g) in load_datasets(&args) {
+        let graph = Arc::new(g);
+        for &clients in &args.threads {
+            let collector = Collector::new();
+            let obs_guard = collector.activate();
+
+            let t_load = Instant::now();
+            let server = {
+                let _span = Span::enter("serve-load");
+                Server::start(
+                    Arc::clone(&graph),
+                    ServeConfig {
+                        threads: POOL_THREADS,
+                        max_batch: MAX_BATCH,
+                        ..ServeConfig::default()
+                    },
+                )
+            };
+            let load_nanos = t_load.elapsed().as_nanos() as u64;
+
+            let t0 = Instant::now();
+            std::thread::scope(|scope| {
+                for c in 0..clients {
+                    let server = &server;
+                    scope.spawn(move || {
+                        for q in 0..queries_per_client {
+                            let (eps, mu) = query_mix(c, q);
+                            let response = server.query(eps, mu);
+                            assert!(response.result.is_ok(), "valid params must succeed");
+                        }
+                    });
+                }
+                // Swap the index under the load: same graph, new build,
+                // new generation. Queries must keep completing.
+                for _ in 0..SWAPS {
+                    server.rebuild(Arc::clone(&graph));
+                }
+            });
+            let wall = t0.elapsed();
+            assert_eq!(
+                server.generation() as usize,
+                1 + SWAPS,
+                "all swaps published"
+            );
+
+            let total = server.queries_served();
+            let hist = server.latency();
+            let (p50, p99, p999) = (
+                hist.quantile(0.50),
+                hist.quantile(0.99),
+                hist.quantile(0.999),
+            );
+            let qps = total as f64 / wall.as_secs_f64().max(1e-9);
+            let latency_json = hist.to_json();
+
+            drop(server);
+            drop(obs_guard);
+
+            let mut run = RunReport::new("serve")
+                .with_dataset(d.name())
+                .with_threads(clients)
+                .with_strategy("parallel")
+                .with_graph(graph.num_vertices() as u64, graph.num_edges() as u64);
+            run.wall_nanos = load_nanos;
+            run.phases =
+                normalize_phases(RunReport::phases_from(&collector.snapshot()), load_nanos);
+            run.push_extra(
+                "config",
+                Json::Str(format!(
+                    "pool={POOL_THREADS},batch={MAX_BATCH},queries={queries_per_client},swaps={SWAPS}"
+                )),
+            );
+            run.push_extra("latency", latency_json);
+            run.push_extra("qps", Json::Num(qps));
+            report.runs.push(run);
+
+            table.row(vec![
+                d.name().into(),
+                clients.to_string(),
+                total.to_string(),
+                format!("{:.3}", wall.as_secs_f64()),
+                format!("{qps:.0}"),
+                format!("{:.1}", p50 as f64 / 1000.0),
+                format!("{:.1}", p99 as f64 / 1000.0),
+                format!("{:.1}", p999 as f64 / 1000.0),
+                SWAPS.to_string(),
+            ]);
+        }
+    }
+
+    println!(
+        "\nServing throughput: closed-loop clients over a shared GS*-Index \
+         (pool = {POOL_THREADS} threads, batch ≤ {MAX_BATCH}, {SWAPS} live \
+         swaps per cell, {queries_per_client} queries per client)"
+    );
+    table.print(args.csv);
+    emit_report(&args, report, &table);
+}

@@ -76,6 +76,7 @@ report_smoke!(
     ablation_sched,
     parameter_exploration,
     obs_overhead,
+    serve_bench,
 );
 
 #[test]
@@ -116,7 +117,7 @@ fn run_all_report_dir_emits_one_report_per_figure() {
         assert_eq!(report.figure, stem);
         count += 1;
     }
-    assert_eq!(count, 15, "one report per figure binary");
+    assert_eq!(count, 16, "one report per figure binary");
 }
 
 #[test]

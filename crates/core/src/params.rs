@@ -26,6 +26,20 @@ impl ScanParams {
         }
     }
 
+    /// Validating constructor for untrusted input (the serving path):
+    /// returns a description of the violated constraint instead of
+    /// panicking, so one malformed client request cannot take down a
+    /// long-lived server.
+    pub fn checked(eps: f64, mu: usize) -> Result<Self, String> {
+        if !(eps.is_finite() && eps > 0.0 && eps <= 1.0) {
+            return Err(format!("epsilon must be in (0, 1], got {eps}"));
+        }
+        if mu == 0 {
+            return Err("mu must be at least 1".into());
+        }
+        Ok(Self::new(eps, mu))
+    }
+
     /// The similarity threshold `min_cn` for an edge between degrees
     /// `d_u`, `d_v` (delegates to [`EpsilonThreshold::min_cn`]).
     #[inline]
@@ -61,5 +75,27 @@ mod tests {
     #[should_panic(expected = "epsilon")]
     fn rejects_bad_epsilon() {
         ScanParams::new(1.5, 2);
+    }
+
+    #[test]
+    fn checked_accepts_valid_and_rejects_invalid() {
+        let p = ScanParams::checked(1.0, 1).unwrap();
+        assert_eq!(p.mu, 1);
+        assert_eq!(p, ScanParams::new(1.0, 1));
+        for (eps, mu) in [
+            (0.0, 2),
+            (-0.5, 2),
+            (1.5, 2),
+            (f64::NAN, 2),
+            (f64::INFINITY, 2),
+            (0.5, 0),
+        ] {
+            assert!(
+                ScanParams::checked(eps, mu).is_err(),
+                "eps={eps} mu={mu} must be rejected"
+            );
+        }
+        // `checked` never panics where `new` would.
+        assert!(ScanParams::checked(f64::NAN, 0).is_err());
     }
 }

@@ -41,9 +41,11 @@
 //! ```
 
 mod build;
+mod owned;
 mod query;
 mod simvalue;
 
+pub use owned::OwnedGsIndex;
 pub use simvalue::SimValue;
 
 use ppscan_graph::{CsrGraph, VertexId};

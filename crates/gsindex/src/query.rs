@@ -18,7 +18,12 @@ impl<'g> GsIndex<'g> {
 
         let mut roles = vec![Role::NonCore; n];
         let mut cores: Vec<VertexId> = Vec::new();
-        if mu >= 1 && mu + 1 < self.co_offsets.len() {
+        // `mu <= self.max_mu()` rather than `mu + 1 < self.co_offsets.len()`:
+        // the two are equivalent for in-range µ, but the addition overflows
+        // for µ near `usize::MAX` (debug panic; wrap-to-0 and out-of-bounds
+        // indexing in release) — a query must stay total for any µ a client
+        // hands the serving path.
+        if mu >= 1 && mu <= self.max_mu() {
             // Cores are a prefix of the µ-th core order.
             let slice = &self.core_order[self.co_offsets[mu]..self.co_offsets[mu + 1]];
             for &(u, cn, denom) in slice {
@@ -115,6 +120,49 @@ mod tests {
         let c = idx.query(ScanParams::new(0.2, 50));
         assert_eq!(c.num_cores(), 0);
         assert_eq!(c.num_clusters(), 0);
+    }
+
+    #[test]
+    fn mu_at_largest_tracked_bucket_matches_pscan() {
+        // µ = max_mu() is the last bucket build.rs lays out
+        // (`co_offsets[mu]..co_offsets[mu + 1]` with len = max_d + 2);
+        // the boundary guard must keep it reachable.
+        let g = gen::complete(6);
+        let idx = GsIndex::build(&g, 1);
+        let mu = idx.max_mu();
+        assert_eq!(mu, 5);
+        let p = ScanParams::new(0.9, mu);
+        let c = idx.query(p);
+        assert_eq!(c, pscan(&g, p).clustering);
+        assert_eq!(c.num_cores(), 6, "every K6 vertex has 5 σ=1 neighbors");
+    }
+
+    #[test]
+    fn mu_at_bucket_count_yields_empty() {
+        // One past the largest tracked bucket: no vertex has that many
+        // neighbors, so the answer is the empty clustering, same as pscan.
+        let g = gen::clique_chain(4, 3);
+        let idx = GsIndex::build(&g, 1);
+        let mu = idx.max_mu() + 1;
+        let p = ScanParams::new(0.1, mu);
+        let c = idx.query(p);
+        assert_eq!(c, pscan(&g, p).clustering);
+        assert_eq!(c.num_cores(), 0);
+    }
+
+    #[test]
+    fn mu_usize_max_does_not_overflow() {
+        // Regression: the old guard computed `mu + 1`, which panics in
+        // debug builds and wraps to 0 in release (passing the bounds
+        // check and indexing out of range) for µ = usize::MAX. A server
+        // accepting untrusted µ must get an empty answer instead.
+        let g = gen::complete(4);
+        let idx = GsIndex::build(&g, 1);
+        for mu in [usize::MAX, usize::MAX - 1, idx.max_mu() + 2] {
+            let c = idx.query(ScanParams::new(0.5, mu));
+            assert_eq!(c.num_cores(), 0, "mu = {mu}");
+            assert_eq!(c.num_clusters(), 0, "mu = {mu}");
+        }
     }
 
     #[test]

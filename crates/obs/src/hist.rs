@@ -1,0 +1,248 @@
+//! Lock-free log-bucketed latency histogram.
+//!
+//! The serving path records one latency sample per query from many pool
+//! workers at once, so the histogram is a fixed array of atomic bucket
+//! counters: recording is a single `fetch_add`, quantile extraction a
+//! scan. Buckets are HDR-style — each power-of-two range is split into
+//! [`SUBS`] sub-buckets — bounding the relative quantile error at
+//! `1 / SUBS` (6.25%) while covering the full `u64` nanosecond range in
+//! under a thousand buckets.
+//!
+//! [`LatencyHistogram::to_json`] emits the versioned `latency` section
+//! embedded in serve [`RunReport`](crate::report::RunReport)s
+//! (`extra["latency"]`, see DESIGN.md §11).
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the sub-buckets per octave.
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per power-of-two range; relative error ≤ 1/SUBS.
+const SUBS: usize = 1 << SUB_BITS;
+/// Total buckets: values `< SUBS` get exact buckets, every following
+/// octave gets `SUBS` sub-buckets.
+const BUCKETS: usize = (64 - SUB_BITS as usize) * SUBS + SUBS;
+
+/// Schema version of the JSON emitted by [`LatencyHistogram::to_json`].
+pub const LATENCY_SCHEMA_VERSION: u32 = 1;
+
+/// A concurrent histogram of nanosecond latencies.
+///
+/// All methods take `&self`; recording is wait-free (one atomic add),
+/// so it can sit on the hot path of every served query.
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bucket_index(nanos: u64) -> usize {
+    if nanos < SUBS as u64 {
+        nanos as usize
+    } else {
+        let msb = 63 - nanos.leading_zeros(); // ≥ SUB_BITS
+        let sub = ((nanos >> (msb - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+        (msb - SUB_BITS + 1) as usize * SUBS + sub
+    }
+}
+
+/// Upper bound of the value range mapping to bucket `i` — the value the
+/// quantile scan reports, so quantiles never under-estimate.
+fn bucket_upper(i: usize) -> u64 {
+    if i < SUBS {
+        i as u64
+    } else {
+        let octave = (i / SUBS - 1) as u32 + SUB_BITS;
+        let sub = (i % SUBS) as u64;
+        let low = (1u64 << octave) + (sub << (octave - SUB_BITS));
+        // Parenthesized so the top bucket's upper (exactly `u64::MAX`)
+        // doesn't transiently overflow.
+        low + ((1u64 << (octave - SUB_BITS)) - 1)
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, nanos: u64) {
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+        self.max.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`) of the recorded samples, as
+    /// the upper bound of the bucket holding that rank — at most
+    /// `1/16 ≈ 6.25%` above the true value. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// The versioned JSON summary embedded in serve run reports:
+    /// `{version, count, mean_nanos, p50/p90/p99/p999_nanos, max_nanos}`.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("version".into(), Json::Int(LATENCY_SCHEMA_VERSION as i128)),
+            ("count".into(), Json::from_u64(self.count())),
+            ("mean_nanos".into(), Json::Num(self.mean())),
+            ("p50_nanos".into(), Json::from_u64(self.quantile(0.50))),
+            ("p90_nanos".into(), Json::from_u64(self.quantile(0.90))),
+            ("p99_nanos".into(), Json::from_u64(self.quantile(0.99))),
+            ("p999_nanos".into(), Json::from_u64(self.quantile(0.999))),
+            ("max_nanos".into(), Json::from_u64(self.max())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_u64_and_uppers_bound_ranges() {
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            1000,
+            123_456_789,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            assert!(i < BUCKETS, "index {i} out of range for {v}");
+            assert!(bucket_upper(i) >= v, "upper({i}) < {v}");
+            // Relative error bound: upper ≤ v * (1 + 1/SUBS).
+            assert!(
+                bucket_upper(i) as f64 <= v as f64 * (1.0 + 1.0 / SUBS as f64) + 1.0,
+                "upper({i}) = {} too far above {v}",
+                bucket_upper(i)
+            );
+        }
+        // Indices are monotone in the value.
+        let mut last = 0;
+        for v in 0..10_000u64 {
+            let i = bucket_index(v);
+            assert!(i >= last, "index not monotone at {v}");
+            last = i;
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let h = LatencyHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 1000);
+        }
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.max(), 10_000_000);
+        let within = |got: u64, expect: u64| {
+            let lo = expect as f64 * 0.93;
+            let hi = expect as f64 * 1.07 + 1.0;
+            assert!(
+                (got as f64) >= lo && (got as f64) <= hi,
+                "{got} not within 7% of {expect}"
+            );
+        };
+        within(h.quantile(0.50), 5_000_000);
+        within(h.quantile(0.99), 9_900_000);
+        within(h.quantile(0.999), 9_990_000);
+        within(h.mean() as u64, 5_000_500);
+        assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = LatencyHistogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1_000_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 80_000);
+        assert_eq!(h.max(), 7 * 1_000_000 + 9_999);
+    }
+
+    #[test]
+    fn json_summary_is_versioned_and_parses() {
+        let h = LatencyHistogram::new();
+        for v in [100u64, 200, 300] {
+            h.record(v);
+        }
+        let j = h.to_json();
+        let text = j.to_pretty_string();
+        let back = crate::json::parse(&text).unwrap();
+        assert_eq!(back, j);
+        assert_eq!(
+            back.get("version").unwrap().as_u64(),
+            Some(LATENCY_SCHEMA_VERSION as u64)
+        );
+        assert_eq!(back.get("count").unwrap().as_u64(), Some(3));
+        assert!(back.get("p50_nanos").unwrap().as_u64().unwrap() >= 200);
+        assert!(back.get("max_nanos").unwrap().as_u64() == Some(300));
+    }
+}

@@ -6,7 +6,7 @@
 //! JSON handling is hand-rolled ([`json`]) the same way the graph
 //! crate hand-rolls its binary IO.
 //!
-//! The three layers:
+//! The layers:
 //!
 //! * [`span`] — `Span::enter("stage")` RAII guards feed per-thread ring
 //!   buffers and any active [`span::Collector`], which aggregates
@@ -18,6 +18,9 @@
 //!   threads, replacing manual per-call-site plumbing.
 //! * [`report`] — [`report::RunReport`] / [`report::FigureReport`]:
 //!   versioned, diffable JSON records of algorithm and benchmark runs.
+//! * [`hist`] — [`hist::LatencyHistogram`]: a lock-free log-bucketed
+//!   histogram feeding per-query latency quantiles (p50/p99/p999) into
+//!   serve run reports.
 //!
 //! # Example
 //!
@@ -38,10 +41,12 @@
 
 #![warn(missing_docs)]
 
+pub mod hist;
 pub mod json;
 pub mod propagate;
 pub mod report;
 pub mod span;
 
+pub use hist::LatencyHistogram;
 pub use report::{FigureReport, RunReport};
 pub use span::{Collector, Span};

@@ -1,0 +1,400 @@
+//! The serving loop: a dispatcher thread drains an in-process request
+//! queue into batches, pins one index snapshot per batch, and fans the
+//! batch out across a [`WorkerPool`].
+//!
+//! Threading model:
+//!
+//! * **Clients** (any number of threads) call [`Server::submit`] /
+//!   [`Server::query`]: push a job onto a mutex-protected queue and
+//!   optionally block on a per-job response slot.
+//! * **One dispatcher** owns the pool and the snapshot [`Reader`]. It
+//!   pins the current [`IndexSnapshot`] *once per batch* — the
+//!   per-query path inside the pool shares the `&` reference and never
+//!   touches the snapshot cell.
+//! * **Rebuilds** ([`Server::rebuild`]) happen on the calling thread:
+//!   build the new index, then [`SnapshotCell::publish`] it. Publishing
+//!   never waits for in-flight batches; the old index is reclaimed once
+//!   the dispatcher's pin moves past it.
+//!
+//! Every query runs under a `serve-query` span nested in the batch's
+//! `serve-batch` span, and its queue-to-completion latency lands in a
+//! shared [`LatencyHistogram`], so a `ppscan-obs` collector activated
+//! around [`Server::start`] sees the full serving pipeline.
+
+use crate::snapshot::SnapshotCell;
+use ppscan_core::params::ScanParams;
+use ppscan_core::result::Clustering;
+use ppscan_graph::CsrGraph;
+use ppscan_gsindex::OwnedGsIndex;
+use ppscan_obs::{propagate, LatencyHistogram, Span};
+use ppscan_sched::{ExecutionStrategy, WorkerPool};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Configuration for [`Server::start`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads in the query pool (also used for index builds).
+    pub threads: usize,
+    /// Largest number of queued queries executed under one snapshot pin.
+    pub max_batch: usize,
+    /// Execution strategy for the query pool. `AdversarialSeeded` turns
+    /// the serving path into a schedule-perturbed stress harness.
+    pub strategy: ExecutionStrategy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: 2,
+            max_batch: 64,
+            strategy: ExecutionStrategy::Parallel,
+        }
+    }
+}
+
+/// The unit the snapshot cell publishes: an owned index tagged with the
+/// generation that produced it. Keeping the generation inside the
+/// payload (rather than deriving it from the cell's epoch at read time)
+/// means a response's generation always names exactly the index that
+/// answered it.
+struct IndexSnapshot {
+    generation: u64,
+    index: OwnedGsIndex,
+}
+
+/// What a client gets back for one submitted query.
+#[derive(Debug)]
+pub struct QueryResponse {
+    /// Generation of the index snapshot that answered the query (1 for
+    /// the index built at [`Server::start`], +1 per [`Server::rebuild`]).
+    pub generation: u64,
+    /// The clustering, or the parameter-validation error. A malformed
+    /// `(ε, µ)` is an `Err`, never a panic: one bad client must not
+    /// take down the dispatcher.
+    pub result: Result<Clustering, String>,
+}
+
+struct ResponseSlot {
+    filled: Mutex<Option<QueryResponse>>,
+    cv: Condvar,
+}
+
+/// A handle to one in-flight query; redeem it with [`Ticket::wait`].
+pub struct Ticket {
+    slot: Arc<ResponseSlot>,
+}
+
+impl Ticket {
+    /// Blocks until the dispatcher delivers the response.
+    pub fn wait(self) -> QueryResponse {
+        let mut filled = lock(&self.slot.filled);
+        loop {
+            if let Some(response) = filled.take() {
+                return response;
+            }
+            filled = self
+                .slot
+                .cv
+                .wait(filled)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+struct Job {
+    eps: f64,
+    mu: usize,
+    enqueued: Instant,
+    slot: Arc<ResponseSlot>,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A long-lived `(ε, µ)` clustering server over a [`SnapshotCell`] of
+/// [`OwnedGsIndex`]. `Server` is `Sync`: share `&Server` across client
+/// threads (e.g. via `std::thread::scope`). Dropping the server drains
+/// the queue, answers every outstanding ticket, and joins the
+/// dispatcher.
+pub struct Server {
+    shared: Arc<Shared>,
+    cell: Arc<SnapshotCell<IndexSnapshot>>,
+    hist: Arc<LatencyHistogram>,
+    served: Arc<AtomicU64>,
+    next_generation: AtomicU64,
+    rebuild_lock: Mutex<()>,
+    threads: usize,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Builds a [`GsIndex`](ppscan_gsindex::GsIndex) over `graph` (this
+    /// is the expensive part) and starts the dispatcher. Ambient
+    /// observability context (span collectors, counter scopes) active
+    /// on the calling thread is captured and re-attached on the
+    /// dispatcher, so spans from the serving loop land in the caller's
+    /// collector.
+    pub fn start(graph: Arc<CsrGraph>, config: ServeConfig) -> Server {
+        let threads = config.threads.max(1);
+        let index = OwnedGsIndex::build(graph, threads);
+        let cell = Arc::new(SnapshotCell::new(IndexSnapshot {
+            generation: 1,
+            index,
+        }));
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let hist = Arc::new(LatencyHistogram::new());
+        let served = Arc::new(AtomicU64::new(0));
+
+        let ctx = propagate::capture();
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            let cell = Arc::clone(&cell);
+            let hist = Arc::clone(&hist);
+            let served = Arc::clone(&served);
+            let max_batch = config.max_batch.max(1);
+            let strategy = config.strategy;
+            std::thread::Builder::new()
+                .name("ppscan-serve-dispatch".into())
+                .spawn(move || {
+                    let _ctx = ctx.attach();
+                    let pool = WorkerPool::with_strategy(threads, strategy);
+                    let mut reader = cell.reader();
+                    let mut batch: Vec<Job> = Vec::with_capacity(max_batch);
+                    loop {
+                        {
+                            let mut queue = lock(&shared.queue);
+                            while queue.is_empty() && !shared.shutdown.load(SeqCst) {
+                                queue = shared
+                                    .cv
+                                    .wait(queue)
+                                    .unwrap_or_else(PoisonError::into_inner);
+                            }
+                            if queue.is_empty() {
+                                // Shutdown requested and fully drained.
+                                break;
+                            }
+                            while batch.len() < max_batch {
+                                match queue.pop_front() {
+                                    Some(job) => batch.push(job),
+                                    None => break,
+                                }
+                            }
+                        }
+                        let _batch_span = Span::enter("serve-batch");
+                        // One pin per batch: every query in the batch
+                        // sees the same generation, and the per-query
+                        // path does zero snapshot synchronization.
+                        let snap = reader.pin();
+                        let snap: &IndexSnapshot = &snap;
+                        let hist = &hist;
+                        let served = &served;
+                        pool.run_mut(&mut batch, move |job| {
+                            let _span = Span::enter("serve-query");
+                            let result = ScanParams::checked(job.eps, job.mu)
+                                .map(|params| snap.index.query(params));
+                            hist.record(
+                                job.enqueued.elapsed().as_nanos().min(u64::MAX as u128) as u64
+                            );
+                            served.fetch_add(1, SeqCst);
+                            let response = QueryResponse {
+                                generation: snap.generation,
+                                result,
+                            };
+                            *lock(&job.slot.filled) = Some(response);
+                            job.slot.cv.notify_all();
+                        });
+                        batch.clear();
+                    }
+                })
+                .expect("spawn dispatcher")
+        };
+
+        Server {
+            shared,
+            cell,
+            hist,
+            served,
+            next_generation: AtomicU64::new(2),
+            rebuild_lock: Mutex::new(()),
+            threads,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// Enqueues one query; returns immediately with a [`Ticket`].
+    pub fn submit(&self, eps: f64, mu: usize) -> Ticket {
+        let slot = Arc::new(ResponseSlot {
+            filled: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        lock(&self.shared.queue).push_back(Job {
+            eps,
+            mu,
+            enqueued: Instant::now(),
+            slot: Arc::clone(&slot),
+        });
+        self.shared.cv.notify_one();
+        Ticket { slot }
+    }
+
+    /// Submits and waits: the blocking convenience wrapper.
+    pub fn query(&self, eps: f64, mu: usize) -> QueryResponse {
+        self.submit(eps, mu).wait()
+    }
+
+    /// Builds an index over `graph` on the *calling* thread and swaps
+    /// it in. In-flight and queued queries keep completing against
+    /// whichever snapshot their batch pinned — the swap never blocks
+    /// them, and they never block the swap. Returns the new snapshot's
+    /// generation. Concurrent rebuilds are serialized so generations
+    /// publish in order.
+    pub fn rebuild(&self, graph: Arc<CsrGraph>) -> u64 {
+        let _serialize = lock(&self.rebuild_lock);
+        let generation = self.next_generation.fetch_add(1, SeqCst);
+        let index = OwnedGsIndex::build(graph, self.threads);
+        self.cell.publish(IndexSnapshot { generation, index });
+        generation
+    }
+
+    /// Generation of the currently-published snapshot.
+    pub fn generation(&self) -> u64 {
+        // Publishes are serialized by `rebuild_lock` and each bumps the
+        // cell epoch by one from its initial 1, so epoch == generation.
+        self.cell.current_epoch()
+    }
+
+    /// Per-query latency histogram (queue entry → response delivered).
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.hist
+    }
+
+    /// Total queries answered so far (including parameter errors).
+    pub fn queries_served(&self) -> u64 {
+        self.served.load(SeqCst)
+    }
+
+    /// Retired index snapshots not yet reclaimed (0 once every pin has
+    /// moved past them). Reclamation otherwise runs on publish and
+    /// reader teardown, so this sweeps first: a pin that moved on since
+    /// the last publish frees its old snapshot here rather than at the
+    /// next rebuild.
+    pub fn retired_snapshots(&self) -> usize {
+        self.cell.try_reclaim();
+        self.cell.retired_len()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, SeqCst);
+        self.shared.cv.notify_all();
+        if let Some(handle) = self.dispatcher.take() {
+            // A dispatcher panic already poisoned every outstanding
+            // ticket; nothing useful to add on top.
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppscan_core::pscan::pscan;
+    use ppscan_graph::gen;
+
+    fn test_graph() -> Arc<CsrGraph> {
+        Arc::new(gen::planted_partition(3, 16, 0.6, 0.03, 11))
+    }
+
+    #[test]
+    fn serves_the_same_answers_as_direct_queries() {
+        let graph = test_graph();
+        let server = Server::start(Arc::clone(&graph), ServeConfig::default());
+        for (eps, mu) in [(0.4, 2), (0.5, 3), (0.7, 5), (1.0, 1)] {
+            let response = server.query(eps, mu);
+            assert_eq!(response.generation, 1);
+            let expected = pscan(&graph, ScanParams::new(eps, mu)).clustering;
+            assert_eq!(response.result.expect("valid params"), expected);
+        }
+        assert_eq!(server.queries_served(), 4);
+        assert_eq!(server.latency().count(), 4);
+    }
+
+    #[test]
+    fn malformed_params_error_without_killing_the_server() {
+        let server = Server::start(test_graph(), ServeConfig::default());
+        for (eps, mu) in [(0.0, 2), (-1.0, 2), (1.5, 2), (f64::NAN, 2), (0.5, 0)] {
+            let response = server.query(eps, mu);
+            assert!(response.result.is_err(), "({eps}, {mu}) must be rejected");
+        }
+        // The dispatcher is still alive and serving.
+        assert!(server.query(0.5, 2).result.is_ok());
+        assert_eq!(server.queries_served(), 6);
+    }
+
+    #[test]
+    fn a_burst_larger_than_max_batch_is_fully_answered() {
+        let server = Server::start(
+            test_graph(),
+            ServeConfig {
+                max_batch: 8,
+                ..ServeConfig::default()
+            },
+        );
+        let tickets: Vec<Ticket> = (0..100).map(|i| server.submit(0.5, 1 + i % 4)).collect();
+        for ticket in tickets {
+            assert!(ticket.wait().result.is_ok());
+        }
+        assert_eq!(server.queries_served(), 100);
+        assert_eq!(server.latency().count(), 100);
+    }
+
+    #[test]
+    fn rebuild_swaps_generations_and_answers_track_the_new_graph() {
+        let graph_a = test_graph();
+        let graph_b = Arc::new(gen::clique_chain(5, 4));
+        let server = Server::start(Arc::clone(&graph_a), ServeConfig::default());
+        assert_eq!(server.generation(), 1);
+        assert_eq!(server.query(0.5, 2).generation, 1);
+
+        assert_eq!(server.rebuild(Arc::clone(&graph_b)), 2);
+        assert_eq!(server.generation(), 2);
+        let response = server.query(0.5, 2);
+        assert_eq!(response.generation, 2);
+        assert_eq!(
+            response.result.unwrap(),
+            pscan(&graph_b, ScanParams::new(0.5, 2)).clustering
+        );
+
+        // Nothing pinned across the swap by now: the old snapshot is
+        // reclaimable after the post-rebuild batch re-pins.
+        assert_eq!(server.rebuild(graph_a), 3);
+        let _ = server.query(0.5, 2);
+        assert!(server.retired_snapshots() <= 1);
+    }
+
+    #[test]
+    fn drop_answers_every_outstanding_ticket() {
+        let server = Server::start(test_graph(), ServeConfig::default());
+        let tickets: Vec<Ticket> = (0..32).map(|_| server.submit(0.6, 2)).collect();
+        drop(server);
+        for ticket in tickets {
+            assert!(ticket.wait().result.is_ok());
+        }
+    }
+}

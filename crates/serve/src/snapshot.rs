@@ -1,0 +1,312 @@
+//! Epoch-counted atomic snapshot cell: readers never block, writers
+//! swap a pointer and reclaim the old value once no reader can still
+//! hold it.
+//!
+//! This is a std-only miniature of epoch-based reclamation, sized for
+//! the serving path's needs: one long-lived value (the index snapshot),
+//! a handful of registered readers (one per dispatcher), and rare
+//! writes (index rebuilds). The protocol:
+//!
+//! * The cell holds the current value behind an [`AtomicPtr`] plus a
+//!   global epoch counter (starting at 1).
+//! * A reader *pins* by storing the current epoch into its registered
+//!   slot, then loading the pointer. Unpinning stores 0. Both are
+//!   single atomic stores — no locks, no CAS loops — so a pin can sit
+//!   on the per-batch hot path.
+//! * A writer *publishes* by swapping the pointer, bumping the epoch
+//!   (the pre-bump value `E` tags the retirement), and parking the old
+//!   pointer on a retired list. A retired value is dropped once every
+//!   reader slot is either idle (0) or pinned at an epoch `> E`.
+//!
+//! Safety under the all-`SeqCst` total order: if a reader's pointer
+//! load saw the *old* value, that load preceded the writer's swap, and
+//! therefore the writer's epoch bump and retirement scan; the reader's
+//! slot store (sequenced before its pointer load) is then visible to
+//! the scan with a value `≤ E`, so the value is kept. Conversely a slot
+//! holding `> E` was stored after the bump, hence after the swap, so
+//! that reader can only have loaded the new pointer. A slow reader
+//! pinned at a stale epoch only delays reclamation, never unsoundness.
+//! `ppscan-check` models the same argument exhaustively in its
+//! interleaving catalog.
+
+use std::ops::Deref;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A value retired at epoch `epoch`; droppable once no slot pins `≤ epoch`.
+struct Retired<T> {
+    epoch: u64,
+    ptr: *mut T,
+}
+
+// SAFETY: the raw pointer is the unique owner of a heap `T` (from
+// `Box::into_raw`); moving the record across threads moves ownership.
+unsafe impl<T: Send> Send for Retired<T> {}
+
+/// The shared cell. Clone the `Arc` holding it to share between the
+/// writer and [`Reader`]s.
+pub struct SnapshotCell<T> {
+    ptr: AtomicPtr<T>,
+    epoch: AtomicU64,
+    readers: Mutex<Vec<Arc<AtomicU64>>>,
+    retired: Mutex<Vec<Retired<T>>>,
+}
+
+// SAFETY: `ptr` owns a heap `T` handed out as `&T` to pinned readers on
+// any thread (`T: Sync`) and dropped on whichever thread reclaims it
+// (`T: Send`); the remaining fields are atomics and mutexes.
+unsafe impl<T: Send + Sync> Send for SnapshotCell<T> {}
+unsafe impl<T: Send + Sync> Sync for SnapshotCell<T> {}
+
+impl<T: Send + Sync> SnapshotCell<T> {
+    /// A cell holding `value` at epoch 1.
+    pub fn new(value: T) -> SnapshotCell<T> {
+        SnapshotCell {
+            ptr: AtomicPtr::new(Box::into_raw(Box::new(value))),
+            epoch: AtomicU64::new(1),
+            readers: Mutex::new(Vec::new()),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The current epoch: 1 + the number of publishes so far.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch.load(SeqCst)
+    }
+
+    /// Registers a new reader. Registration takes a short lock;
+    /// pinning afterwards is lock-free.
+    pub fn reader(self: &Arc<Self>) -> Reader<T> {
+        let slot = Arc::new(AtomicU64::new(0));
+        lock(&self.readers).push(Arc::clone(&slot));
+        Reader {
+            cell: Arc::clone(self),
+            slot,
+        }
+    }
+
+    /// Atomically replaces the current value and retires the old one.
+    /// Never waits for readers: active pins keep the old value alive on
+    /// the retired list until they release. Returns the new epoch.
+    pub fn publish(&self, value: T) -> u64 {
+        let new = Box::into_raw(Box::new(value));
+        let old = self.ptr.swap(new, SeqCst);
+        let retired_epoch = self.epoch.fetch_add(1, SeqCst);
+        lock(&self.retired).push(Retired {
+            epoch: retired_epoch,
+            ptr: old,
+        });
+        self.try_reclaim();
+        retired_epoch + 1
+    }
+
+    /// Drops every retired value no reader can still reference (see the
+    /// module docs for the argument). Returns how many were dropped.
+    /// Called automatically on publish and reader drop.
+    pub fn try_reclaim(&self) -> usize {
+        let pins: Vec<u64> = lock(&self.readers).iter().map(|s| s.load(SeqCst)).collect();
+        let mut retired = lock(&self.retired);
+        let before = retired.len();
+        retired.retain(|r| {
+            let still_pinned = pins.iter().any(|&p| p != 0 && p <= r.epoch);
+            if !still_pinned {
+                // SAFETY: ownership of the heap value moved onto the
+                // retired list at publish; no slot can still map to it.
+                drop(unsafe { Box::from_raw(r.ptr) });
+            }
+            still_pinned
+        });
+        before - retired.len()
+    }
+
+    /// Number of retired-but-not-yet-reclaimed values (for tests and
+    /// metrics).
+    pub fn retired_len(&self) -> usize {
+        lock(&self.retired).len()
+    }
+}
+
+impl<T> Drop for SnapshotCell<T> {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access; current and retired pointers are
+        // owned by the cell and unreachable from anywhere else now.
+        unsafe {
+            drop(Box::from_raw(self.ptr.load(SeqCst)));
+            for r in lock(&self.retired).drain(..) {
+                drop(Box::from_raw(r.ptr));
+            }
+        }
+    }
+}
+
+/// A registered reader. Pinning requires `&mut self`, so each reader
+/// holds at most one [`Guard`] at a time (a second pin would overwrite
+/// the slot and unpin the first); create one reader per thread that
+/// needs concurrent pins.
+pub struct Reader<T: Send + Sync> {
+    cell: Arc<SnapshotCell<T>>,
+    slot: Arc<AtomicU64>,
+}
+
+impl<T: Send + Sync> Reader<T> {
+    /// Pins the current value: two atomic stores plus a load, no locks.
+    /// The returned guard dereferences to the pinned value and releases
+    /// the pin on drop.
+    pub fn pin(&mut self) -> Guard<'_, T> {
+        let epoch = self.cell.epoch.load(SeqCst);
+        self.slot.store(epoch, SeqCst);
+        let ptr = self.cell.ptr.load(SeqCst);
+        Guard {
+            slot: &self.slot,
+            // SAFETY: the slot now holds a nonzero epoch `≤` any epoch
+            // under which the loaded value could be retired, so the
+            // reclaimer keeps the value at least until the guard's drop
+            // clears the slot (module-level argument).
+            value: unsafe { &*ptr },
+        }
+    }
+
+    /// The cell this reader is registered with.
+    pub fn cell(&self) -> &Arc<SnapshotCell<T>> {
+        &self.cell
+    }
+}
+
+impl<T: Send + Sync> Drop for Reader<T> {
+    fn drop(&mut self) {
+        self.slot.store(0, SeqCst);
+        let mut readers = lock(&self.cell.readers);
+        readers.retain(|s| !Arc::ptr_eq(s, &self.slot));
+        drop(readers);
+        // This reader may have been the last thing keeping a retired
+        // value alive.
+        self.cell.try_reclaim();
+    }
+}
+
+/// An active pin. Dereferences to the pinned value.
+pub struct Guard<'a, T> {
+    slot: &'a AtomicU64,
+    value: &'a T,
+}
+
+impl<T> Deref for Guard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.value
+    }
+}
+
+impl<T> Drop for Guard<'_, T> {
+    fn drop(&mut self) {
+        self.slot.store(0, SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::Ordering::Relaxed;
+
+    #[test]
+    fn readers_see_published_values_in_order() {
+        let cell = Arc::new(SnapshotCell::new(0u64));
+        let mut reader = cell.reader();
+        assert_eq!(*reader.pin(), 0);
+        assert_eq!(cell.publish(1), 2);
+        assert_eq!(*reader.pin(), 1);
+        assert_eq!(cell.current_epoch(), 2);
+        // Pins are monotone: repeated pins never observe older values.
+        let mut last = *reader.pin();
+        for v in 2..10 {
+            cell.publish(v);
+            let seen = *reader.pin();
+            assert!(seen >= last);
+            last = seen;
+        }
+    }
+
+    struct DropCounter<'a>(&'a AtomicUsize, u64);
+    impl Drop for DropCounter<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Relaxed);
+        }
+    }
+
+    #[test]
+    fn publish_never_blocks_and_reclaims_after_release() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        let cell = Arc::new(SnapshotCell::new(DropCounter(&DROPS, 0)));
+        let mut reader = cell.reader();
+        let guard = reader.pin();
+        assert_eq!(guard.1, 0);
+        // Publishing while the old value is pinned returns immediately
+        // and must not drop the pinned value.
+        cell.publish(DropCounter(&DROPS, 1));
+        assert_eq!(DROPS.load(Relaxed), 0, "pinned value freed under a guard");
+        assert_eq!(cell.retired_len(), 1);
+        assert_eq!(guard.1, 0, "guard still reads the pinned snapshot");
+        drop(guard);
+        assert_eq!(cell.try_reclaim(), 1);
+        assert_eq!(DROPS.load(Relaxed), 1);
+        assert_eq!(cell.retired_len(), 0);
+        // A fresh pin sees the new value.
+        assert_eq!(reader.pin().1, 1);
+    }
+
+    #[test]
+    fn reader_drop_unblocks_reclamation() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        let cell = Arc::new(SnapshotCell::new(DropCounter(&DROPS, 0)));
+        let mut reader = cell.reader();
+        let guard = reader.pin();
+        cell.publish(DropCounter(&DROPS, 1));
+        // Leak the guard's pin by dropping guard then reader: retired
+        // value must be reclaimed by the reader's drop hook.
+        drop(guard);
+        drop(reader);
+        assert_eq!(DROPS.load(Relaxed), 1);
+        assert_eq!(cell.retired_len(), 0);
+    }
+
+    #[test]
+    fn no_torn_reads_under_concurrent_publishes() {
+        // The payload is a self-consistent pair; any torn read (pointer
+        // to a half-updated or freed value) shows up as a mismatch or
+        // crashes under the sanitizer-like debug allocator.
+        let cell = Arc::new(SnapshotCell::new((0u64, !0u64)));
+        let writers_done = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cell = Arc::clone(&cell);
+                let done = Arc::clone(&writers_done);
+                scope.spawn(move || {
+                    let mut reader = cell.reader();
+                    while done.load(SeqCst) == 0 {
+                        let g = reader.pin();
+                        assert_eq!(g.0, !g.1, "torn read: {:?}", *g);
+                    }
+                });
+            }
+            let cell = Arc::clone(&cell);
+            let done = Arc::clone(&writers_done);
+            scope.spawn(move || {
+                for v in 1..=2000u64 {
+                    cell.publish((v, !v));
+                }
+                done.store(1, SeqCst);
+            });
+        });
+        // All readers unregistered: everything retired is reclaimable.
+        cell.try_reclaim();
+        assert_eq!(cell.retired_len(), 0);
+        let mut reader = cell.reader();
+        assert_eq!(*reader.pin(), (2000, !2000));
+    }
+}

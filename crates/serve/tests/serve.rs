@@ -1,0 +1,178 @@
+//! Integration tests for the serving path: many client threads, live
+//! index swaps, adversarial pool schedules. The key invariant is
+//! **snapshot coherence**: every response is computed entirely against
+//! one index generation and says which, so a response's clustering must
+//! exactly equal the precomputed answer for that generation — never a
+//! blend of old and new index state.
+
+use ppscan_core::params::ScanParams;
+use ppscan_core::pscan::pscan;
+use ppscan_core::result::Clustering;
+use ppscan_graph::{gen, CsrGraph};
+use ppscan_sched::ExecutionStrategy;
+use ppscan_serve::{ServeConfig, Server};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn graph_a() -> Arc<CsrGraph> {
+    Arc::new(gen::planted_partition(3, 14, 0.6, 0.04, 21))
+}
+
+fn graph_b() -> Arc<CsrGraph> {
+    Arc::new(gen::clique_chain(6, 5))
+}
+
+const GRID: [(f64, usize); 4] = [(0.4, 2), (0.5, 3), (0.7, 2), (1.0, 1)];
+
+fn answers(g: &CsrGraph) -> HashMap<(u64, usize), Clustering> {
+    GRID.iter()
+        .map(|&(eps, mu)| {
+            (
+                (eps.to_bits(), mu),
+                pscan(g, ScanParams::new(eps, mu)).clustering,
+            )
+        })
+        .collect()
+}
+
+/// Clients hammer the server while the main thread swaps the index back
+/// and forth between two distinguishable graphs. Every response must
+/// match the ground truth of exactly the generation it claims — under an
+/// adversarial pool schedule, so task interleavings inside each batch
+/// are perturbed too.
+#[test]
+fn responses_are_coherent_across_live_swaps() {
+    let a = graph_a();
+    let b = graph_b();
+    let expected_a = answers(&a);
+    let expected_b = answers(&b);
+    // Generation g serves graph A when odd (gen 1 is the initial A
+    // index; each rebuild alternates).
+    let expected = |generation: u64, eps: f64, mu: usize| -> &Clustering {
+        let table = if generation % 2 == 1 {
+            &expected_a
+        } else {
+            &expected_b
+        };
+        &table[&(eps.to_bits(), mu)]
+    };
+
+    let server = Server::start(
+        Arc::clone(&a),
+        ServeConfig {
+            threads: 3,
+            max_batch: 8,
+            strategy: ExecutionStrategy::AdversarialSeeded { seed: 0xC0FFEE },
+        },
+    );
+
+    const CLIENTS: usize = 6;
+    const QUERIES: usize = 60;
+    const SWAPS: u64 = 6;
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let server = &server;
+            scope.spawn(move || {
+                for q in 0..QUERIES {
+                    let (eps, mu) = GRID[(c + q) % GRID.len()];
+                    let response = server.query(eps, mu);
+                    let clustering = response.result.expect("valid params");
+                    assert_eq!(
+                        &clustering,
+                        expected(response.generation, eps, mu),
+                        "incoherent response: generation {} for ({eps}, {mu})",
+                        response.generation
+                    );
+                }
+            });
+        }
+        // Swap while the clients are in flight.
+        for s in 0..SWAPS {
+            let next = if s % 2 == 0 {
+                Arc::clone(&b)
+            } else {
+                Arc::clone(&a)
+            };
+            let generation = server.rebuild(next);
+            assert_eq!(generation, s + 2, "generations publish in order");
+        }
+    });
+
+    assert_eq!(server.queries_served(), (CLIENTS * QUERIES) as u64);
+    assert_eq!(server.latency().count(), (CLIENTS * QUERIES) as u64);
+    assert_eq!(server.generation(), SWAPS + 1);
+    // Once the dispatcher re-pins after the last swap, at most one
+    // stale snapshot can still be held by its pin; a final query forces
+    // a fresh pin and lets everything older be reclaimed.
+    let _ = server.query(0.5, 2);
+    assert!(
+        server.retired_snapshots() <= 1,
+        "old snapshots must be reclaimed, {} retired",
+        server.retired_snapshots()
+    );
+}
+
+/// Queries submitted before, during, and after a swap all complete, and
+/// the swap itself never waits for the queue to drain: the rebuild
+/// thread publishes while dozens of queries are still queued behind a
+/// deliberately tiny batch size.
+#[test]
+fn queries_complete_without_blocking_across_a_swap() {
+    let a = graph_a();
+    let b = graph_b();
+    let server = Server::start(
+        Arc::clone(&a),
+        ServeConfig {
+            threads: 2,
+            max_batch: 2,
+            ..ServeConfig::default()
+        },
+    );
+
+    let before: Vec<_> = (0..40).map(|_| server.submit(0.5, 2)).collect();
+    let generation = server.rebuild(b);
+    assert_eq!(generation, 2);
+    let after: Vec<_> = (0..40).map(|_| server.submit(0.5, 2)).collect();
+
+    let mut generations_seen = Vec::new();
+    for ticket in before.into_iter().chain(after) {
+        let response = ticket.wait();
+        assert!(response.result.is_ok());
+        generations_seen.push(response.generation);
+    }
+    assert_eq!(generations_seen.len(), 80);
+    // The tail of the stream must be on the new index (the swap
+    // happened before those queries were submitted)...
+    assert_eq!(*generations_seen.last().unwrap(), 2);
+    // ...and generations never go backwards in delivery order within a
+    // client's FIFO stream.
+    let mut last = 0;
+    for g in generations_seen {
+        assert!(g >= last, "generation went backwards");
+        last = g;
+    }
+}
+
+/// The server keeps its observability contract: spans from the serving
+/// loop land in a collector activated around `start`, with the batch
+/// and query stages both present.
+#[test]
+fn serving_spans_land_in_the_callers_collector() {
+    let collector = ppscan_obs::Collector::new();
+    let guard = collector.activate();
+    let server = Server::start(graph_a(), ServeConfig::default());
+    for _ in 0..10 {
+        assert!(server.query(0.5, 2).result.is_ok());
+    }
+    drop(server);
+    drop(guard);
+    let stages: Vec<&str> = collector.snapshot().into_iter().map(|s| s.stage).collect();
+    assert!(
+        stages.contains(&"serve-batch"),
+        "missing serve-batch in {stages:?}"
+    );
+    assert!(
+        stages.contains(&"serve-query"),
+        "missing serve-query in {stages:?}"
+    );
+}

@@ -63,6 +63,46 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// Validates the complete argument list of a subcommand before any flag
+/// is read: every `--flag` must be known to the command (value-taking
+/// flags consume the following token), and at most `max_positional`
+/// bare arguments are allowed. `flag_value` alone only *scans for*
+/// known names, so a typo like `--epsilonn 0.5` used to run silently
+/// with the default ε.
+fn validate_args(
+    args: &[String],
+    value_flags: &[&str],
+    bool_flags: &[&str],
+    max_positional: usize,
+    usage: &str,
+) -> Result<(), i32> {
+    let mut positionals = 0usize;
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a.starts_with("--") {
+            if value_flags.contains(&a) {
+                if i + 1 >= args.len() {
+                    eprintln!("missing value for {a}\n{usage}");
+                    return Err(2);
+                }
+                i += 1; // skip the flag's value
+            } else if !bool_flags.contains(&a) {
+                eprintln!("unknown flag {a}\n{usage}");
+                return Err(2);
+            }
+        } else {
+            positionals += 1;
+            if positionals > max_positional {
+                eprintln!("unexpected argument {a:?}\n{usage}");
+                return Err(2);
+            }
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
 fn parse_or_exit<T: std::str::FromStr>(s: &str, what: &str) -> T {
     s.parse().unwrap_or_else(|_| {
         eprintln!("invalid {what}: {s}");
@@ -71,8 +111,12 @@ fn parse_or_exit<T: std::str::FromStr>(s: &str, what: &str) -> T {
 }
 
 fn cmd_stats(args: &[String]) -> i32 {
+    let usage = "usage: ppscan-cli stats <graph>";
+    if let Err(code) = validate_args(args, &[], &[], 1, usage) {
+        return code;
+    }
     let Some(path) = args.first() else {
-        eprintln!("usage: ppscan-cli stats <graph>");
+        eprintln!("{usage}");
         return 2;
     };
     let g = load(path);
@@ -93,13 +137,21 @@ fn cmd_stats(args: &[String]) -> i32 {
 }
 
 fn cmd_cluster(args: &[String]) -> i32 {
-    if args.first().is_none_or(|a| a == "--help") {
-        eprintln!(
-            "usage: ppscan-cli cluster <graph> --eps E --mu M \
-             [--threads N] [--kernel merge|pivot-avx512|block-avx512|...] \
-             [--output FILE] [--classify]"
-        );
+    let usage = "usage: ppscan-cli cluster <graph> --eps E --mu M \
+                 [--threads N] [--kernel merge|pivot-avx512|block-avx512|...] \
+                 [--output FILE] [--classify]";
+    if args.is_empty() || args.iter().any(|a| a == "--help") {
+        eprintln!("{usage}");
         return if args.is_empty() { 2 } else { 0 };
+    }
+    if let Err(code) = validate_args(
+        args,
+        &["--eps", "--mu", "--threads", "--kernel", "--output"],
+        &["--classify"],
+        1,
+        usage,
+    ) {
+        return code;
     }
     let path = &args[0];
     let eps: f64 = parse_or_exit(flag_value(args, "--eps").unwrap_or("0.5"), "--eps");
@@ -169,6 +221,26 @@ fn cmd_generate(args: &[String]) -> i32 {
     let usage = "usage: ppscan-cli generate <roll|rmat|er|sbm> --out FILE \
                  [--n N] [--degree D] [--scale S] [--edges M] [--blocks B] \
                  [--block-size K] [--p-in P] [--p-out Q] [--seed S]";
+    if let Err(code) = validate_args(
+        args,
+        &[
+            "--out",
+            "--n",
+            "--degree",
+            "--scale",
+            "--edges",
+            "--blocks",
+            "--block-size",
+            "--p-in",
+            "--p-out",
+            "--seed",
+        ],
+        &[],
+        1,
+        usage,
+    ) {
+        return code;
+    }
     let Some(kind) = args.first() else {
         eprintln!("{usage}");
         return 2;
@@ -228,8 +300,12 @@ fn cmd_generate(args: &[String]) -> i32 {
 }
 
 fn cmd_convert(args: &[String]) -> i32 {
+    let usage = "usage: ppscan-cli convert <in> <out>";
+    if let Err(code) = validate_args(args, &[], &[], 2, usage) {
+        return code;
+    }
     let (Some(input), Some(output)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: ppscan-cli convert <in> <out>");
+        eprintln!("{usage}");
         return 2;
     };
     let g = load(input);

@@ -36,6 +36,9 @@
 //! * [`sched`] — the degree-based dynamic task scheduler
 //!   (`ppscan-sched`).
 //! * [`core`] — the algorithms themselves (`ppscan-core`).
+//! * [`serve`] — a long-lived clustering service over the index:
+//!   batched concurrent queries, non-blocking index swaps
+//!   (`ppscan-serve`).
 //!
 //! See `DESIGN.md` for the paper-to-module inventory and
 //! `EXPERIMENTS.md` for the reproduced evaluation.
@@ -46,6 +49,7 @@ pub use ppscan_gsindex as gsindex;
 pub use ppscan_intersect as intersect;
 pub use ppscan_obs as obs;
 pub use ppscan_sched as sched;
+pub use ppscan_serve as serve;
 pub use ppscan_unionfind as unionfind;
 
 /// One-stop imports for typical use.

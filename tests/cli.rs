@@ -119,6 +119,66 @@ fn rejects_unknown_command_and_kernel() {
 }
 
 #[test]
+fn rejects_unknown_and_typoed_flags() {
+    // Regression: `--epsilonn 0.5` used to be silently ignored (the
+    // parser only scanned for known flag names), so the run proceeded
+    // with the default ε. Unknown flags must print usage and exit 2.
+    let dir = tmpdir().join("unknown-flags");
+    std::fs::create_dir_all(&dir).unwrap();
+    let g = dir.join("u.txt");
+    std::fs::write(&g, "0 1\n1 2\n2 0\n").unwrap();
+
+    let out = cli()
+        .args(["cluster", g.to_str().unwrap(), "--epsilonn", "0.5"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "typo'd flag must be rejected");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag --epsilonn"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+
+    // Every subcommand validates its full argument list.
+    for args in [
+        vec!["stats", g.to_str().unwrap(), "--verbose"],
+        vec!["generate", "roll", "--out", "/tmp/x.txt", "--degrees", "4"],
+        vec!["convert", g.to_str().unwrap(), "/tmp/y.txt", "--force"],
+        vec!["cluster", g.to_str().unwrap(), "--classifyy"],
+    ] {
+        let out = cli().args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{args:?} must exit 2");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("unknown flag"),
+            "{args:?} must name the unknown flag"
+        );
+    }
+
+    // Excess positionals and flags missing their value are errors too.
+    let out = cli()
+        .args(["stats", g.to_str().unwrap(), "extra.txt"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = cli()
+        .args(["cluster", g.to_str().unwrap(), "--eps"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing value for --eps"));
+
+    // Known flags still work after validation tightened.
+    let out = cli()
+        .args(["cluster", g.to_str().unwrap(), "--eps", "0.5", "--mu", "2"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn missing_file_fails_cleanly() {
     let out = cli()
         .args(["stats", "/nonexistent/graph.txt"])
