@@ -11,7 +11,18 @@
 //! (absolute share, default 0.25) and `--counter-tol` (relative,
 //! default 0.2). The cell-level table diff is skipped in this mode —
 //! comparison tables hold wall times, which do not survive a machine
-//! change; phase shares and counters do.
+//! change; phase shares and counters do. `--p999-tol <rel>` adds a
+//! one-sided tail-latency bound: a matched run's last-timeline-sample
+//! `serve.latency` p999 must stay within `(1 + rel)` of the baseline's.
+//!
+//! `--check-timeline` asserts the soak invariants on every figure-report
+//! run that carries a metrics timeline (schema 2): at least
+//! `--min-snapshots` samples (default 10), `at_nanos` non-decreasing,
+//! `serve.queue_depth` never above the run's `queue_bound` extra, and
+//! zero watchdog trips in both the `watchdog_trips` extra and the final
+//! sample's `serve.watchdog_trips` counter. A figure report with no
+//! timeline-bearing run at all fails the check — an empty timeline must
+//! not pass silently.
 //!
 //! ```sh
 //! cargo run --release -p ppscan-bench --bin report_check -- \
@@ -28,6 +39,65 @@
 use ppscan_bench::RunDiffOptions;
 use ppscan_obs::{FigureReport, RunReport};
 use std::path::PathBuf;
+
+/// The soak invariants for one timeline-bearing run; returns
+/// human-readable violations (empty = pass).
+fn check_timeline(r: &RunReport, min_snapshots: usize) -> Vec<String> {
+    let mut errs = Vec::new();
+    let who = format!(
+        "{} dataset={}",
+        r.algorithm,
+        r.dataset.as_deref().unwrap_or("?")
+    );
+    if r.timeline.len() < min_snapshots {
+        errs.push(format!(
+            "{who}: timeline has {} samples, need >= {min_snapshots}",
+            r.timeline.len()
+        ));
+    }
+    let mut last_at = 0u64;
+    for (i, s) in r.timeline.iter().enumerate() {
+        if s.at_nanos < last_at {
+            errs.push(format!(
+                "{who}: timeline at_nanos went backwards at sample {i} \
+                 ({} < {last_at})",
+                s.at_nanos
+            ));
+        }
+        last_at = s.at_nanos;
+    }
+    let extra = |k: &str| r.extra.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+    if let Some(bound) = extra("queue_bound").and_then(|v| v.as_i64()) {
+        for (i, s) in r.timeline.iter().enumerate() {
+            if let Some(depth) = s.gauge("serve.queue_depth") {
+                if depth > bound {
+                    errs.push(format!(
+                        "{who}: serve.queue_depth {depth} exceeds queue_bound \
+                         {bound} at sample {i}"
+                    ));
+                }
+            }
+        }
+    }
+    let trips_extra = extra("watchdog_trips").and_then(|v| v.as_u64());
+    if let Some(trips) = trips_extra {
+        if trips > 0 {
+            errs.push(format!("{who}: watchdog_trips extra is {trips}, want 0"));
+        }
+    }
+    if let Some(trips) = r
+        .timeline
+        .last()
+        .and_then(|s| s.counter("serve.watchdog_trips"))
+    {
+        if trips > 0 {
+            errs.push(format!(
+                "{who}: final sample counts {trips} watchdog trips, want 0"
+            ));
+        }
+    }
+    errs
+}
 
 enum Parsed {
     Figure(Box<FigureReport>),
@@ -69,6 +139,8 @@ fn main() {
     let mut baseline: Option<PathBuf> = None;
     let mut tol = 0.05f64;
     let mut check_runs = false;
+    let mut timeline = false;
+    let mut min_snapshots = 10usize;
     let mut run_opt = RunDiffOptions::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -90,10 +162,19 @@ fn main() {
             "--check-runs" => check_runs = true,
             "--counter-tol" => run_opt.counter_tol = parse("--counter-tol", value("--counter-tol")),
             "--phase-tol" => run_opt.phase_tol = parse("--phase-tol", value("--phase-tol")),
+            "--p999-tol" => run_opt.p999_tol = Some(parse("--p999-tol", value("--p999-tol"))),
+            "--check-timeline" => timeline = true,
+            "--min-snapshots" => {
+                min_snapshots = value("--min-snapshots").parse().unwrap_or_else(|_| {
+                    eprintln!("bad --min-snapshots");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: report_check <report.json>... [--baseline <path>] [--tol <rel>] \
-                     [--check-runs] [--counter-tol <rel>] [--phase-tol <abs>]"
+                     [--check-runs] [--counter-tol <rel>] [--phase-tol <abs>] \
+                     [--p999-tol <rel>] [--check-timeline] [--min-snapshots <n>]"
                 );
                 std::process::exit(0);
             }
@@ -124,6 +205,32 @@ fn main() {
                     f.runs.len(),
                     f.table.as_ref().map_or(0, |t| t.rows.len())
                 );
+                if timeline {
+                    let carriers: Vec<&RunReport> =
+                        f.runs.iter().filter(|r| !r.timeline.is_empty()).collect();
+                    if carriers.is_empty() {
+                        eprintln!(
+                            "{}: --check-timeline, but no run carries a timeline",
+                            path.display()
+                        );
+                        std::process::exit(1);
+                    }
+                    let errs: Vec<String> = carriers
+                        .iter()
+                        .flat_map(|r| check_timeline(r, min_snapshots))
+                        .collect();
+                    if errs.is_empty() {
+                        println!(
+                            "  timeline ok: {} run(s), >= {min_snapshots} samples each",
+                            carriers.len()
+                        );
+                    } else {
+                        for e in &errs {
+                            eprintln!("  {e}");
+                        }
+                        std::process::exit(1);
+                    }
+                }
                 checked.push(f);
             }
             Ok(Parsed::Run(r)) => {
@@ -154,6 +261,24 @@ fn main() {
                             eprintln!("{}: modelcheck report flags a failure", path.display());
                             std::process::exit(1);
                         }
+                    }
+                }
+                if timeline {
+                    if r.timeline.is_empty() {
+                        eprintln!(
+                            "{}: --check-timeline, but the run has no timeline",
+                            path.display()
+                        );
+                        std::process::exit(1);
+                    }
+                    let errs = check_timeline(&r, min_snapshots);
+                    if errs.is_empty() {
+                        println!("  timeline ok: {} samples", r.timeline.len());
+                    } else {
+                        for e in &errs {
+                            eprintln!("  {e}");
+                        }
+                        std::process::exit(1);
                     }
                 }
             }

@@ -1,0 +1,272 @@
+//! Soak harness — runs a [`ppscan_serve::Server`] under closed-loop
+//! load with live index rebuilds for a wall-clock budget, sampling the
+//! server's live [`MetricsRegistry`](ppscan_obs::registry::MetricsRegistry)
+//! into a timeline the emitted run report embeds (`RunReport::timeline`,
+//! schema 2). The stall watchdog runs for the whole soak; a single trip
+//! fails the run.
+//!
+//! Closed-loop clients bound the queue by construction: with `C`
+//! clients at most `C` queries are ever outstanding, so the timeline's
+//! `serve.queue_depth` must stay ≤ `C` in every sample — `report_check
+//! --check-timeline` asserts exactly that via the `queue_bound` extra.
+//!
+//! ```sh
+//! cargo run --release -p ppscan-bench --bin soak -- \
+//!     [--quick] [--scale S] [--budget-secs 60] [--clients 4] \
+//!     [--batch 32] [--sample-millis 250] [--rebuild-millis 500] \
+//!     [--slow-query-millis 50] [--watchdog-secs 5] [--report FILE]
+//! ```
+//!
+//! Exits non-zero if the watchdog tripped or the timeline came back
+//! with fewer than [`MIN_SNAPSHOTS`] samples.
+
+use ppscan_bench::{emit_report, figure_report, load_datasets, HarnessArgs, Table};
+use ppscan_obs::events::WatchdogConfig;
+use ppscan_obs::json::Json;
+use ppscan_obs::registry::TimelineSampler;
+use ppscan_obs::report::PhaseMetrics;
+use ppscan_obs::{Collector, RunReport, Span};
+use ppscan_serve::{ServeConfig, Server};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Worker threads in the server's query pool (fixed, like serve_bench,
+/// so soak runs are comparable across flag sets).
+const POOL_THREADS: usize = 2;
+
+/// A soak that cannot produce this many samples is too short to say
+/// anything about steady state.
+const MIN_SNAPSHOTS: usize = 10;
+
+/// Canonical phase order (mirrors serve_bench): dispatch phases carry
+/// zero wall share, `serve-load` is normalized to the whole soak wall.
+const PHASE_ORDER: [&str; 3] = ["serve-load", "serve-batch", "serve-query"];
+
+/// Same deterministic (ε, µ) mix as serve_bench.
+fn query_mix(client: usize, q: usize) -> (f64, usize) {
+    const EPS: [f64; 5] = [0.2, 0.35, 0.5, 0.65, 0.8];
+    (EPS[(client + q) % EPS.len()], 1 + (client * 3 + q) % 6)
+}
+
+fn normalize_phases(stages: Vec<PhaseMetrics>, wall_nanos: u64) -> Vec<PhaseMetrics> {
+    PHASE_ORDER
+        .iter()
+        .map(|&name| {
+            let mut p = stages
+                .iter()
+                .find(|p| p.name == name)
+                .cloned()
+                .unwrap_or_else(|| PhaseMetrics {
+                    name: name.to_string(),
+                    ..PhaseMetrics::default()
+                });
+            p.wall_nanos = if name == "serve-load" { wall_nanos } else { 0 };
+            p
+        })
+        .collect()
+}
+
+fn main() {
+    let (mut args, extras) = HarnessArgs::parse_with(&[
+        "--budget-secs",
+        "--clients",
+        "--batch",
+        "--sample-millis",
+        "--rebuild-millis",
+        "--slow-query-millis",
+        "--watchdog-secs",
+    ]);
+    let extra = |name: &str, default: u64| -> u64 {
+        extras
+            .iter()
+            .rev()
+            .find(|(f, _)| f == name)
+            .map_or(default, |(_, v)| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("bad {name}: {v}");
+                    std::process::exit(2);
+                })
+            })
+    };
+    let mut budget_secs = extra("--budget-secs", 60);
+    if args.quick {
+        budget_secs = budget_secs.min(5);
+    }
+    let clients = extra("--clients", 4).max(1) as usize;
+    let batch = extra("--batch", 32).max(1) as usize;
+    let sample_millis = extra("--sample-millis", 250).max(1);
+    let rebuild_millis = extra("--rebuild-millis", 500).max(1);
+    let slow_query_millis = extra("--slow-query-millis", 50);
+    let watchdog_secs = extra("--watchdog-secs", 5).max(1);
+    // One graph is the point of a soak (steady state, not a sweep).
+    args.datasets.truncate(1);
+
+    let mut report = figure_report("soak", &args);
+    report
+        .context
+        .push(("budget_secs".into(), Json::from_u64(budget_secs)));
+    let mut table = Table::new(&[
+        "dataset",
+        "clients",
+        "budget (s)",
+        "queries",
+        "q/s",
+        "p50 (us)",
+        "p99 (us)",
+        "p999 (us)",
+        "swaps",
+        "trips",
+        "samples",
+    ]);
+
+    let mut failed = false;
+    for (d, g) in load_datasets(&args) {
+        let graph = Arc::new(g);
+        let collector = Collector::new();
+        let obs_guard = collector.activate();
+
+        let t0 = Instant::now();
+        let server = {
+            let _span = Span::enter("serve-load");
+            Server::start(
+                Arc::clone(&graph),
+                ServeConfig {
+                    threads: POOL_THREADS,
+                    max_batch: batch,
+                    slow_query_nanos: slow_query_millis * 1_000_000,
+                    watchdog: Some(WatchdogConfig {
+                        deadline: Duration::from_secs(watchdog_secs),
+                        ..WatchdogConfig::default()
+                    }),
+                    ..ServeConfig::default()
+                },
+            )
+        };
+        let sampler = TimelineSampler::start(
+            Arc::clone(server.metrics()),
+            Duration::from_millis(sample_millis),
+        );
+
+        let stop = AtomicBool::new(false);
+        let swaps = std::thread::scope(|scope| {
+            for c in 0..clients {
+                let (server, stop) = (&server, &stop);
+                scope.spawn(move || {
+                    let mut q = 0usize;
+                    while !stop.load(Relaxed) {
+                        let (eps, mu) = query_mix(c, q);
+                        let response = server.query(eps, mu);
+                        assert!(response.result.is_ok(), "valid params must succeed");
+                        q += 1;
+                    }
+                });
+            }
+            let rebuilder = {
+                let (server, stop, graph) = (&server, &stop, &graph);
+                scope.spawn(move || {
+                    let mut swaps = 0u64;
+                    while !stop.load(Relaxed) {
+                        std::thread::sleep(Duration::from_millis(rebuild_millis));
+                        if stop.load(Relaxed) {
+                            break;
+                        }
+                        server.rebuild(Arc::clone(graph));
+                        swaps += 1;
+                    }
+                    swaps
+                })
+            };
+            std::thread::sleep(Duration::from_secs(budget_secs));
+            stop.store(true, Relaxed);
+            rebuilder.join().expect("rebuilder thread")
+        });
+        let wall_nanos = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let timeline = sampler.stop();
+
+        let queries = server.queries_served();
+        let trips = server.watchdog_trips();
+        let hist = server.latency();
+        let (p50, p99, p999) = (
+            hist.quantile(0.50),
+            hist.quantile(0.99),
+            hist.quantile(0.999),
+        );
+        let qps = queries as f64 / (wall_nanos as f64 / 1e9).max(1e-9);
+        let latency_json = hist.to_json();
+
+        if trips > 0 {
+            eprintln!(
+                "SOAK FAILURE on {}: watchdog tripped {trips}x; last dump:\n{}",
+                d.name(),
+                server.watchdog_dump().unwrap_or_default()
+            );
+            failed = true;
+        }
+        if timeline.len() < MIN_SNAPSHOTS {
+            eprintln!(
+                "SOAK FAILURE on {}: only {} timeline samples (need >= {MIN_SNAPSHOTS}); \
+                 raise --budget-secs or lower --sample-millis",
+                d.name(),
+                timeline.len()
+            );
+            failed = true;
+        }
+
+        drop(server);
+        drop(obs_guard);
+
+        let mut run = RunReport::new("soak")
+            .with_dataset(d.name())
+            .with_threads(clients)
+            .with_strategy("parallel")
+            .with_graph(graph.num_vertices() as u64, graph.num_edges() as u64);
+        run.wall_nanos = wall_nanos;
+        run.phases = normalize_phases(RunReport::phases_from(&collector.snapshot()), wall_nanos);
+        run.timeline = timeline.clone();
+        run.push_extra(
+            "config",
+            Json::Str(format!(
+                "pool={POOL_THREADS},batch={batch},clients={clients},\
+                 rebuild_millis={rebuild_millis},sample_millis={sample_millis},\
+                 slow_query_millis={slow_query_millis},watchdog_secs={watchdog_secs}"
+            )),
+        );
+        run.push_extra("latency", latency_json);
+        run.push_extra("qps", Json::Num(qps));
+        run.push_extra("queries", Json::from_u64(queries));
+        run.push_extra("swaps", Json::from_u64(swaps));
+        run.push_extra("watchdog_trips", Json::from_u64(trips));
+        // Closed-loop invariant: the queue can never hold more than one
+        // query per client. report_check --check-timeline enforces it
+        // against every sample's serve.queue_depth gauge.
+        run.push_extra("queue_bound", Json::from_u64(clients as u64));
+        report.runs.push(run);
+
+        table.row(vec![
+            d.name().into(),
+            clients.to_string(),
+            budget_secs.to_string(),
+            queries.to_string(),
+            format!("{qps:.0}"),
+            format!("{:.1}", p50 as f64 / 1000.0),
+            format!("{:.1}", p99 as f64 / 1000.0),
+            format!("{:.1}", p999 as f64 / 1000.0),
+            swaps.to_string(),
+            trips.to_string(),
+            timeline.len().to_string(),
+        ]);
+    }
+
+    println!(
+        "\nSoak: closed-loop serving with live rebuilds for {budget_secs}s \
+         (pool = {POOL_THREADS} threads, batch <= {batch}, rebuild every \
+         {rebuild_millis}ms, sampled every {sample_millis}ms, watchdog \
+         deadline {watchdog_secs}s)"
+    );
+    table.print(args.csv);
+    emit_report(&args, report, &table);
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -79,7 +79,17 @@ impl Default for HarnessArgs {
 impl HarnessArgs {
     /// Parses `std::env::args`, exiting with a usage message on error.
     pub fn parse() -> Self {
+        Self::parse_with(&[]).0
+    }
+
+    /// [`parse`](Self::parse), but binaries with bin-specific value
+    /// flags (e.g. the soak harness's `--budget-secs`) list them here
+    /// instead of re-implementing the whole parser: each occurrence is
+    /// returned as a `(flag, value)` pair, in argument order. Flags not
+    /// in either set still exit 2 — the unknown-flag contract holds.
+    pub fn parse_with(extra_value_flags: &[&str]) -> (Self, Vec<(String, String)>) {
         let mut out = Self::default();
+        let mut extras: Vec<(String, String)> = Vec::new();
         let mut args = std::env::args().skip(1);
         while let Some(flag) = args.next() {
             let mut value = |name: &str| {
@@ -125,9 +135,17 @@ impl HarnessArgs {
                     eprintln!(
                         "flags: --scale <f> --csv --quick --mu <n> --eps <a,b,..> \
                          --threads <a,b,..> --datasets <d1,d2,..> --report <path.json> \
-                         --runs <n>"
+                         --runs <n>{}",
+                        if extra_value_flags.is_empty() {
+                            String::new()
+                        } else {
+                            format!(" {} <v>", extra_value_flags.join(" <v> "))
+                        }
                     );
                     std::process::exit(0);
+                }
+                other if extra_value_flags.contains(&other) => {
+                    extras.push((other.to_string(), value(other)));
                 }
                 other => {
                     eprintln!("unknown flag {other} (see --help)");
@@ -140,7 +158,7 @@ impl HarnessArgs {
             out.eps_list.truncate(2);
             out.threads.truncate(2);
         }
-        out
+        (out, extras)
     }
 
     /// `ScanParams` for one ε of the sweep.
@@ -350,6 +368,11 @@ pub struct RunDiffOptions {
     /// Phases below this baseline share are skipped by the share check
     /// (tiny phases have share dominated by fixed overhead).
     pub min_share: f64,
+    /// When set, a run whose timeline ends with a `serve.latency`
+    /// summary must keep its p999 within `(1 + tol)` of the baseline's.
+    /// Relative and one-sided (faster is never a regression); loose by
+    /// design — tail latency crosses machines worse than any counter.
+    pub p999_tol: Option<f64>,
 }
 
 impl Default for RunDiffOptions {
@@ -358,6 +381,7 @@ impl Default for RunDiffOptions {
             counter_tol: 0.2,
             phase_tol: 0.25,
             min_share: 0.10,
+            p999_tol: None,
         }
     }
 }
@@ -459,6 +483,22 @@ pub fn diff_runs(baseline: &FigureReport, got: &FigureReport, opt: &RunDiffOptio
                     rel * 100.0,
                     opt.counter_tol * 100.0
                 ));
+            }
+        }
+        if let Some(tol) = opt.p999_tol {
+            let p999 = |r: &RunReport| {
+                r.timeline
+                    .last()
+                    .and_then(|s| s.histogram("serve.latency"))
+                    .map(|h| h.p999_nanos)
+            };
+            if let (Some(b), Some(g)) = (p999(base), p999(run)) {
+                if b > 0 && g as f64 > b as f64 * (1.0 + tol) {
+                    diffs.push(format!(
+                        "{id}: serve.latency p999 = {g}ns vs baseline {b}ns \
+                         (tol {tol:.2}x)"
+                    ));
+                }
             }
         }
     }

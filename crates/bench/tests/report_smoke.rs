@@ -77,6 +77,7 @@ report_smoke!(
     parameter_exploration,
     obs_overhead,
     serve_bench,
+    soak,
 );
 
 #[test]
@@ -117,7 +118,7 @@ fn run_all_report_dir_emits_one_report_per_figure() {
         assert_eq!(report.figure, stem);
         count += 1;
     }
-    assert_eq!(count, 16, "one report per figure binary");
+    assert_eq!(count, 17, "one report per figure binary");
 }
 
 #[test]

@@ -41,7 +41,10 @@ use ppscan_graph::CsrGraph;
 use ppscan_intersect::counters::CounterScope;
 use ppscan_intersect::Kernel;
 use ppscan_obs::{Collector, RunReport, Span};
-use ppscan_sched::{ExecutionStrategy, SchedulerKind, WorkerPool, DEFAULT_DEGREE_THRESHOLD};
+use ppscan_sched::{
+    ExecutionStrategy, PoolMetrics, SchedulerKind, WorkerPool, DEFAULT_DEGREE_THRESHOLD,
+};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// How phase-2 similarity reuse locates the reverse directed slot
@@ -112,6 +115,11 @@ pub struct PpScanConfig {
     /// the cost of leaving it on (the stage spans themselves always run —
     /// they are also the source of [`StageTimings`]).
     pub observe: bool,
+    /// Live pool counters to attach to the run's worker pool (see
+    /// [`PoolMetrics`]). `None` by default — live metrics are for
+    /// long-lived hosts (serving, soak benches) that sample a registry
+    /// while runs execute; one-shot runs report post-hoc instead.
+    pub metrics: Option<Arc<PoolMetrics>>,
 }
 
 impl Default for PpScanConfig {
@@ -124,6 +132,7 @@ impl Default for PpScanConfig {
             scheduler: SchedulerKind::default(),
             reverse_lookup: ReverseLookup::default(),
             observe: true,
+            metrics: None,
         }
     }
 }
@@ -172,6 +181,12 @@ impl PpScanConfig {
         self.observe = observe;
         self
     }
+
+    /// Builder-style live pool-metrics attachment.
+    pub fn metrics(mut self, metrics: Option<Arc<PoolMetrics>>) -> Self {
+        self.metrics = metrics;
+        self
+    }
 }
 
 /// ppSCAN result: canonical clustering, per-stage timings (Figure 6),
@@ -203,6 +218,9 @@ pub fn ppscan_ablation(
     skip_cluster_phase_one: bool,
 ) -> PpScanOutput {
     let pool = WorkerPool::with_scheduler(config.threads, config.strategy, config.scheduler);
+    if let Some(metrics) = &config.metrics {
+        pool.attach_metrics(Arc::clone(metrics));
+    }
     let mut shared = shared::Shared::new(g, params, config.kernel, config.strategy);
     shared.rev_lookup = config.reverse_lookup;
     let shared = shared;
@@ -275,6 +293,7 @@ pub fn ppscan_ablation(
     if config.observe {
         report.phases = RunReport::phases_from(&collector.snapshot());
         report.counters = report_glue::counters_from(scope.snapshot());
+        report_glue::push_ring_dropped(&mut report, &collector);
     } else {
         report.phases = report_glue::stage_phases(&timings);
     }

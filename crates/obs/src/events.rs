@@ -1,0 +1,570 @@
+//! Flight recorder and stall watchdog for long-lived serving processes.
+//!
+//! A stalled dispatcher or pathological slow query in `ppscan-serve` is
+//! invisible to the post-hoc report layer: nothing is emitted until the
+//! process exits, which a stall prevents. This module keeps the recent
+//! *history* always at hand instead:
+//!
+//! * [`FlightRecorder`] — a fixed-capacity ring of recent structured
+//!   [`FlightEvent`]s (enqueue, batch-start, batch-end, swap,
+//!   slow-query, watchdog-trip). Overflow evicts the oldest event and
+//!   counts it — no silent caps — so a dump always says how much
+//!   history it lost.
+//! * [`StallWatchdog`] — a polling thread holding a *progress probe*
+//!   closure. When the probe reports pending work but no progress for
+//!   longer than the configured deadline, the watchdog records a
+//!   [`EventKind::WatchdogTrip`], dumps the recorder as JSON
+//!   ([`EVENTS_SCHEMA_VERSION`]), and invokes an `on_trip` callback —
+//!   once per stall episode, re-arming when progress resumes.
+//! * [`install_panic_dump`] — a chained panic hook that dumps a
+//!   recorder to stderr exactly once, so a crashing server leaves its
+//!   last moments behind.
+//!
+//! The progress probe is deliberately generic — `Fn() -> (progress,
+//! pending)` — so the watchdog has no dependency on the serving crate:
+//! `Server` maps `progress` to its completed-batch counter and
+//! `pending` to queue depth plus in-flight batch size.
+
+use crate::json::Json;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Schema version of the JSON emitted by [`FlightRecorder::to_json`].
+pub const EVENTS_SCHEMA_VERSION: u32 = 1;
+
+/// Default flight-recorder capacity: enough for the last few hundred
+/// batches of context around a stall without unbounded growth.
+pub const DEFAULT_RECORDER_CAPACITY: usize = 1024;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// What happened, for one [`FlightEvent`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A query was submitted; `value` is the queue depth after enqueue.
+    Enqueue,
+    /// The dispatcher pinned a snapshot and started a batch; `value` is
+    /// the batch size, `generation` the pinned index generation.
+    BatchStart,
+    /// A batch completed; `value` is the batch size.
+    BatchEnd,
+    /// A new index generation was published; `generation` is the new
+    /// generation.
+    Swap,
+    /// A query exceeded the slow-query threshold; `value` is its
+    /// latency in nanoseconds.
+    SlowQuery,
+    /// The stall watchdog fired; `value` is the pending work the probe
+    /// reported.
+    WatchdogTrip,
+}
+
+impl EventKind {
+    /// The wire name used in JSON dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Enqueue => "enqueue",
+            EventKind::BatchStart => "batch-start",
+            EventKind::BatchEnd => "batch-end",
+            EventKind::Swap => "swap",
+            EventKind::SlowQuery => "slow-query",
+            EventKind::WatchdogTrip => "watchdog-trip",
+        }
+    }
+
+    /// Parses a wire name back to the kind.
+    pub fn parse(name: &str) -> Option<EventKind> {
+        Some(match name {
+            "enqueue" => EventKind::Enqueue,
+            "batch-start" => EventKind::BatchStart,
+            "batch-end" => EventKind::BatchEnd,
+            "swap" => EventKind::Swap,
+            "slow-query" => EventKind::SlowQuery,
+            "watchdog-trip" => EventKind::WatchdogTrip,
+            _ => return None,
+        })
+    }
+}
+
+/// One structured event in the flight recorder.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Position in the recorder's lifetime event stream (monotone,
+    /// counts evicted events too).
+    pub seq: u64,
+    /// Nanoseconds since the recorder was created.
+    pub at_nanos: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Kind-specific magnitude (queue depth, batch size, latency, …).
+    pub value: u64,
+    /// Index generation in effect, when the kind carries one (0
+    /// otherwise; generations start at 1).
+    pub generation: u64,
+}
+
+impl FlightEvent {
+    /// Serializes one event. Zero-valued `value`/`generation` fields
+    /// are omitted (and parse back as 0), keeping dumps compact.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("seq".into(), Json::from_u64(self.seq)),
+            ("at_nanos".into(), Json::from_u64(self.at_nanos)),
+            ("kind".into(), Json::Str(self.kind.name().into())),
+        ];
+        if self.value != 0 {
+            fields.push(("value".into(), Json::from_u64(self.value)));
+        }
+        if self.generation != 0 {
+            fields.push(("generation".into(), Json::from_u64(self.generation)));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Deserializes one event.
+    pub fn from_json(v: &Json) -> Result<FlightEvent, String> {
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("event missing kind")?;
+        Ok(FlightEvent {
+            seq: v
+                .get("seq")
+                .and_then(Json::as_u64)
+                .ok_or("event missing seq")?,
+            at_nanos: v
+                .get("at_nanos")
+                .and_then(Json::as_u64)
+                .ok_or("event missing at_nanos")?,
+            kind: EventKind::parse(kind).ok_or_else(|| format!("unknown event kind {kind:?}"))?,
+            value: v.get("value").and_then(Json::as_u64).unwrap_or(0),
+            generation: v.get("generation").and_then(Json::as_u64).unwrap_or(0),
+        })
+    }
+}
+
+struct RecorderInner {
+    events: VecDeque<FlightEvent>,
+    seq: u64,
+    dropped: u64,
+}
+
+/// A fixed-capacity ring of recent [`FlightEvent`]s.
+///
+/// Recording takes a short mutex hold (the serving hot path records a
+/// handful of events per *batch*, not per query, so contention is
+/// negligible next to the query work itself). Overflow evicts the
+/// oldest event and increments [`dropped`](Self::dropped) — the dump
+/// reports the loss rather than hiding it.
+pub struct FlightRecorder {
+    start: Instant,
+    capacity: usize,
+    inner: Mutex<RecorderInner>,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            start: Instant::now(),
+            capacity: capacity.max(1),
+            inner: Mutex::new(RecorderInner {
+                events: VecDeque::new(),
+                seq: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Records one event, timestamped now.
+    pub fn record(&self, kind: EventKind, value: u64, generation: u64) {
+        let at_nanos = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let mut inner = lock(&self.inner);
+        if inner.events.len() == self.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.events.push_back(FlightEvent {
+            seq,
+            at_nanos,
+            kind,
+            value,
+            generation,
+        });
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        lock(&self.inner).events.iter().cloned().collect()
+    }
+
+    /// How many events overflow has evicted so far.
+    pub fn dropped(&self) -> u64 {
+        lock(&self.inner).dropped
+    }
+
+    /// Dumps the ring as versioned JSON:
+    /// `{version, capacity, dropped, events: [...]}`.
+    pub fn to_json(&self) -> Json {
+        let inner = lock(&self.inner);
+        Json::Obj(vec![
+            ("version".into(), Json::Int(EVENTS_SCHEMA_VERSION as i128)),
+            ("capacity".into(), Json::from_u64(self.capacity as u64)),
+            ("dropped".into(), Json::from_u64(inner.dropped)),
+            (
+                "events".into(),
+                Json::Arr(inner.events.iter().map(FlightEvent::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = lock(&self.inner);
+        write!(
+            f,
+            "FlightRecorder({}/{} events, {} dropped)",
+            inner.events.len(),
+            self.capacity,
+            inner.dropped
+        )
+    }
+}
+
+/// When the [`StallWatchdog`] considers a process stalled.
+#[derive(Clone, Copy, Debug)]
+pub struct WatchdogConfig {
+    /// How long the probe may report pending work with no progress
+    /// before the watchdog trips. Must comfortably exceed the worst
+    /// single-batch latency, or healthy slow batches will trip it.
+    pub deadline: Duration,
+    /// How often the probe is polled.
+    pub poll: Duration,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            deadline: Duration::from_secs(5),
+            poll: Duration::from_millis(100),
+        }
+    }
+}
+
+struct WatchdogShared {
+    trips: AtomicU64,
+    last_dump: Mutex<Option<String>>,
+    stop: AtomicBool,
+}
+
+/// A thread watching a progress probe for stalls.
+///
+/// Every `poll` interval the watchdog calls `probe() -> (progress,
+/// pending)`. A *stall* is `pending > 0` while `progress` has not
+/// changed for at least `deadline`. On a stall it records an
+/// [`EventKind::WatchdogTrip`] into the recorder, captures the
+/// recorder's JSON dump (retrievable via [`last_dump`](Self::last_dump)),
+/// and calls `on_trip` with that dump — once per episode: the watchdog
+/// re-arms only after observing progress again.
+pub struct StallWatchdog {
+    shared: Arc<WatchdogShared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl StallWatchdog {
+    /// Starts watching. `probe` and `on_trip` run on the watchdog
+    /// thread; both should be cheap and must not block.
+    pub fn spawn(
+        config: WatchdogConfig,
+        recorder: Arc<FlightRecorder>,
+        probe: impl Fn() -> (u64, u64) + Send + 'static,
+        on_trip: impl Fn(&str) + Send + 'static,
+    ) -> StallWatchdog {
+        let shared = Arc::new(WatchdogShared {
+            trips: AtomicU64::new(0),
+            last_dump: Mutex::new(None),
+            stop: AtomicBool::new(false),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("ppscan-obs-watchdog".into())
+            .spawn(move || {
+                let (mut last_progress, _) = probe();
+                let mut since = Instant::now();
+                let mut tripped = false;
+                while !thread_shared.stop.load(Relaxed) {
+                    std::thread::sleep(config.poll);
+                    let (progress, pending) = probe();
+                    if progress != last_progress {
+                        last_progress = progress;
+                        since = Instant::now();
+                        tripped = false; // re-arm after progress
+                        continue;
+                    }
+                    if pending == 0 {
+                        // Idle, not stalled: keep the deadline clock
+                        // from accruing while there is nothing to do.
+                        since = Instant::now();
+                        continue;
+                    }
+                    if !tripped && since.elapsed() >= config.deadline {
+                        tripped = true;
+                        thread_shared.trips.fetch_add(1, Relaxed);
+                        recorder.record(EventKind::WatchdogTrip, pending, 0);
+                        let dump = recorder.to_json().to_pretty_string();
+                        *lock(&thread_shared.last_dump) = Some(dump.clone());
+                        on_trip(&dump);
+                    }
+                }
+            })
+            .expect("spawn watchdog thread");
+        StallWatchdog {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// How many stall episodes have tripped so far.
+    pub fn trips(&self) -> u64 {
+        self.shared.trips.load(Relaxed)
+    }
+
+    /// The flight-recorder dump captured at the most recent trip.
+    pub fn last_dump(&self) -> Option<String> {
+        lock(&self.shared.last_dump).clone()
+    }
+}
+
+impl Drop for StallWatchdog {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for StallWatchdog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StallWatchdog(trips: {})", self.trips())
+    }
+}
+
+/// Installs a chained panic hook that dumps `recorder` to stderr on the
+/// first panic, so a crashing server leaves its recent history behind.
+/// The previous hook still runs. Safe to call once per process.
+pub fn install_panic_dump(recorder: Arc<FlightRecorder>) {
+    install_panic_dump_with(recorder, |dump| eprintln!("flight recorder dump:\n{dump}"));
+}
+
+/// [`install_panic_dump`] with an explicit sink for the dump text
+/// (used by tests; the default sink is stderr).
+pub fn install_panic_dump_with(
+    recorder: Arc<FlightRecorder>,
+    sink: impl Fn(&str) + Send + Sync + 'static,
+) {
+    let fired = AtomicBool::new(false);
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if !fired.swap(true, Relaxed) {
+            sink(&recorder.to_json().to_pretty_string());
+        }
+        previous(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let rec = FlightRecorder::new(4);
+        for i in 0..10u64 {
+            rec.record(EventKind::Enqueue, i, 0);
+        }
+        assert_eq!(rec.dropped(), 6);
+        let events = rec.events();
+        assert_eq!(events.len(), 4);
+        // The survivors are the newest four, in order, with lifetime
+        // sequence numbers intact.
+        let values: Vec<u64> = events.iter().map(|e| e.value).collect();
+        assert_eq!(values, vec![6, 7, 8, 9]);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        let dump = rec.to_json();
+        assert_eq!(dump.get("dropped").unwrap().as_u64(), Some(6));
+        assert_eq!(dump.get("capacity").unwrap().as_u64(), Some(4));
+    }
+
+    #[test]
+    fn event_kinds_roundtrip_by_name() {
+        for kind in [
+            EventKind::Enqueue,
+            EventKind::BatchStart,
+            EventKind::BatchEnd,
+            EventKind::Swap,
+            EventKind::SlowQuery,
+            EventKind::WatchdogTrip,
+        ] {
+            assert_eq!(EventKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(EventKind::parse("nonsense"), None);
+    }
+
+    /// splitmix64 — mirrors the report round-trip property tests.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn event_roundtrip_property() {
+        const KINDS: [EventKind; 6] = [
+            EventKind::Enqueue,
+            EventKind::BatchStart,
+            EventKind::BatchEnd,
+            EventKind::Swap,
+            EventKind::SlowQuery,
+            EventKind::WatchdogTrip,
+        ];
+        let mut rng = Rng(0xf11e5);
+        for case in 0..200 {
+            let event = FlightEvent {
+                seq: rng.next() >> 1,
+                at_nanos: rng.next() >> 1,
+                kind: KINDS[(rng.next() % 6) as usize],
+                // Exercise the omit-if-zero path too.
+                value: if rng.next().is_multiple_of(4) {
+                    0
+                } else {
+                    rng.next() >> 1
+                },
+                generation: rng.next() % 8,
+            };
+            let text = event.to_json().to_pretty_string();
+            let back = FlightEvent::from_json(&crate::json::parse(&text).unwrap())
+                .unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
+            assert_eq!(back, event, "case {case} round-trip mismatch");
+        }
+    }
+
+    #[test]
+    fn dump_roundtrips_through_json_text() {
+        let rec = FlightRecorder::new(8);
+        rec.record(EventKind::Enqueue, 3, 0);
+        rec.record(EventKind::BatchStart, 3, 1);
+        rec.record(EventKind::BatchEnd, 3, 1);
+        rec.record(EventKind::Swap, 0, 2);
+        let dump = rec.to_json();
+        let text = dump.to_pretty_string();
+        let back = crate::json::parse(&text).unwrap();
+        assert_eq!(back, dump);
+        let events: Vec<FlightEvent> = back
+            .get("events")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|e| FlightEvent::from_json(e).unwrap())
+            .collect();
+        assert_eq!(events, rec.events());
+    }
+
+    #[test]
+    fn watchdog_trips_once_per_stall_episode_and_rearms() {
+        let rec = Arc::new(FlightRecorder::new(16));
+        rec.record(EventKind::Enqueue, 1, 0);
+        let progress = Arc::new(AtomicU64::new(0));
+        let pending = Arc::new(AtomicU64::new(1));
+        let trip_seen = Arc::new(AtomicU64::new(0));
+        let dog = StallWatchdog::spawn(
+            WatchdogConfig {
+                deadline: Duration::from_millis(50),
+                poll: Duration::from_millis(5),
+            },
+            Arc::clone(&rec),
+            {
+                let (progress, pending) = (Arc::clone(&progress), Arc::clone(&pending));
+                move || (progress.load(Relaxed), pending.load(Relaxed))
+            },
+            {
+                let trip_seen = Arc::clone(&trip_seen);
+                move |dump| {
+                    assert!(dump.contains("watchdog-trip"));
+                    trip_seen.fetch_add(1, Relaxed);
+                }
+            },
+        );
+        // Stalled: pending work, no progress. Exactly one trip even
+        // after the deadline elapses several times over.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while dog.trips() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(dog.trips(), 1);
+        std::thread::sleep(Duration::from_millis(150));
+        assert_eq!(
+            dog.trips(),
+            1,
+            "watchdog must not re-trip within an episode"
+        );
+        assert_eq!(trip_seen.load(Relaxed), 1);
+        let dump = dog.last_dump().expect("dump captured");
+        assert!(dump.contains("watchdog-trip"));
+        assert!(dump.contains("enqueue"));
+
+        // Progress resumes, then stalls again: the watchdog re-arms.
+        progress.fetch_add(1, Relaxed);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while dog.trips() < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(dog.trips(), 2, "watchdog must re-arm after progress");
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_when_idle_or_progressing() {
+        let rec = Arc::new(FlightRecorder::new(16));
+        let progress = Arc::new(AtomicU64::new(0));
+        let pending = Arc::new(AtomicU64::new(0));
+        let dog = StallWatchdog::spawn(
+            WatchdogConfig {
+                deadline: Duration::from_millis(30),
+                poll: Duration::from_millis(5),
+            },
+            Arc::clone(&rec),
+            {
+                let (progress, pending) = (Arc::clone(&progress), Arc::clone(&pending));
+                move || (progress.load(Relaxed), pending.load(Relaxed))
+            },
+            |_| {},
+        );
+        // Idle (no pending work): never trips.
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(dog.trips(), 0);
+        // Busy but progressing: never trips.
+        pending.store(4, Relaxed);
+        for _ in 0..10 {
+            progress.fetch_add(1, Relaxed);
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(dog.trips(), 0);
+        assert!(dog.last_dump().is_none());
+    }
+}

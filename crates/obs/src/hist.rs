@@ -30,6 +30,22 @@ pub const LATENCY_SCHEMA_VERSION: u32 = 1;
 ///
 /// All methods take `&self`; recording is wait-free (one atomic add),
 /// so it can sit on the hot path of every served query.
+///
+/// # Empty-state contract
+///
+/// A histogram with zero recorded samples is sentinel-free: `count()`
+/// and `max()` are 0, `mean()` is 0.0, and `quantile(q)` is 0 for every
+/// `q`. Consumers never need to special-case emptiness — an empty
+/// summary is all zeros, which serializes and diffs like any other.
+///
+/// # Reading while recording
+///
+/// Reads concurrent with writes are well-defined but not atomic across
+/// fields: a `summary()` or `to_json()` taken mid-record may observe a
+/// sample in `count` before its bucket (or vice versa), so derived
+/// values can be off by the handful of in-flight samples. They never
+/// tear within a field, go backwards, or exceed the eventual totals —
+/// the same proc-sampling contract as [`crate::registry`] snapshots.
 pub struct LatencyHistogram {
     buckets: Vec<AtomicU64>,
     count: AtomicU64,
@@ -126,19 +142,93 @@ impl LatencyHistogram {
         self.max()
     }
 
+    /// A plain-value summary (count, mean, standard quantiles, max) —
+    /// the unit embedded in metrics snapshots and run reports.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count(),
+            mean_nanos: self.mean(),
+            p50_nanos: self.quantile(0.50),
+            p90_nanos: self.quantile(0.90),
+            p99_nanos: self.quantile(0.99),
+            p999_nanos: self.quantile(0.999),
+            max_nanos: self.max(),
+        }
+    }
+
     /// The versioned JSON summary embedded in serve run reports:
     /// `{version, count, mean_nanos, p50/p90/p99/p999_nanos, max_nanos}`.
     pub fn to_json(&self) -> Json {
+        self.summary().to_json()
+    }
+}
+
+/// A point-in-time summary of a [`LatencyHistogram`]: plain values, so
+/// it can be compared, stored in a
+/// [`MetricsSnapshot`](crate::registry::MetricsSnapshot), and
+/// round-tripped through JSON exactly. An empty histogram summarizes to
+/// all zeros (see the empty-state contract on [`LatencyHistogram`]).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Mean latency in nanoseconds (0.0 when empty).
+    pub mean_nanos: f64,
+    /// 50th-percentile latency in nanoseconds.
+    pub p50_nanos: u64,
+    /// 90th-percentile latency in nanoseconds.
+    pub p90_nanos: u64,
+    /// 99th-percentile latency in nanoseconds.
+    pub p99_nanos: u64,
+    /// 99.9th-percentile latency in nanoseconds.
+    pub p999_nanos: u64,
+    /// Largest recorded sample in nanoseconds (0 when empty).
+    pub max_nanos: u64,
+}
+
+impl LatencySummary {
+    /// Serializes to the versioned `latency` JSON form.
+    pub fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("version".into(), Json::Int(LATENCY_SCHEMA_VERSION as i128)),
-            ("count".into(), Json::from_u64(self.count())),
-            ("mean_nanos".into(), Json::Num(self.mean())),
-            ("p50_nanos".into(), Json::from_u64(self.quantile(0.50))),
-            ("p90_nanos".into(), Json::from_u64(self.quantile(0.90))),
-            ("p99_nanos".into(), Json::from_u64(self.quantile(0.99))),
-            ("p999_nanos".into(), Json::from_u64(self.quantile(0.999))),
-            ("max_nanos".into(), Json::from_u64(self.max())),
+            ("count".into(), Json::from_u64(self.count)),
+            ("mean_nanos".into(), Json::Num(self.mean_nanos)),
+            ("p50_nanos".into(), Json::from_u64(self.p50_nanos)),
+            ("p90_nanos".into(), Json::from_u64(self.p90_nanos)),
+            ("p99_nanos".into(), Json::from_u64(self.p99_nanos)),
+            ("p999_nanos".into(), Json::from_u64(self.p999_nanos)),
+            ("max_nanos".into(), Json::from_u64(self.max_nanos)),
         ])
+    }
+
+    /// Deserializes from the versioned `latency` JSON form.
+    pub fn from_json(v: &Json) -> Result<LatencySummary, String> {
+        let version = v
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or("latency summary missing version")? as u32;
+        if version != LATENCY_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported latency schema {version} (expected {LATENCY_SCHEMA_VERSION})"
+            ));
+        }
+        let field = |name: &str| -> Result<u64, String> {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("latency summary missing {name}"))
+        };
+        Ok(LatencySummary {
+            count: field("count")?,
+            mean_nanos: v
+                .get("mean_nanos")
+                .and_then(Json::as_f64)
+                .ok_or("latency summary missing mean_nanos")?,
+            p50_nanos: field("p50_nanos")?,
+            p90_nanos: field("p90_nanos")?,
+            p99_nanos: field("p99_nanos")?,
+            p999_nanos: field("p999_nanos")?,
+            max_nanos: field("max_nanos")?,
+        })
     }
 }
 
@@ -205,9 +295,71 @@ mod tests {
     fn empty_histogram_is_all_zero() {
         let h = LatencyHistogram::new();
         assert_eq!(h.count(), 0);
-        assert_eq!(h.quantile(0.5), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0.0);
+        // Sentinel-free across the whole quantile range.
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 0, "quantile({q}) of empty");
+        }
+        assert_eq!(h.summary(), LatencySummary::default());
+        // And the empty summary serializes/parses like any other.
+        let j = h.to_json();
+        let back =
+            LatencySummary::from_json(&crate::json::parse(&j.to_pretty_string()).unwrap()).unwrap();
+        assert_eq!(back, LatencySummary::default());
+    }
+
+    #[test]
+    fn summary_roundtrips_and_matches_accessors() {
+        let h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 777);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, h.count());
+        assert_eq!(s.max_nanos, h.max());
+        assert_eq!(s.p999_nanos, h.quantile(0.999));
+        assert_eq!(s.mean_nanos, h.mean());
+        let text = s.to_json().to_pretty_string();
+        let back = LatencySummary::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn summary_version_mismatch_rejected() {
+        let Json::Obj(mut fields) = LatencySummary::default().to_json() else {
+            panic!("summary must serialize to an object");
+        };
+        fields[0].1 = Json::Int(99);
+        assert!(LatencySummary::from_json(&Json::Obj(fields)).is_err());
+    }
+
+    /// Summaries taken while writers are mid-record must stay sane:
+    /// derived values bounded by the eventual totals, never torn into
+    /// nonsense (the documented reading-while-recording contract).
+    #[test]
+    fn summarizing_during_concurrent_records_stays_sane() {
+        let h = LatencyHistogram::new();
+        const TOTAL: u64 = 100_000;
+        const MAX_VAL: u64 = TOTAL * 10;
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                for v in 1..=TOTAL {
+                    h.record(v * 10);
+                }
+            });
+            while !writer.is_finished() {
+                let s = h.summary();
+                let j = h.to_json();
+                assert!(s.count <= TOTAL);
+                assert!(s.max_nanos <= MAX_VAL);
+                assert!(s.p999_nanos <= MAX_VAL + MAX_VAL / 16);
+                assert!(s.mean_nanos >= 0.0 && s.mean_nanos.is_finite());
+                assert!(j.get("count").unwrap().as_u64().unwrap() <= TOTAL);
+            }
+        });
+        assert_eq!(h.summary().count, TOTAL);
+        assert_eq!(h.summary().max_nanos, MAX_VAL);
     }
 
     #[test]

@@ -21,6 +21,14 @@
 //! * [`hist`] — [`hist::LatencyHistogram`]: a lock-free log-bucketed
 //!   histogram feeding per-query latency quantiles (p50/p99/p999) into
 //!   serve run reports.
+//! * [`registry`] — [`registry::MetricsRegistry`]: always-on named
+//!   counters/gauges/histograms for long-lived processes, sampled into
+//!   [`registry::MetricsSnapshot`] timelines by a
+//!   [`registry::TimelineSampler`].
+//! * [`events`] — [`events::FlightRecorder`]: a bounded ring of recent
+//!   structured serving events, dumped as JSON by the
+//!   [`events::StallWatchdog`] on dispatcher stalls or by the
+//!   [`events::install_panic_dump`] hook on panics.
 //!
 //! # Example
 //!
@@ -41,12 +49,16 @@
 
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod hist;
 pub mod json;
 pub mod propagate;
+pub mod registry;
 pub mod report;
 pub mod span;
 
-pub use hist::LatencyHistogram;
+pub use events::{FlightRecorder, StallWatchdog};
+pub use hist::{LatencyHistogram, LatencySummary};
+pub use registry::{MetricsRegistry, MetricsSnapshot, TimelineSampler};
 pub use report::{FigureReport, RunReport};
 pub use span::{Collector, Span};

@@ -1,0 +1,643 @@
+//! Live metrics: a registry of named counters, gauges, and latency
+//! histograms with cheap point-in-time snapshot export.
+//!
+//! The span/report layer ([`crate::span`], [`crate::report`]) is
+//! post-hoc: it aggregates a finished run into one record. A long-lived
+//! process (the `ppscan-serve` dispatcher) needs the opposite shape —
+//! instruments that are *always on* and can be sampled while the
+//! process runs. The registry provides exactly three instrument kinds:
+//!
+//! * [`Counter`] — monotone `u64`, sharded across cache-line-padded
+//!   atomics so concurrent recording from many threads never contends
+//!   on one line. Reading sums the shards (reads are rare, writes hot).
+//! * [`Gauge`] — an instantaneous `i64` level (queue depth, in-flight
+//!   batch size, snapshot generation). A single atomic: gauges have few
+//!   writers by construction.
+//! * [`crate::hist::LatencyHistogram`] — shared via `Arc`, summarized
+//!   into the snapshot as a [`crate::hist::LatencySummary`].
+//!
+//! [`MetricsRegistry::snapshot`] captures every instrument into a
+//! [`MetricsSnapshot`] — versioned JSON via the hand-rolled
+//! [`crate::json`] layer ([`METRICS_SCHEMA_VERSION`]), round-trip
+//! exact, and embeddable as the `timeline` of a
+//! [`RunReport`](crate::report::RunReport) (schema 2). A
+//! [`TimelineSampler`] thread turns periodic snapshots into that
+//! timeline. Snapshots are *not* atomic across instruments: each value
+//! is read individually while writers keep recording, so a snapshot is
+//! a consistent-enough view for dashboards and regression checks, not
+//! a linearizable cut (the same contract as sampling `/proc`).
+
+use crate::hist::{LatencyHistogram, LatencySummary};
+use crate::json::Json;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Schema version of the JSON emitted by [`MetricsSnapshot::to_json`].
+pub const METRICS_SCHEMA_VERSION: u32 = 1;
+
+/// Counter shards (power of two). Each recording thread picks one shard
+/// once and sticks to it, so a 16-way sharded counter absorbs 16
+/// threads of `fetch_add` traffic with zero line sharing.
+const SHARDS: usize = 16;
+
+/// Round-robin assignment of threads to shards.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's counter shard, assigned on first use.
+    static SHARD: usize = NEXT_SHARD.fetch_add(1, Relaxed) & (SHARDS - 1);
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One cache line per shard so neighbouring shards never false-share.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedU64(AtomicU64);
+
+#[derive(Debug, Default)]
+struct ShardedU64 {
+    shards: [PaddedU64; SHARDS],
+}
+
+/// A monotone counter handle. Cloning is cheap (`Arc`); all clones
+/// share the same total. Recording is one relaxed `fetch_add` on the
+/// calling thread's shard — safe on any hot path.
+#[derive(Clone, Debug)]
+pub struct Counter {
+    inner: Arc<ShardedU64>,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        SHARD.with(|&s| self.inner.shards[s].0.fetch_add(n, Relaxed));
+    }
+
+    /// Adds 1.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current total (sums the shards; rare-path).
+    pub fn value(&self) -> u64 {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.0.load(Relaxed))
+            .fold(0u64, u64::wrapping_add)
+    }
+}
+
+/// An instantaneous level. Single atomic: gauges have one or a few
+/// writers (queue depth is maintained by the submit/drain pair).
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    inner: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Sets the level.
+    pub fn set(&self, v: i64) {
+        self.inner.store(v, Relaxed);
+    }
+
+    /// Adjusts the level by `delta` (negative to decrease).
+    pub fn add(&self, delta: i64) {
+        self.inner.fetch_add(delta, Relaxed);
+    }
+
+    /// Current level.
+    pub fn value(&self) -> i64 {
+        self.inner.load(Relaxed)
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Vec<(String, Counter)>,
+    gauges: Vec<(String, Gauge)>,
+    hists: Vec<(String, Arc<LatencyHistogram>)>,
+}
+
+/// A named collection of live instruments.
+///
+/// Instruments are get-or-create by name ([`counter`](Self::counter),
+/// [`gauge`](Self::gauge), [`histogram`](Self::histogram)); the
+/// returned handles are lock-free to record into — the registry mutex
+/// guards only registration and snapshotting. Registries are plain
+/// values (typically one per [`Server`](../../ppscan_serve) or bench
+/// run), never process-global, so tests and concurrent servers cannot
+/// cross-talk.
+pub struct MetricsRegistry {
+    start: Instant,
+    inner: Mutex<RegistryInner>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry; `at_nanos` of its snapshots counts from here.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            start: Instant::now(),
+            inner: Mutex::new(RegistryInner::default()),
+        }
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = lock(&self.inner);
+        if let Some((_, c)) = inner.counters.iter().find(|(n, _)| n == name) {
+            return c.clone();
+        }
+        let c = Counter {
+            inner: Arc::new(ShardedU64::default()),
+        };
+        inner.counters.push((name.to_string(), c.clone()));
+        c
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = lock(&self.inner);
+        if let Some((_, g)) = inner.gauges.iter().find(|(n, _)| n == name) {
+            return g.clone();
+        }
+        let g = Gauge {
+            inner: Arc::new(AtomicI64::new(0)),
+        };
+        inner.gauges.push((name.to_string(), g.clone()));
+        g
+    }
+
+    /// The latency histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<LatencyHistogram> {
+        let mut inner = lock(&self.inner);
+        if let Some((_, h)) = inner.hists.iter().find(|(n, _)| n == name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(LatencyHistogram::new());
+        inner.hists.push((name.to_string(), Arc::clone(&h)));
+        h
+    }
+
+    /// A point-in-time sample of every registered instrument, in
+    /// registration order. Cheap: one mutex hold, one relaxed load per
+    /// shard/gauge, one quantile scan per histogram.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let at_nanos = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let inner = lock(&self.inner);
+        MetricsSnapshot {
+            at_nanos,
+            counters: inner
+                .counters
+                .iter()
+                .map(|(n, c)| (n.clone(), c.value()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(n, g)| (n.clone(), g.value()))
+                .collect(),
+            histograms: inner
+                .hists
+                .iter()
+                .map(|(n, h)| (n.clone(), h.summary()))
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = lock(&self.inner);
+        write!(
+            f,
+            "MetricsRegistry({} counters, {} gauges, {} histograms)",
+            inner.counters.len(),
+            inner.gauges.len(),
+            inner.hists.len()
+        )
+    }
+}
+
+/// One point-in-time sample of a [`MetricsRegistry`]: every instrument
+/// by name, plus the sample's offset from registry creation. The unit
+/// of the serving timeline (`RunReport::timeline`, report schema 2).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Nanoseconds since the registry was created.
+    pub at_nanos: u64,
+    /// Counter totals, in registration order.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge levels, in registration order.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram summaries, in registration order.
+    pub histograms: Vec<(String, LatencySummary)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter total by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge level by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<&LatencySummary> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Serializes to versioned JSON. Empty sections are omitted and
+    /// parse back as empty, so round trips are exact.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("version".into(), Json::Int(METRICS_SCHEMA_VERSION as i128)),
+            ("at_nanos".into(), Json::from_u64(self.at_nanos)),
+        ];
+        if !self.counters.is_empty() {
+            fields.push((
+                "counters".into(),
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Json::from_u64(*v)))
+                        .collect(),
+                ),
+            ));
+        }
+        if !self.gauges.is_empty() {
+            fields.push((
+                "gauges".into(),
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Json::Int(*v as i128)))
+                        .collect(),
+                ),
+            ));
+        }
+        if !self.histograms.is_empty() {
+            fields.push((
+                "histograms".into(),
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(n, h)| (n.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Deserializes from a [`Json`] value.
+    pub fn from_json(v: &Json) -> Result<MetricsSnapshot, String> {
+        let version = v
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or("snapshot missing version")? as u32;
+        if version != METRICS_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported metrics schema {version} (expected {METRICS_SCHEMA_VERSION})"
+            ));
+        }
+        let mut snap = MetricsSnapshot {
+            at_nanos: v
+                .get("at_nanos")
+                .and_then(Json::as_u64)
+                .ok_or("snapshot missing at_nanos")?,
+            ..MetricsSnapshot::default()
+        };
+        if let Some(Json::Obj(counters)) = v.get("counters") {
+            for (n, c) in counters {
+                let c = c
+                    .as_u64()
+                    .ok_or_else(|| format!("counter {n} is not a u64"))?;
+                snap.counters.push((n.clone(), c));
+            }
+        }
+        if let Some(Json::Obj(gauges)) = v.get("gauges") {
+            for (n, g) in gauges {
+                let g = g
+                    .as_i64()
+                    .ok_or_else(|| format!("gauge {n} is not an i64"))?;
+                snap.gauges.push((n.clone(), g));
+            }
+        }
+        if let Some(Json::Obj(hists)) = v.get("histograms") {
+            for (n, h) in hists {
+                snap.histograms
+                    .push((n.clone(), LatencySummary::from_json(h)?));
+            }
+        }
+        Ok(snap)
+    }
+}
+
+/// Serializes a timeline (snapshot sequence) as a JSON array.
+pub fn timeline_to_json(timeline: &[MetricsSnapshot]) -> Json {
+    Json::Arr(timeline.iter().map(MetricsSnapshot::to_json).collect())
+}
+
+/// Parses a timeline from its JSON array form.
+pub fn timeline_from_json(v: &Json) -> Result<Vec<MetricsSnapshot>, String> {
+    v.as_arr()
+        .ok_or("timeline is not an array")?
+        .iter()
+        .map(MetricsSnapshot::from_json)
+        .collect()
+}
+
+/// A background thread sampling a registry at a fixed interval into a
+/// timeline. [`stop`](Self::stop) takes one final sample and returns
+/// the collected `Vec<MetricsSnapshot>`; dropping without `stop`
+/// terminates the thread and discards the samples.
+#[derive(Debug)]
+pub struct TimelineSampler {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<JoinHandle<Vec<MetricsSnapshot>>>,
+}
+
+impl TimelineSampler {
+    /// Starts sampling `registry` every `interval`.
+    pub fn start(registry: Arc<MetricsRegistry>, interval: Duration) -> TimelineSampler {
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("ppscan-obs-sampler".into())
+            .spawn(move || {
+                let mut timeline = Vec::new();
+                'sampling: loop {
+                    // Sleep in short ticks so stop() returns promptly
+                    // even with multi-second intervals.
+                    let mut waited = Duration::ZERO;
+                    while waited < interval {
+                        if stop_flag.load(Relaxed) {
+                            break 'sampling;
+                        }
+                        let tick = (interval - waited).min(Duration::from_millis(20));
+                        std::thread::sleep(tick);
+                        waited += tick;
+                    }
+                    timeline.push(registry.snapshot());
+                }
+                // One final sample so the timeline always covers the
+                // very end of the run.
+                timeline.push(registry.snapshot());
+                timeline
+            })
+            .expect("spawn sampler thread");
+        TimelineSampler {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the sampler and returns the timeline (ending with a final
+    /// stop-time sample).
+    pub fn stop(mut self) -> Vec<MetricsSnapshot> {
+        self.stop.store(true, Relaxed);
+        self.handle
+            .take()
+            .expect("sampler joined twice")
+            .join()
+            .unwrap_or_default()
+    }
+}
+
+impl Drop for TimelineSampler {
+    fn drop(&mut self) {
+        self.stop.store(true, Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) use tests::arbitrary_snapshot;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_by_name_are_shared() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("queries");
+        let b = reg.counter("queries");
+        a.add(3);
+        b.incr();
+        assert_eq!(a.value(), 4);
+        let g = reg.gauge("depth");
+        g.set(7);
+        g.add(-2);
+        assert_eq!(reg.gauge("depth").value(), 5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("queries"), Some(4));
+        assert_eq!(snap.gauge("depth"), Some(5));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn concurrent_hammering_loses_nothing() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("hits");
+        let g = reg.gauge("level");
+        const THREADS: usize = 8;
+        const OPS: u64 = 20_000;
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let c = c.clone();
+                let g = g.clone();
+                scope.spawn(move || {
+                    for _ in 0..OPS {
+                        c.incr();
+                        // Symmetric add/sub: the gauge must return to 0.
+                        g.add(1);
+                        g.add(-1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), THREADS as u64 * OPS);
+        assert_eq!(g.value(), 0);
+    }
+
+    #[test]
+    fn snapshots_under_concurrent_writes_are_monotone() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let c = reg.counter("hits");
+        const TOTAL: u64 = 200_000;
+        let mut snapshots = std::thread::scope(|scope| {
+            let writer = {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..TOTAL {
+                        c.incr();
+                    }
+                })
+            };
+            let mut snapshots = Vec::new();
+            while !writer.is_finished() {
+                snapshots.push(reg.snapshot());
+            }
+            snapshots
+        });
+        snapshots.push(reg.snapshot());
+        // Counter totals never go backwards across snapshots, never
+        // overshoot, and the final sample sees everything.
+        let mut last = 0u64;
+        for s in &snapshots {
+            let v = s.counter("hits").unwrap();
+            assert!(v >= last, "counter went backwards: {v} < {last}");
+            assert!(v <= TOTAL);
+            last = v;
+        }
+        assert_eq!(snapshots.last().unwrap().counter("hits"), Some(TOTAL));
+        // at_nanos is non-decreasing along the timeline.
+        let mut last_at = 0u64;
+        for s in &snapshots {
+            assert!(s.at_nanos >= last_at);
+            last_at = s.at_nanos;
+        }
+    }
+
+    #[test]
+    fn histogram_rides_along_in_snapshots() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("latency");
+        for v in [100u64, 200, 400] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let s = snap.histogram("latency").unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max_nanos, 400);
+    }
+
+    /// splitmix64 — mirrors the report round-trip property tests.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    pub(crate) fn arbitrary_snapshot(rng_seed: u64) -> MetricsSnapshot {
+        let mut rng = Rng(rng_seed);
+        let mut snap = MetricsSnapshot {
+            at_nanos: rng.next() >> 1,
+            ..MetricsSnapshot::default()
+        };
+        for i in 0..rng.below(5) {
+            snap.counters.push((format!("c{i}"), rng.next()));
+        }
+        for i in 0..rng.below(5) {
+            let sign = if rng.below(2) == 0 { 1 } else { -1 };
+            snap.gauges
+                .push((format!("g{i}"), sign * (rng.below(1 << 40) as i64)));
+        }
+        for i in 0..rng.below(3) {
+            snap.histograms.push((
+                format!("h{i}"),
+                LatencySummary {
+                    count: rng.below(1 << 30),
+                    // Round-trippable f64 (json floats use shortest
+                    // round-trip formatting, so any f64 survives; keep
+                    // it simple and readable anyway).
+                    mean_nanos: rng.below(1 << 30) as f64 / 8.0,
+                    p50_nanos: rng.below(1 << 30),
+                    p90_nanos: rng.below(1 << 30),
+                    p99_nanos: rng.below(1 << 30),
+                    p999_nanos: rng.below(1 << 30),
+                    max_nanos: rng.below(1 << 40),
+                },
+            ));
+        }
+        snap
+    }
+
+    #[test]
+    fn snapshot_roundtrip_property() {
+        for case in 0..200u64 {
+            let snap = arbitrary_snapshot(0x5eed ^ case);
+            let text = snap.to_json().to_pretty_string();
+            let back = crate::json::parse(&text).unwrap();
+            let parsed = MetricsSnapshot::from_json(&back)
+                .unwrap_or_else(|e| panic!("case {case}: parse failed: {e}\n{text}"));
+            assert_eq!(parsed, snap, "case {case} round-trip mismatch");
+        }
+    }
+
+    #[test]
+    fn timeline_roundtrip() {
+        let timeline: Vec<MetricsSnapshot> =
+            (0..7).map(|i| arbitrary_snapshot(0xabc + i)).collect();
+        let j = timeline_to_json(&timeline);
+        let text = j.to_pretty_string();
+        let back = timeline_from_json(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, timeline);
+    }
+
+    #[test]
+    fn snapshot_version_mismatch_rejected() {
+        let snap = MetricsSnapshot::default();
+        let Json::Obj(mut fields) = snap.to_json() else {
+            panic!("snapshot must serialize to an object");
+        };
+        fields[0].1 = Json::Int(99);
+        assert!(MetricsSnapshot::from_json(&Json::Obj(fields)).is_err());
+    }
+
+    #[test]
+    fn sampler_collects_a_timeline() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let c = reg.counter("ticks");
+        let sampler = TimelineSampler::start(Arc::clone(&reg), Duration::from_millis(5));
+        for _ in 0..10 {
+            c.incr();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let timeline = sampler.stop();
+        // At least a few periodic samples plus the final one; counts
+        // non-decreasing and the last sees every tick.
+        assert!(timeline.len() >= 3, "only {} samples", timeline.len());
+        let mut last = 0u64;
+        for s in &timeline {
+            let v = s.counter("ticks").unwrap();
+            assert!(v >= last);
+            last = v;
+        }
+        assert_eq!(timeline.last().unwrap().counter("ticks"), Some(10));
+    }
+}

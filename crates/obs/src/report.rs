@@ -8,16 +8,32 @@
 //! off the same file the harness emits.
 //!
 //! Serialization is the hand-rolled [`crate::json`] layer; the schema
-//! is versioned via the `schema` field (currently 1) and documented in
-//! DESIGN.md.
+//! is versioned via the `schema` field (currently 2) and documented in
+//! DESIGN.md. Schema 2 adds the optional `timeline` array of
+//! [`MetricsSnapshot`]s (live-metrics samples from long-running serve
+//! benches); schema-1 files still parse, and a parsed report keeps the
+//! schema it was written with so old baselines round-trip exactly.
 
 use crate::json::{self, Json, JsonError};
+use crate::registry::{self, MetricsSnapshot};
 use crate::span::StageAgg;
 use std::io;
 use std::path::Path;
 
 /// Report schema version written by this crate.
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Oldest report schema this crate still parses.
+pub const MIN_SCHEMA_VERSION: u32 = 1;
+
+fn check_schema(schema: u32) -> Result<(), String> {
+    if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&schema) {
+        return Err(format!(
+            "unsupported report schema {schema} (accepted {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
+        ));
+    }
+    Ok(())
+}
 
 /// Vertex/edge counts of the input graph.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -103,6 +119,10 @@ pub struct RunReport {
     pub phases: Vec<PhaseMetrics>,
     /// Kernel counters observed during the run.
     pub counters: KernelCounters,
+    /// Live-metrics timeline sampled during the run (schema 2; empty
+    /// for ordinary one-shot runs and serialized only when non-empty,
+    /// so schema-1 files stay round-trip exact).
+    pub timeline: Vec<MetricsSnapshot>,
     /// Free-form extras (insertion-ordered key/value pairs).
     pub extra: Vec<(String, Json)>,
 }
@@ -246,21 +266,26 @@ impl RunReport {
             ));
         }
         fields.push(("counters".into(), Json::Obj(counters)));
+        if !self.timeline.is_empty() {
+            fields.push((
+                "timeline".into(),
+                registry::timeline_to_json(&self.timeline),
+            ));
+        }
         if !self.extra.is_empty() {
             fields.push(("extra".into(), Json::Obj(self.extra.clone())));
         }
         Json::Obj(fields)
     }
 
-    /// Deserializes from a [`Json`] value.
+    /// Deserializes from a [`Json`] value. The parsed report keeps the
+    /// schema version it was written with, so re-serializing an old
+    /// baseline reproduces it byte-identically.
     pub fn from_json(v: &Json) -> Result<RunReport, String> {
         let schema = req_u64(v, "schema")? as u32;
-        if schema != SCHEMA_VERSION {
-            return Err(format!(
-                "unsupported report schema {schema} (expected {SCHEMA_VERSION})"
-            ));
-        }
+        check_schema(schema)?;
         let mut report = RunReport::new(req_str(v, "algorithm")?);
+        report.schema = schema;
         report.dataset = opt_str(v, "dataset");
         report.threads = opt_u64(v, "threads");
         report.kernel = opt_str(v, "kernel");
@@ -289,6 +314,9 @@ impl RunReport {
             adaptive_gallop: opt_u64(counters, "adaptive_gallop").unwrap_or(0),
             adaptive_block: opt_u64(counters, "adaptive_block").unwrap_or(0),
         };
+        if let Some(timeline) = v.get("timeline") {
+            report.timeline = registry::timeline_from_json(timeline)?;
+        }
         if let Some(Json::Obj(extra)) = v.get("extra") {
             report.extra = extra.clone();
         }
@@ -434,12 +462,7 @@ impl FigureReport {
 
     /// Deserializes from a [`Json`] value.
     pub fn from_json(v: &Json) -> Result<FigureReport, String> {
-        let schema = req_u64(v, "schema")? as u32;
-        if schema != SCHEMA_VERSION {
-            return Err(format!(
-                "unsupported report schema {schema} (expected {SCHEMA_VERSION})"
-            ));
-        }
+        check_schema(req_u64(v, "schema")? as u32)?;
         let mut report = FigureReport::new(req_str(v, "figure")?);
         if let Some(Json::Obj(ctx)) = v.get("context") {
             report.context = ctx.clone();
@@ -617,6 +640,13 @@ mod tests {
             adaptive_gallop: rng.below(3) * rng.below(1 << 20),
             adaptive_block: rng.below(3) * rng.below(1 << 20),
         };
+        if rng.chance(30) {
+            // Schema-2 live-metrics timeline.
+            for _ in 0..1 + rng.below(4) {
+                r.timeline
+                    .push(crate::registry::arbitrary_snapshot(rng.next()));
+            }
+        }
         if rng.chance(40) {
             r.push_extra("seed", Json::from_u64(rng.next()));
             r.push_extra(
@@ -694,6 +724,33 @@ mod tests {
         r.schema = 99;
         let text = r.to_json_string();
         assert!(RunReport::parse(&text).is_err());
+    }
+
+    /// A schema-1 file (pre-timeline baseline) still parses, keeps its
+    /// schema, and re-serializes byte-identically.
+    #[test]
+    fn schema_1_reports_stay_roundtrip_exact() {
+        let mut r = RunReport::new("ppscan").with_threads(4);
+        r.wall_nanos = 1234;
+        r.schema = 1;
+        let text = r.to_json_string();
+        assert!(text.contains("\"schema\": 1"));
+        let parsed = RunReport::parse(&text).unwrap();
+        assert_eq!(parsed.schema, 1);
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.to_json_string(), text);
+    }
+
+    #[test]
+    fn timeline_serializes_iff_nonempty() {
+        let mut r = RunReport::new("soak");
+        assert!(!r.to_json_string().contains("timeline"));
+        r.timeline.push(crate::registry::arbitrary_snapshot(42));
+        let text = r.to_json_string();
+        assert!(text.contains("timeline"));
+        let parsed = RunReport::parse(&text).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.schema, SCHEMA_VERSION);
     }
 
     #[test]

@@ -103,11 +103,13 @@
 //! let _ = DEFAULT_DEGREE_THRESHOLD;
 //! ```
 
+use ppscan_obs::registry::{Counter, MetricsRegistry};
 use std::any::Any;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// The paper's tuned degree-sum threshold: "when the degree sum is above
 /// the threshold 32768 … a task is submitted". Tuned by doubling from 1
@@ -369,6 +371,54 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Live pool telemetry: counters registered in a
+/// [`MetricsRegistry`](ppscan_obs::registry::MetricsRegistry) and fed by
+/// the pool once attached via [`WorkerPool::attach_metrics`].
+///
+/// Complements the span layer, which aggregates *per run* and only while
+/// a collector is active: these counters are always on and cheap enough
+/// to sample live (a long-lived serve process polls them into its
+/// timeline). `dispatches`/`tasks` count on every strategy and backend;
+/// `steals`, `parks`, `wakes`, and `worker_busy` are fed by the
+/// persistent work-stealing backend (the only backend with parked
+/// workers and steal traffic worth watching), so they stay 0 on
+/// caller-thread and shared-queue runs.
+#[derive(Clone, Debug)]
+pub struct PoolMetrics {
+    /// Dispatches submitted to the pool, any strategy.
+    pub dispatches: Counter,
+    /// Logical tasks across all dispatches.
+    pub tasks: Counter,
+    /// Tasks that migrated between workers via stealing.
+    pub steals: Counter,
+    /// Park episodes: a worker ran out of work and blocked on the
+    /// pool condvar (counted once per episode, not per spurious wake).
+    pub parks: Counter,
+    /// Parked workers woken with a job to run.
+    pub wakes: Counter,
+    /// Per-worker busy nanoseconds (time inside task bodies).
+    pub worker_busy: Vec<Counter>,
+}
+
+impl PoolMetrics {
+    /// Registers the pool counter family under `prefix` (names
+    /// `{prefix}.dispatches`, `{prefix}.tasks`, `{prefix}.steals`,
+    /// `{prefix}.parks`, `{prefix}.wakes`,
+    /// `{prefix}.worker{W}.busy_nanos`) for a pool of `workers` threads.
+    pub fn register(registry: &MetricsRegistry, prefix: &str, workers: usize) -> Arc<PoolMetrics> {
+        Arc::new(PoolMetrics {
+            dispatches: registry.counter(&format!("{prefix}.dispatches")),
+            tasks: registry.counter(&format!("{prefix}.tasks")),
+            steals: registry.counter(&format!("{prefix}.steals")),
+            parks: registry.counter(&format!("{prefix}.parks")),
+            wakes: registry.counter(&format!("{prefix}.wakes")),
+            worker_busy: (0..workers)
+                .map(|w| registry.counter(&format!("{prefix}.worker{w}.busy_nanos")))
+                .collect(),
+        })
+    }
+}
+
 /// Runs queue position `queue_pos` of a dispatch: maps the position
 /// through the adversarial claim-order permutation if one is installed,
 /// brackets the task with seeded yields under adversarial replay, and
@@ -515,6 +565,8 @@ struct DispatchCtx<'a, F: Fn(usize) + Sync> {
     /// The submitter's ambient observability context, attached by every
     /// worker for the duration of the dispatch.
     ambient: ppscan_obs::propagate::CapturedContext,
+    /// Live pool counters, when attached ([`WorkerPool::attach_metrics`]).
+    metrics: Option<Arc<PoolMetrics>>,
     /// First task panic, re-raised on the submitting thread.
     panic: Mutex<Option<Box<dyn Any + Send>>>,
     /// Set after a task panicked: the remaining workers stop claiming.
@@ -532,21 +584,29 @@ impl<F: Fn(usize) + Sync> DispatchCtx<'_, F> {
         let _ambient = self.ambient.attach();
         let mut rng = self.seed ^ (w as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5eed;
         let mut steals = 0u64;
+        // Busy time accumulates locally and flushes once at the end of
+        // the worker's share, keeping the per-task cost at two `Instant`
+        // reads when metrics are attached and zero otherwise.
+        let mut busy_nanos = 0u64;
         let own = &self.deques[w];
         while !self.abort.load(Ordering::Relaxed) {
             if let Some(pos) = own.take() {
-                self.run_pos(pos);
+                busy_nanos += self.run_pos(pos);
                 continue;
             }
             match self.steal_from_any(w, &mut rng) {
                 Some(pos) => {
                     steals += 1;
-                    self.run_pos(pos);
+                    busy_nanos += self.run_pos(pos);
                 }
                 None => break,
             }
         }
         ppscan_obs::span::record_steals(steals);
+        if let Some(metrics) = &self.metrics {
+            metrics.steals.add(steals);
+            metrics.worker_busy[w].add(busy_nanos);
+        }
     }
 
     /// One full randomized-victim sweep, repeated while any victim
@@ -579,7 +639,10 @@ impl<F: Fn(usize) + Sync> DispatchCtx<'_, F> {
         }
     }
 
-    fn run_pos(&self, pos: usize) {
+    /// Runs one claimed position, returning its busy nanoseconds (0 when
+    /// no metrics are attached — the timing reads are skipped entirely).
+    fn run_pos(&self, pos: usize) -> u64 {
+        let start = self.metrics.is_some().then(Instant::now);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run_position(
                 self.run_task,
@@ -596,6 +659,9 @@ impl<F: Fn(usize) + Sync> DispatchCtx<'_, F> {
             }
             self.abort.store(true, Ordering::SeqCst);
         }
+        start.map_or(0, |s| {
+            u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
     }
 }
 
@@ -640,6 +706,10 @@ struct PoolShared {
     work_cv: Condvar,
     /// The submitter parks here until `active` drops to zero.
     done_cv: Condvar,
+    /// Live park/wake counters, when attached. Workers re-read this at
+    /// the top of every epoch, so an attach takes effect from the next
+    /// park episode onward.
+    metrics: Mutex<Option<Arc<PoolMetrics>>>,
 }
 
 /// The persistent worker threads of a [`SchedulerKind::WorkStealing`]
@@ -664,6 +734,7 @@ impl PersistentWorkers {
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
+            metrics: Mutex::new(None),
         });
         let handles = (0..threads)
             .map(|w| {
@@ -735,15 +806,30 @@ impl Drop for PersistentWorkers {
 fn worker_loop(shared: &PoolShared, w: usize) {
     let mut seen = 0u64;
     loop {
+        let metrics = lock(&shared.metrics).clone();
         let job = {
             let mut st = lock(&shared.state);
+            let mut parked = false;
             loop {
                 if st.shutdown {
                     return;
                 }
                 if st.epoch > seen {
                     seen = st.epoch;
+                    if parked {
+                        if let Some(m) = &metrics {
+                            m.wakes.incr();
+                        }
+                    }
                     break st.job.expect("an open epoch must carry a job");
+                }
+                if !parked {
+                    // Once per episode: spurious condvar wakes within
+                    // the same idle stretch are not new parks.
+                    parked = true;
+                    if let Some(m) = &metrics {
+                        m.parks.incr();
+                    }
                 }
                 st = shared
                     .work_cv
@@ -783,6 +869,8 @@ pub struct WorkerPool {
     /// `threads > 1` — caller-thread strategies never pay for idle
     /// workers.
     persistent: Option<PersistentWorkers>,
+    /// Live pool counters, when attached ([`Self::attach_metrics`]).
+    metrics: Mutex<Option<Arc<PoolMetrics>>>,
 }
 
 impl WorkerPool {
@@ -826,7 +914,31 @@ impl WorkerPool {
             strategy,
             scheduler,
             persistent,
+            metrics: Mutex::new(None),
         }
+    }
+
+    /// Attaches live counters to the pool: from here on, every dispatch
+    /// feeds `metrics` (see [`PoolMetrics`] for which counters move on
+    /// which backend). Attach before the first dispatch for complete
+    /// park/wake coverage; the counter family should be registered with
+    /// `workers >= self.threads()` so per-worker busy slots exist.
+    pub fn attach_metrics(&self, metrics: Arc<PoolMetrics>) {
+        assert!(
+            metrics.worker_busy.len() >= self.threads,
+            "PoolMetrics registered for {} workers, pool has {}",
+            metrics.worker_busy.len(),
+            self.threads
+        );
+        if let Some(workers) = &self.persistent {
+            *lock(&workers.shared.metrics) = Some(Arc::clone(&metrics));
+        }
+        *lock(&self.metrics) = Some(metrics);
+    }
+
+    /// The attached live counters, if any.
+    pub fn metrics(&self) -> Option<Arc<PoolMetrics>> {
+        lock(&self.metrics).clone()
     }
 
     /// Number of worker threads.
@@ -936,6 +1048,10 @@ impl WorkerPool {
         if num_tasks == 0 {
             return;
         }
+        if let Some(metrics) = self.metrics() {
+            metrics.dispatches.incr();
+            metrics.tasks.add(num_tasks as u64);
+        }
         let stage = ppscan_obs::span::current_stage().unwrap_or("task");
         match self.strategy {
             ExecutionStrategy::SequentialDeterministic => {
@@ -1004,6 +1120,7 @@ impl WorkerPool {
                     seed,
                     deques: deques_for(num_tasks, self.threads),
                     ambient: ppscan_obs::propagate::capture(),
+                    metrics: self.metrics(),
                     panic: Mutex::new(None),
                     abort: AtomicBool::new(false),
                 };
@@ -1615,5 +1732,81 @@ mod tests {
             sum.fetch_add(v as u64, Ordering::Relaxed);
         });
         assert_eq!(sum.load(Ordering::Relaxed), 63 * 64 / 2);
+    }
+
+    #[test]
+    fn pool_metrics_count_dispatches_and_busy_time() {
+        let registry = MetricsRegistry::new();
+        let metrics = PoolMetrics::register(&registry, "sched", 4);
+        let pool = WorkerPool::new(4);
+        pool.attach_metrics(Arc::clone(&metrics));
+        const DISPATCHES: u64 = 5;
+        const TASKS: usize = 40;
+        let tasks: Vec<Range<u32>> = (0..TASKS as u32).map(|i| i..i + 1).collect();
+        for _ in 0..DISPATCHES {
+            pool.run_chunks(&tasks, |_| {
+                // Enough work that busy time is reliably nonzero.
+                std::hint::black_box((0..2000u64).sum::<u64>());
+            });
+        }
+        assert_eq!(metrics.dispatches.value(), DISPATCHES);
+        assert_eq!(metrics.tasks.value(), (TASKS as u64) * DISPATCHES);
+        let busy: u64 = metrics.worker_busy.iter().map(Counter::value).sum();
+        assert!(busy > 0, "workers must accumulate busy time");
+        // Workers park between dispatches and wake into the next one;
+        // exact counts depend on timing, but after several dispatches
+        // both must have moved.
+        let snap = registry.snapshot();
+        assert!(snap.counter("sched.parks").unwrap() > 0);
+        assert!(snap.counter("sched.wakes").unwrap() > 0);
+        assert_eq!(snap.counter("sched.dispatches"), Some(DISPATCHES));
+    }
+
+    #[test]
+    fn pool_metrics_count_on_caller_thread_strategies() {
+        let registry = MetricsRegistry::new();
+        let metrics = PoolMetrics::register(&registry, "sched", 2);
+        let pool = WorkerPool::with_strategy(2, ExecutionStrategy::SequentialDeterministic);
+        pool.attach_metrics(Arc::clone(&metrics));
+        pool.run_chunks(&[0..1, 1..2, 2..3], |_| {});
+        // Dispatch/task counting is strategy-independent; the persistent
+        // backend counters stay 0 (no workers exist to park or steal).
+        assert_eq!(metrics.dispatches.value(), 1);
+        assert_eq!(metrics.tasks.value(), 3);
+        assert_eq!(metrics.parks.value(), 0);
+        assert_eq!(metrics.steals.value(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "PoolMetrics registered for")]
+    fn attach_rejects_undersized_metrics() {
+        let registry = MetricsRegistry::new();
+        let metrics = PoolMetrics::register(&registry, "sched", 1);
+        let pool = WorkerPool::new(3);
+        pool.attach_metrics(metrics);
+    }
+
+    /// Steals land in the attached metrics: dispatch positions split
+    /// contiguously across workers, so making worker 0's quarter slow
+    /// and everyone else's instant leaves workers 1..3 idle with a
+    /// stealable backlog sitting in worker 0's deque.
+    #[test]
+    fn pool_metrics_observe_steals_under_imbalance() {
+        let registry = MetricsRegistry::new();
+        let metrics = PoolMetrics::register(&registry, "sched", 4);
+        let pool = WorkerPool::new(4);
+        pool.attach_metrics(Arc::clone(&metrics));
+        let tasks: Vec<Range<u32>> = (0..16u32).map(|i| i..i + 1).collect();
+        for _ in 0..10 {
+            pool.run_chunks(&tasks, |r| {
+                if r.start < 4 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+            });
+            if metrics.steals.value() > 0 {
+                return;
+            }
+        }
+        panic!("no steals observed across 10 imbalanced dispatches");
     }
 }

@@ -7,19 +7,28 @@
 //! ```
 //!
 //! REPL mode reads one `EPS MU` pair per stdin line and prints the
-//! cluster summary (or the validation error) per query. Demo mode runs
-//! `C` closed-loop client threads issuing `Q` queries each and prints
-//! the latency summary JSON the serve benchmark embeds in its reports.
+//! cluster summary (or the validation error) per query; `/metrics`
+//! prints a live [`MetricsSnapshot`](ppscan_obs::registry::MetricsSnapshot)
+//! and `/flight` the recent-event ring. Demo mode runs `C` closed-loop
+//! client threads issuing `Q` queries each and prints the latency
+//! summary JSON the serve benchmark embeds in its reports (plus a final
+//! metrics snapshot on stderr).
+//!
+//! Both modes run a stall watchdog (`--watchdog-secs`, 0 to disable)
+//! and install a panic hook that dumps the flight recorder to stderr,
+//! so a wedged or crashing server leaves its last moments behind.
 
 use ppscan_graph::{io, CsrGraph};
+use ppscan_obs::events::{install_panic_dump, WatchdogConfig};
 use ppscan_serve::{ServeConfig, Server};
 use std::io::BufRead;
 use std::process::exit;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn usage() -> &'static str {
     "usage: ppscan-serve <graph> [--threads N] [--batch B] \
-     [--demo [--clients C] [--queries Q]]"
+     [--watchdog-secs S] [--demo [--clients C] [--queries Q]]"
 }
 
 fn parse_or_exit<T: std::str::FromStr>(s: &str, what: &str) -> T {
@@ -38,7 +47,13 @@ fn main() {
 
     // Full-list validation, same contract as ppscan-cli: unknown flags
     // are an error, not a silent default.
-    let value_flags = ["--threads", "--batch", "--clients", "--queries"];
+    let value_flags = [
+        "--threads",
+        "--batch",
+        "--clients",
+        "--queries",
+        "--watchdog-secs",
+    ];
     let bool_flags = ["--demo"];
     let mut positionals: Vec<&str> = Vec::new();
     let mut i = 0;
@@ -77,6 +92,8 @@ fn main() {
     let demo = args.iter().any(|a| a == "--demo");
     let clients: usize = parse_or_exit(flag("--clients").unwrap_or("4"), "--clients");
     let queries: usize = parse_or_exit(flag("--queries").unwrap_or("100"), "--queries");
+    let watchdog_secs: u64 =
+        parse_or_exit(flag("--watchdog-secs").unwrap_or("5"), "--watchdog-secs");
 
     let graph: CsrGraph = {
         let result = if path.ends_with(".bin") {
@@ -101,9 +118,15 @@ fn main() {
         ServeConfig {
             threads,
             max_batch: batch,
+            watchdog: (watchdog_secs > 0).then(|| WatchdogConfig {
+                deadline: Duration::from_secs(watchdog_secs),
+                ..WatchdogConfig::default()
+            }),
             ..ServeConfig::default()
         },
     );
+    // A crashing server should leave its recent event history behind.
+    install_panic_dump(Arc::clone(server.flight_recorder()));
     eprintln!(
         "index built in {:?}; serving with {threads} threads, batch {batch}",
         t0.elapsed()
@@ -133,13 +156,25 @@ fn main() {
             total as f64 / wall
         );
         println!("{}", server.latency().to_json().to_pretty_string());
+        eprintln!("{}", server.metrics_snapshot().to_json().to_pretty_string());
         return;
     }
 
-    eprintln!("enter `EPS MU` per line (EOF to quit):");
+    eprintln!("enter `EPS MU` per line, `/metrics` or `/flight` (EOF to quit):");
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
         let line = line.unwrap_or_default();
+        match line.trim() {
+            "/metrics" => {
+                println!("{}", server.metrics_snapshot().to_json().to_pretty_string());
+                continue;
+            }
+            "/flight" => {
+                println!("{}", server.flight_recorder().to_json().to_pretty_string());
+                continue;
+            }
+            _ => {}
+        }
         let mut parts = line.split_whitespace();
         let (Some(eps), Some(mu)) = (parts.next(), parts.next()) else {
             if !line.trim().is_empty() {

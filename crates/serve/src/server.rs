@@ -20,14 +20,40 @@
 //! `serve-batch` span, and its queue-to-completion latency lands in a
 //! shared [`LatencyHistogram`], so a `ppscan-obs` collector activated
 //! around [`Server::start`] sees the full serving pipeline.
+//!
+//! On top of the post-hoc span layer the server carries *live*
+//! telemetry, because a long-lived process can't wait for a report at
+//! exit:
+//!
+//! * A per-server [`MetricsRegistry`] ([`Server::metrics`]) with the
+//!   serving gauges (`serve.queue_depth`, `serve.in_flight`,
+//!   `serve.batch_size`, `serve.generation`), counters (`serve.queries`,
+//!   `serve.batches`, `serve.slow_queries`, `serve.rebuilds`,
+//!   `serve.watchdog_trips`), the `serve.latency` histogram, and the
+//!   query pool's `pool.*` family ([`ppscan_sched::PoolMetrics`]).
+//!   Sample it any time with [`Server::metrics_snapshot`].
+//! * A [`FlightRecorder`] ring of recent structured events (enqueue,
+//!   batch-start/end, swap, slow-query) sized by
+//!   [`ServeConfig::recorder_capacity`].
+//! * An optional [`StallWatchdog`] ([`ServeConfig::watchdog`]) whose
+//!   probe reads completed batches as progress and queue depth plus the
+//!   in-flight batch as pending work: if the dispatcher stops making
+//!   progress with work outstanding for longer than the deadline, the
+//!   recorder is dumped ([`Server::watchdog_dump`]) and
+//!   `serve.watchdog_trips` moves. Size the deadline well above the
+//!   worst single-batch latency.
 
 use crate::snapshot::SnapshotCell;
 use ppscan_core::params::ScanParams;
 use ppscan_core::result::Clustering;
 use ppscan_graph::CsrGraph;
 use ppscan_gsindex::OwnedGsIndex;
+use ppscan_obs::events::{
+    EventKind, FlightRecorder, StallWatchdog, WatchdogConfig, DEFAULT_RECORDER_CAPACITY,
+};
+use ppscan_obs::registry::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
 use ppscan_obs::{propagate, LatencyHistogram, Span};
-use ppscan_sched::{ExecutionStrategy, WorkerPool};
+use ppscan_sched::{ExecutionStrategy, PoolMetrics, WorkerPool};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -39,7 +65,7 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 /// Configuration for [`Server::start`].
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ServeConfig {
     /// Worker threads in the query pool (also used for index builds).
     pub threads: usize,
@@ -48,6 +74,20 @@ pub struct ServeConfig {
     /// Execution strategy for the query pool. `AdversarialSeeded` turns
     /// the serving path into a schedule-perturbed stress harness.
     pub strategy: ExecutionStrategy,
+    /// Queue-to-response latency (nanoseconds) above which a query
+    /// counts as slow: bumps `serve.slow_queries` and records a
+    /// flight-recorder event. 0 disables slow-query tracking.
+    pub slow_query_nanos: u64,
+    /// Capacity of the flight-recorder event ring.
+    pub recorder_capacity: usize,
+    /// Stall-watchdog deadline/poll; `None` runs without a watchdog.
+    pub watchdog: Option<WatchdogConfig>,
+    /// Test seam: called by the dispatcher with the 0-based batch
+    /// ordinal after the batch's snapshot is pinned and its batch-start
+    /// event recorded, *before* any query runs. A hook that blocks
+    /// stalls the dispatcher mid-batch — exactly what a watchdog test
+    /// needs to stage deterministically.
+    pub batch_hook: Option<Arc<dyn Fn(u64) + Send + Sync>>,
 }
 
 impl Default for ServeConfig {
@@ -56,7 +96,25 @@ impl Default for ServeConfig {
             threads: 2,
             max_batch: 64,
             strategy: ExecutionStrategy::Parallel,
+            slow_query_nanos: 0,
+            recorder_capacity: DEFAULT_RECORDER_CAPACITY,
+            watchdog: None,
+            batch_hook: None,
         }
+    }
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("threads", &self.threads)
+            .field("max_batch", &self.max_batch)
+            .field("strategy", &self.strategy)
+            .field("slow_query_nanos", &self.slow_query_nanos)
+            .field("recorder_capacity", &self.recorder_capacity)
+            .field("watchdog", &self.watchdog)
+            .field("batch_hook", &self.batch_hook.as_ref().map(|_| "<hook>"))
+            .finish()
     }
 }
 
@@ -131,7 +189,14 @@ pub struct Server {
     shared: Arc<Shared>,
     cell: Arc<SnapshotCell<IndexSnapshot>>,
     hist: Arc<LatencyHistogram>,
-    served: Arc<AtomicU64>,
+    metrics: Arc<MetricsRegistry>,
+    recorder: Arc<FlightRecorder>,
+    watchdog: Option<StallWatchdog>,
+    queries: Counter,
+    rebuilds: Counter,
+    watchdog_trips: Counter,
+    queue_depth: Gauge,
+    generation_gauge: Gauge,
     next_generation: AtomicU64,
     rebuild_lock: Mutex<()>,
     threads: usize,
@@ -157,24 +222,46 @@ impl Server {
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
         });
-        let hist = Arc::new(LatencyHistogram::new());
-        let served = Arc::new(AtomicU64::new(0));
+
+        let metrics = Arc::new(MetricsRegistry::new());
+        let hist = metrics.histogram("serve.latency");
+        let queries = metrics.counter("serve.queries");
+        let batches = metrics.counter("serve.batches");
+        let slow_queries = metrics.counter("serve.slow_queries");
+        let rebuilds = metrics.counter("serve.rebuilds");
+        let watchdog_trips = metrics.counter("serve.watchdog_trips");
+        let queue_depth = metrics.gauge("serve.queue_depth");
+        let in_flight = metrics.gauge("serve.in_flight");
+        let batch_size = metrics.gauge("serve.batch_size");
+        let generation_gauge = metrics.gauge("serve.generation");
+        generation_gauge.set(1);
+        let pool_metrics = PoolMetrics::register(&metrics, "pool", threads);
+        let recorder = Arc::new(FlightRecorder::new(config.recorder_capacity));
 
         let ctx = propagate::capture();
         let dispatcher = {
             let shared = Arc::clone(&shared);
             let cell = Arc::clone(&cell);
             let hist = Arc::clone(&hist);
-            let served = Arc::clone(&served);
+            let recorder = Arc::clone(&recorder);
+            let queries = queries.clone();
+            let batches = batches.clone();
+            let slow_queries = slow_queries.clone();
+            let queue_depth = queue_depth.clone();
+            let in_flight = in_flight.clone();
             let max_batch = config.max_batch.max(1);
             let strategy = config.strategy;
+            let slow_query_nanos = config.slow_query_nanos;
+            let batch_hook = config.batch_hook.clone();
             std::thread::Builder::new()
                 .name("ppscan-serve-dispatch".into())
                 .spawn(move || {
                     let _ctx = ctx.attach();
                     let pool = WorkerPool::with_strategy(threads, strategy);
+                    pool.attach_metrics(pool_metrics);
                     let mut reader = cell.reader();
                     let mut batch: Vec<Job> = Vec::with_capacity(max_batch);
+                    let mut batch_ordinal = 0u64;
                     loop {
                         {
                             let mut queue = lock(&shared.queue);
@@ -195,22 +282,38 @@ impl Server {
                                 }
                             }
                         }
+                        // In-flight before queue_depth is decremented,
+                        // so the watchdog's pending view (depth +
+                        // in-flight) never dips to 0 mid-handoff.
+                        in_flight.set(batch.len() as i64);
+                        batch_size.set(batch.len() as i64);
+                        queue_depth.add(-(batch.len() as i64));
                         let _batch_span = Span::enter("serve-batch");
                         // One pin per batch: every query in the batch
                         // sees the same generation, and the per-query
                         // path does zero snapshot synchronization.
                         let snap = reader.pin();
                         let snap: &IndexSnapshot = &snap;
+                        recorder.record(EventKind::BatchStart, batch.len() as u64, snap.generation);
+                        if let Some(hook) = &batch_hook {
+                            hook(batch_ordinal);
+                        }
                         let hist = &hist;
-                        let served = &served;
+                        let recorder = &recorder;
+                        let queries = &queries;
+                        let slow_queries = &slow_queries;
                         pool.run_mut(&mut batch, move |job| {
                             let _span = Span::enter("serve-query");
                             let result = ScanParams::checked(job.eps, job.mu)
                                 .map(|params| snap.index.query(params));
-                            hist.record(
-                                job.enqueued.elapsed().as_nanos().min(u64::MAX as u128) as u64
-                            );
-                            served.fetch_add(1, SeqCst);
+                            let latency =
+                                job.enqueued.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                            hist.record(latency);
+                            queries.incr();
+                            if slow_query_nanos > 0 && latency >= slow_query_nanos {
+                                slow_queries.incr();
+                                recorder.record(EventKind::SlowQuery, latency, snap.generation);
+                            }
                             let response = QueryResponse {
                                 generation: snap.generation,
                                 result,
@@ -218,17 +321,45 @@ impl Server {
                             *lock(&job.slot.filled) = Some(response);
                             job.slot.cv.notify_all();
                         });
+                        recorder.record(EventKind::BatchEnd, batch.len() as u64, snap.generation);
+                        in_flight.set(0);
+                        batches.incr();
+                        batch_ordinal += 1;
                         batch.clear();
                     }
                 })
                 .expect("spawn dispatcher")
         };
 
+        let watchdog = config.watchdog.map(|wd_config| {
+            let recorder = Arc::clone(&recorder);
+            let trips = watchdog_trips.clone();
+            let batches = batches.clone();
+            let queue_depth = queue_depth.clone();
+            let in_flight = in_flight.clone();
+            StallWatchdog::spawn(
+                wd_config,
+                recorder,
+                move || {
+                    let pending = queue_depth.value().max(0) + in_flight.value().max(0);
+                    (batches.value(), pending as u64)
+                },
+                move |_dump| trips.incr(),
+            )
+        });
+
         Server {
             shared,
             cell,
             hist,
-            served,
+            metrics,
+            recorder,
+            watchdog,
+            queries,
+            rebuilds,
+            watchdog_trips,
+            queue_depth,
+            generation_gauge,
             next_generation: AtomicU64::new(2),
             rebuild_lock: Mutex::new(()),
             threads,
@@ -242,12 +373,18 @@ impl Server {
             filled: Mutex::new(None),
             cv: Condvar::new(),
         });
-        lock(&self.shared.queue).push_back(Job {
-            eps,
-            mu,
-            enqueued: Instant::now(),
-            slot: Arc::clone(&slot),
-        });
+        let depth = {
+            let mut queue = lock(&self.shared.queue);
+            queue.push_back(Job {
+                eps,
+                mu,
+                enqueued: Instant::now(),
+                slot: Arc::clone(&slot),
+            });
+            queue.len()
+        };
+        self.queue_depth.add(1);
+        self.recorder.record(EventKind::Enqueue, depth as u64, 0);
         self.shared.cv.notify_one();
         Ticket { slot }
     }
@@ -268,6 +405,10 @@ impl Server {
         let generation = self.next_generation.fetch_add(1, SeqCst);
         let index = OwnedGsIndex::build(graph, self.threads);
         self.cell.publish(IndexSnapshot { generation, index });
+        self.rebuilds.incr();
+        self.generation_gauge
+            .set(generation.min(i64::MAX as u64) as i64);
+        self.recorder.record(EventKind::Swap, 0, generation);
         generation
     }
 
@@ -285,7 +426,37 @@ impl Server {
 
     /// Total queries answered so far (including parameter errors).
     pub fn queries_served(&self) -> u64 {
-        self.served.load(SeqCst)
+        self.queries.value()
+    }
+
+    /// The server's live metrics registry (`serve.*` and `pool.*`
+    /// instruments). Share it with a
+    /// [`TimelineSampler`](ppscan_obs::registry::TimelineSampler) to
+    /// record a serving timeline.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// A point-in-time sample of every live instrument.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The flight recorder holding recent serving events.
+    pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// How many times the stall watchdog has tripped (0 when running
+    /// without one).
+    pub fn watchdog_trips(&self) -> u64 {
+        self.watchdog_trips.value()
+    }
+
+    /// The flight-recorder dump captured at the most recent watchdog
+    /// trip, if any.
+    pub fn watchdog_dump(&self) -> Option<String> {
+        self.watchdog.as_ref().and_then(StallWatchdog::last_dump)
     }
 
     /// Retired index snapshots not yet reclaimed (0 once every pin has
@@ -301,6 +472,9 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
+        // Stop the watchdog before the dispatcher: the shutdown drain
+        // below is ordinary slow progress, not a stall.
+        self.watchdog.take();
         self.shared.shutdown.store(true, SeqCst);
         self.shared.cv.notify_all();
         if let Some(handle) = self.dispatcher.take() {
@@ -386,6 +560,65 @@ mod tests {
         assert_eq!(server.rebuild(graph_a), 3);
         let _ = server.query(0.5, 2);
         assert!(server.retired_snapshots() <= 1);
+    }
+
+    #[test]
+    fn metrics_track_queries_batches_and_rebuilds() {
+        let server = Server::start(test_graph(), ServeConfig::default());
+        for _ in 0..12 {
+            assert!(server.query(0.5, 2).result.is_ok());
+        }
+        server.rebuild(test_graph());
+        assert!(server.query(0.5, 2).result.is_ok());
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.counter("serve.queries"), Some(13));
+        let batches = snap.counter("serve.batches").unwrap();
+        assert!((1..=13).contains(&batches), "batches = {batches}");
+        assert_eq!(snap.counter("serve.rebuilds"), Some(1));
+        assert_eq!(snap.counter("serve.watchdog_trips"), Some(0));
+        assert_eq!(snap.gauge("serve.generation"), Some(2));
+        // Everything answered: no queued or in-flight work left behind.
+        assert_eq!(snap.gauge("serve.queue_depth"), Some(0));
+        assert_eq!(snap.gauge("serve.in_flight"), Some(0));
+        let latency = snap.histogram("serve.latency").unwrap();
+        assert_eq!(latency.count, 13);
+        // The query pool's instruments ride along in the same registry.
+        assert!(snap.counter("pool.dispatches").unwrap() >= 1);
+        assert!(snap.counter("pool.tasks").unwrap() >= 13);
+    }
+
+    #[test]
+    fn flight_recorder_sees_the_batch_lifecycle() {
+        let server = Server::start(
+            test_graph(),
+            ServeConfig {
+                // Threshold of 1ns: every query is "slow", so the
+                // slow-query path is exercised deterministically.
+                slow_query_nanos: 1,
+                ..ServeConfig::default()
+            },
+        );
+        assert!(server.query(0.5, 2).result.is_ok());
+        server.rebuild(test_graph());
+        let events = server.flight_recorder().events();
+        let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
+        for kind in [
+            EventKind::Enqueue,
+            EventKind::BatchStart,
+            EventKind::SlowQuery,
+            EventKind::BatchEnd,
+            EventKind::Swap,
+        ] {
+            assert!(kinds.contains(&kind), "missing {kind:?} in {kinds:?}");
+        }
+        assert_eq!(
+            server.metrics_snapshot().counter("serve.slow_queries"),
+            Some(1)
+        );
+        // The dump round-trips through JSON text.
+        let dump = server.flight_recorder().to_json().to_pretty_string();
+        let back = ppscan_obs::json::parse(&dump).unwrap();
+        assert_eq!(back.get("dropped").and_then(|d| d.as_u64()), Some(0));
     }
 
     #[test]

@@ -9,10 +9,12 @@ use ppscan_core::params::ScanParams;
 use ppscan_core::pscan::pscan;
 use ppscan_core::result::Clustering;
 use ppscan_graph::{gen, CsrGraph};
+use ppscan_obs::events::{EventKind, FlightEvent, WatchdogConfig};
 use ppscan_sched::ExecutionStrategy;
 use ppscan_serve::{ServeConfig, Server};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 fn graph_a() -> Arc<CsrGraph> {
     Arc::new(gen::planted_partition(3, 14, 0.6, 0.04, 21))
@@ -63,6 +65,7 @@ fn responses_are_coherent_across_live_swaps() {
             threads: 3,
             max_batch: 8,
             strategy: ExecutionStrategy::AdversarialSeeded { seed: 0xC0FFEE },
+            ..ServeConfig::default()
         },
     );
 
@@ -151,6 +154,99 @@ fn queries_complete_without_blocking_across_a_swap() {
         assert!(g >= last, "generation went backwards");
         last = g;
     }
+}
+
+/// A deliberately stalled dispatcher provably trips the watchdog and
+/// dumps the flight recorder. The stall is staged deterministically
+/// through the `batch_hook` seam: the hook blocks the dispatcher inside
+/// its first batch (work pinned in flight, more work queued behind it)
+/// until the watchdog has fired, then releases it — after which every
+/// query still completes.
+#[test]
+fn stalled_dispatcher_trips_the_watchdog_and_dumps_the_recorder() {
+    struct Gate {
+        open: Mutex<bool>,
+        cv: Condvar,
+    }
+    let gate = Arc::new(Gate {
+        open: Mutex::new(false),
+        cv: Condvar::new(),
+    });
+
+    let server = Server::start(
+        graph_a(),
+        ServeConfig {
+            threads: 2,
+            max_batch: 4,
+            watchdog: Some(WatchdogConfig {
+                deadline: Duration::from_millis(100),
+                poll: Duration::from_millis(10),
+            }),
+            batch_hook: Some(Arc::new({
+                let gate = Arc::clone(&gate);
+                move |ordinal| {
+                    if ordinal > 0 {
+                        return; // only the first batch stalls
+                    }
+                    let mut open = gate.open.lock().unwrap();
+                    // Safety valve so a broken watchdog can't wedge the
+                    // test forever: the gate self-opens after 5s.
+                    let deadline = Instant::now() + Duration::from_secs(5);
+                    while !*open {
+                        let timeout = deadline.saturating_duration_since(Instant::now());
+                        if timeout.is_zero() {
+                            break;
+                        }
+                        let (guard, _) = gate.cv.wait_timeout(open, timeout).unwrap();
+                        open = guard;
+                    }
+                }
+            })),
+            ..ServeConfig::default()
+        },
+    );
+
+    // Enough work for the stalled batch plus a queue behind it: the
+    // probe's pending view stays positive for the whole episode.
+    let tickets: Vec<_> = (0..12).map(|_| server.submit(0.5, 2)).collect();
+
+    let poll_deadline = Instant::now() + Duration::from_secs(10);
+    while server.watchdog_trips() == 0 && Instant::now() < poll_deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        server.watchdog_trips() >= 1,
+        "watchdog never tripped on a stalled dispatcher"
+    );
+
+    // Release the dispatcher; the backlog must fully drain.
+    *gate.open.lock().unwrap() = true;
+    gate.cv.notify_all();
+    for ticket in tickets {
+        assert!(ticket.wait().result.is_ok());
+    }
+
+    // The trip captured a dump: valid JSON holding the stalled batch's
+    // start event and the trip itself.
+    let dump = server.watchdog_dump().expect("trip must capture a dump");
+    let json = ppscan_obs::json::parse(&dump).expect("dump must be valid JSON");
+    let events: Vec<FlightEvent> = json
+        .get("events")
+        .and_then(|e| e.as_arr())
+        .expect("dump has an events array")
+        .iter()
+        .map(|e| FlightEvent::from_json(e).expect("events parse"))
+        .collect();
+    let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&EventKind::BatchStart), "kinds: {kinds:?}");
+    assert!(kinds.contains(&EventKind::WatchdogTrip), "kinds: {kinds:?}");
+    assert!(
+        server
+            .metrics_snapshot()
+            .counter("serve.watchdog_trips")
+            .unwrap()
+            >= 1
+    );
 }
 
 /// The server keeps its observability contract: spans from the serving
