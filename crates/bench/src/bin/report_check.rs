@@ -34,6 +34,12 @@
 //!     --baseline crates/bench/baselines/sched_overhead_quick.json --check-runs
 //! ```
 //!
+//! Every checked run — bare or inside a figure report — additionally
+//! passes through an unconditional race gate: a report embedding any
+//! [`RunReport::races`] entries fails the check outright, printing each
+//! race's kind and location. A race report documents a detector hit; it
+//! is never a passing artifact.
+//!
 //! Exits non-zero on the first invalid file or any baseline mismatch.
 
 use ppscan_bench::RunDiffOptions;
@@ -97,6 +103,27 @@ fn check_timeline(r: &RunReport, min_snapshots: usize) -> Vec<String> {
         }
     }
     errs
+}
+
+/// The race gate: prints every race embedded in the run and returns
+/// whether the run is clean.
+fn check_races(r: &RunReport, path: &std::path::Path) -> bool {
+    if r.races.is_empty() {
+        return true;
+    }
+    eprintln!(
+        "{}: run {} embeds {} race report(s):",
+        path.display(),
+        r.algorithm,
+        r.races.len()
+    );
+    for race in &r.races {
+        eprintln!(
+            "  {} race on {} ({} vs {})",
+            race.kind, race.location, race.first.site, race.second.site
+        );
+    }
+    false
 }
 
 enum Parsed {
@@ -205,6 +232,9 @@ fn main() {
                     f.runs.len(),
                     f.table.as_ref().map_or(0, |t| t.rows.len())
                 );
+                if !f.runs.iter().all(|r| check_races(r, path)) {
+                    std::process::exit(1);
+                }
                 if timeline {
                     let carriers: Vec<&RunReport> =
                         f.runs.iter().filter(|r| !r.timeline.is_empty()).collect();
@@ -240,6 +270,9 @@ fn main() {
                     r.algorithm,
                     r.phases.len()
                 );
+                if !check_races(&r, path) {
+                    std::process::exit(1);
+                }
                 // Model-checker reports carry a scenario array; surface
                 // the schedule-count summary so the CI artifact is
                 // legible from the job log alone.

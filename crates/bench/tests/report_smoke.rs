@@ -156,3 +156,55 @@ fn report_check_accepts_self_baseline_and_rejects_garbage() {
         .expect("launching report_check");
     assert!(!bad.status.success(), "garbage must be rejected");
 }
+
+#[test]
+fn report_check_fails_on_embedded_races() {
+    use ppscan_obs::race::{RaceAccess, RaceReport, RACE_REPORT_VERSION};
+    let access = |thread: u64, write: bool, site: &str| RaceAccess {
+        thread,
+        clock: 1,
+        write,
+        site: site.to_string(),
+        recent_ops: Vec::new(),
+        vector_clock: vec![1, 1],
+    };
+    let mut run = ppscan_obs::RunReport::new("stress");
+    run.races.push(RaceReport {
+        version: RACE_REPORT_VERSION,
+        location: "claim-payload".to_string(),
+        kind: "write-write".to_string(),
+        first: access(1, true, "fixture::install"),
+        second: access(2, true, "fixture::install"),
+    });
+    let path = tmp_dir().join("racy-run.json");
+    run.write_to_file(&path).expect("write racy run report");
+    let out = Command::new(env!("CARGO_BIN_EXE_report_check"))
+        .arg(&path)
+        .output()
+        .expect("launching report_check");
+    assert!(
+        !out.status.success(),
+        "a report embedding races must fail the check"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("claim-payload") && stderr.contains("write-write"),
+        "race kind and location must be surfaced:\n{stderr}"
+    );
+
+    // The same report with the race removed passes: the gate, not the
+    // round trip, is what rejected it.
+    let mut clean = run;
+    clean.races.clear();
+    let clean_path = tmp_dir().join("clean-run.json");
+    clean.write_to_file(&clean_path).expect("write clean run");
+    let ok = Command::new(env!("CARGO_BIN_EXE_report_check"))
+        .arg(&clean_path)
+        .output()
+        .expect("launching report_check");
+    assert!(
+        ok.status.success(),
+        "race-free run report must pass:\n{}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+}

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! check [--budget N] [--preemption-bound K] [--no-weak] [--no-por]
-//!       [--spurious-weak-cas] [--report PATH]
+//!       [--dpor] [--spurious-weak-cas] [--report PATH]
 //! ```
 //!
 //! Scenarios carrying seeded bugs are expected to produce violations;
@@ -46,12 +46,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--no-weak" => cfg.weak_memory = false,
             "--no-por" => cfg.por = false,
+            "--dpor" => cfg.dpor = true,
             "--spurious-weak-cas" => cfg.spurious_weak_cas = true,
             "--report" => report = Some(it.next().ok_or("--report needs a path")?),
             "--help" | "-h" => {
                 println!(
                     "usage: check [--budget N] [--preemption-bound K] [--no-weak] \
-                     [--no-por] [--spurious-weak-cas] [--report PATH]"
+                     [--no-por] [--dpor] [--spurious-weak-cas] [--report PATH]"
                 );
                 std::process::exit(0);
             }
@@ -138,8 +139,12 @@ fn main() -> ExitCode {
     };
     println!(
         "ppscan-check: budget {} schedules/scenario, preemption bound {:?}, \
-         weak memory {}, POR {}",
-        args.cfg.max_schedules, args.cfg.preemption_bound, args.cfg.weak_memory, args.cfg.por,
+         weak memory {}, POR {}, DPOR {}",
+        args.cfg.max_schedules,
+        args.cfg.preemption_bound,
+        args.cfg.weak_memory,
+        args.cfg.por,
+        args.cfg.dpor,
     );
     let mut all_ok = true;
     let mut entries = Vec::new();
@@ -166,6 +171,7 @@ fn main() -> ExitCode {
                 ),
                 ("weak_memory".to_string(), Json::Bool(args.cfg.weak_memory)),
                 ("por".to_string(), Json::Bool(args.cfg.por)),
+                ("dpor".to_string(), Json::Bool(args.cfg.dpor)),
             ]),
         );
         report.push_extra("scenarios", Json::Arr(entries));

@@ -68,6 +68,15 @@ pub struct Config {
     /// Sleep-set partial-order reduction. Turn off to enumerate every
     /// raw interleaving (used by the schedule-count acceptance test).
     pub por: bool,
+    /// Vector-clock dynamic partial-order reduction (Flanagan–Godefroid
+    /// style): a fresh decision node explores only one thread; after
+    /// each run, every pair of dependent trace events not ordered by
+    /// happens-before requests the second event's thread as a backtrack
+    /// point at the first event's node. Sound w.r.t. the same
+    /// dependency relation the sleep sets use ([`independent`]), and
+    /// composed with them: the final-state set is preserved while
+    /// strictly fewer schedules run on conflict-heavy scenarios.
+    pub dpor: bool,
     /// Branch weak CAS (`compare_exchange_weak`) on spurious failure.
     pub spurious_weak_cas: bool,
     /// Per-run step limit; exceeding it is reported as a violation
@@ -83,6 +92,7 @@ impl Default for Config {
             max_schedules: 1_000_000,
             weak_memory: true,
             por: true,
+            dpor: false,
             spurious_weak_cas: false,
             max_steps: 20_000,
         }
@@ -214,6 +224,12 @@ struct Node {
     prev_tid: Option<usize>,
     /// Preemptions consumed by the path into this node.
     preemptions: usize,
+    /// DPOR: threads requested for exploration from this node. Starts
+    /// with the first explorable thread only; [`dpor_update`] grows it
+    /// while the node is on the path. Ignored unless [`Config::dpor`].
+    backtrack: BTreeSet<usize>,
+    /// DPOR: threads whose alternatives here are fully explored.
+    done: BTreeSet<usize>,
 }
 
 impl Node {
@@ -509,8 +525,23 @@ pub fn explore(cfg: &Config, mut mk: impl FnMut() -> RunSpec) -> Outcome {
     let mut stats = Stats::default();
     loop {
         match run_once(cfg, &mut mk, &mut path, &mut stats) {
-            RunEnd::Completed => stats.schedules += 1,
-            RunEnd::Pruned => stats.pruned += 1,
+            RunEnd::Completed => {
+                stats.schedules += 1;
+                if cfg.dpor {
+                    // Every node on the path executed its chosen alt.
+                    let executed = path.len();
+                    dpor_update(&mut path, executed);
+                }
+            }
+            RunEnd::Pruned => {
+                stats.pruned += 1;
+                if cfg.dpor {
+                    // The deepest node was created prunable: only the
+                    // prefix before it actually executed.
+                    let executed = path.len().saturating_sub(1);
+                    dpor_update(&mut path, executed);
+                }
+            }
             RunEnd::Violation(message) => {
                 let schedule = path.iter().map(Node::pretty_chosen).collect();
                 return Outcome::Violation {
@@ -672,6 +703,8 @@ fn run_once(
                 enabled,
                 prev_tid,
                 preemptions,
+                backtrack: BTreeSet::new(),
+                done: BTreeSet::new(),
             };
             while node.cursor < node.alts.len()
                 && node
@@ -680,6 +713,11 @@ fn run_once(
                     .any(|(t, _)| *t == node.alts[node.cursor].tid)
             {
                 node.cursor += 1;
+            }
+            if cfg.dpor && node.cursor < node.alts.len() {
+                // A fresh DPOR node explores one thread; dpor_update
+                // requests the others on demand.
+                node.backtrack.insert(node.alts[node.cursor].tid);
             }
             stats.decisions += 1;
             let prunable = node.cursor >= node.alts.len();
@@ -729,6 +767,11 @@ fn run_once(
 
 /// Advances the deepest non-exhausted node to its next alternative,
 /// popping exhausted nodes. Returns `false` when the whole tree is done.
+///
+/// Under [`Config::dpor`] a node only offers the threads in its
+/// `backtrack` set (which [`dpor_update`] may have grown since the
+/// cursor last moved — selection rescans the alternatives from the
+/// start, so late requests are never missed).
 fn backtrack(cfg: &Config, path: &mut Vec<Node>) -> bool {
     while let Some(top) = path.last_mut() {
         if top.cursor < top.alts.len() {
@@ -736,25 +779,130 @@ fn backtrack(cfg: &Config, path: &mut Vec<Node>) -> bool {
             top.cursor += 1;
             let last_of_thread =
                 top.cursor >= top.alts.len() || top.alts[top.cursor].tid != done_tid;
-            if cfg.por && last_of_thread {
-                let op = top.op_of(done_tid);
-                top.sleep.push((done_tid, op));
+            if last_of_thread {
+                if cfg.por {
+                    let op = top.op_of(done_tid);
+                    top.sleep.push((done_tid, op));
+                }
+                top.done.insert(done_tid);
             }
-            while top.cursor < top.alts.len()
-                && top
-                    .sleep
-                    .iter()
-                    .any(|(t, _)| *t == top.alts[top.cursor].tid)
-            {
-                top.cursor += 1;
-            }
-            if top.cursor < top.alts.len() {
-                return true;
+            if cfg.dpor {
+                if !last_of_thread {
+                    // Next value variant of the thread being explored.
+                    return true;
+                }
+                let sleep = &top.sleep;
+                let done = &top.done;
+                let backtrack = &top.backtrack;
+                if let Some(i) = top.alts.iter().position(|c| {
+                    backtrack.contains(&c.tid)
+                        && !done.contains(&c.tid)
+                        && !sleep.iter().any(|(t, _)| *t == c.tid)
+                }) {
+                    top.cursor = i;
+                    return true;
+                }
+            } else {
+                while top.cursor < top.alts.len()
+                    && top
+                        .sleep
+                        .iter()
+                        .any(|(t, _)| *t == top.alts[top.cursor].tid)
+                {
+                    top.cursor += 1;
+                }
+                if top.cursor < top.alts.len() {
+                    return true;
+                }
             }
         }
         path.pop();
     }
     false
+}
+
+/// The DPOR post-pass: replays the just-executed trace through a
+/// vector-clock happens-before model (program order plus the explorer's
+/// own dependency relation, [`independent`]) and, for every pair of
+/// dependent events left unordered by everything *between* them,
+/// requests the later event's thread as a backtrack point at the
+/// earlier event's node. Per the classic algorithm only the *latest*
+/// such earlier event takes the request — reversing that one race
+/// re-runs the pass, which then surfaces the next race in — so earlier
+/// nodes are not flooded with requests that would erase the reduction.
+///
+/// All requests land on nodes still on the path (the executed prefix),
+/// so no request can arrive after its node was popped — the property
+/// classic DPOR's soundness rests on.
+fn dpor_update(path: &mut [Node], executed: usize) {
+    fn get(vc: &[u64], i: usize) -> u64 {
+        vc.get(i).copied().unwrap_or(0)
+    }
+    fn join(a: &mut Vec<u64>, b: &[u64]) {
+        if a.len() < b.len() {
+            a.resize(b.len(), 0);
+        }
+        for (x, &y) in a.iter_mut().zip(b.iter()) {
+            *x = (*x).max(y);
+        }
+    }
+    fn slot(v: &mut Vec<Vec<u64>>, i: usize) -> &mut Vec<u64> {
+        if v.len() <= i {
+            v.resize(i + 1, Vec::new());
+        }
+        &mut v[i]
+    }
+    // Per-thread clocks, per-location write/read clocks, and each
+    // event's post-clock (events on one location form the dependency
+    // edges; a failed CAS counts as a write exactly like `independent`
+    // treats it).
+    let mut threads: Vec<Vec<u64>> = Vec::new();
+    let mut writes: Vec<Vec<u64>> = Vec::new();
+    let mut reads: Vec<Vec<u64>> = Vec::new();
+    let mut events: Vec<(usize, OpDesc, Vec<u64>)> = Vec::with_capacity(executed);
+    for i in 0..executed {
+        let (tid, op) = {
+            let n = &path[i];
+            let c = n.chosen();
+            (c.tid, n.op_of(c.tid))
+        };
+        let pre = slot(&mut threads, tid).clone();
+        for j in (0..i).rev() {
+            let (jt, jop, jpost) = &events[j];
+            if independent(jop, &op) {
+                continue;
+            }
+            if get(jpost, *jt) <= get(&pre, *jt) {
+                continue; // already happens-before through the middle
+            }
+            let node = &mut path[j];
+            if node.enabled.iter().any(|(t, _)| *t == tid) {
+                node.backtrack.insert(tid);
+            } else {
+                for &(t, _) in &node.enabled {
+                    node.backtrack.insert(t);
+                }
+            }
+            break;
+        }
+        let mut clock = pre;
+        join(&mut clock, slot(&mut writes, op.loc));
+        if op.kind != OpKind::Load {
+            join(&mut clock, slot(&mut reads, op.loc));
+        }
+        let tick = get(&clock, tid) + 1;
+        if clock.len() <= tid {
+            clock.resize(tid + 1, 0);
+        }
+        clock[tid] = tick;
+        if op.kind == OpKind::Load {
+            join(slot(&mut reads, op.loc), &clock);
+        } else {
+            join(slot(&mut writes, op.loc), &clock);
+        }
+        *slot(&mut threads, tid) = clock.clone();
+        events.push((tid, op, clock));
+    }
 }
 
 /// FNV-1a over a list of `u64` parts: the scenario checks use this to

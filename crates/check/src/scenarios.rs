@@ -14,14 +14,20 @@
 //! * similarity-label publish/consume and the two-phase
 //!   counting/consolidation loop of `check_core_vertex` (§4.2.2's
 //!   consolidation window; Theorem 4.1's pending-slot invariant),
-//! * canonical-labels agreement with the sequential union-find.
+//! * canonical-labels agreement with the sequential union-find,
+//! * the serving path's snapshot-cell pin/publish/retire/reclaim
+//!   protocol (no reclamation under an active pin),
+//! * a bounded 2-thread run of the *real* pipeline under
+//!   [`ExecutionStrategy`](ppscan_sched::ExecutionStrategy)`::Modeled`
+//!   (oracle-permuted dispatch order; sequential-equivalent output).
 //!
-//! Two additional entries carry *intentionally seeded* bugs — a
+//! Three additional entries carry *intentionally seeded* bugs — a
 //! check-then-store union (what the `Relaxed` root re-check would
-//! license if the CAS's atomic re-read were removed) and a settle loop
+//! license if the CAS's atomic re-read were removed), a settle loop
 //! missing its recompute arm (the pre-hardening consolidation-window
-//! bug) — and are expected to produce violations; tests assert the
-//! checker catches both.
+//! bug), and a snapshot cell whose epoch bump moved before the pointer
+//! swap (reclaims under a pinned reader) — and are expected to produce
+//! violations; tests assert the checker catches all three.
 
 use crate::atomic::{ModelAtomicU32, ModelAtomicU8};
 use crate::runtime::{explore, fingerprint, Config, Outcome, RunSpec};
@@ -85,6 +91,18 @@ pub fn catalog() -> Vec<Scenario> {
             run: canonical_labels_agreement,
         },
         Scenario {
+            name: "snapshot-pin-publish",
+            what: "snapshot cell pin/publish/retire; no reclaim under a pin",
+            expect_violation: false,
+            run: snapshot_pin_publish,
+        },
+        Scenario {
+            name: "pipeline-modeled-2t",
+            what: "real ppscan() under Modeled, 2 threads; oracle-seed sweep",
+            expect_violation: false,
+            run: pipeline_modeled_2t,
+        },
+        Scenario {
             name: "seeded-weak-cas-bug",
             what: "SEEDED BUG: union by check-then-store loses a merge",
             expect_violation: true,
@@ -95,6 +113,12 @@ pub fn catalog() -> Vec<Scenario> {
             what: "SEEDED BUG: settle loop without recompute arm undercounts",
             expect_violation: true,
             run: seeded_settle_skip_bug,
+        },
+        Scenario {
+            name: "seeded-epoch-bump-elision",
+            what: "SEEDED BUG: epoch bump before swap frees under a pinned reader",
+            expect_violation: true,
+            run: seeded_epoch_bump_elision,
         },
     ]
 }
@@ -460,6 +484,250 @@ pub fn seeded_settle_skip_bug(cfg: &Config) -> Outcome {
     })
 }
 
+/// Model replica of the serving path's `SnapshotCell` (`ppscan-serve`),
+/// value identities standing in for heap pointers: a `ptr` cell holding
+/// the current value id, the epoch counter, one registered reader slot,
+/// and one "freed" flag per value standing in for reclamation. The
+/// writer-side retired list stays writer-local (in the real code it is
+/// mutex-protected and this scenario has a single writer), so every
+/// cross-thread interaction of the protocol — pin vs swap vs bump vs
+/// reclaim scan — goes through model atomics and is explored
+/// exhaustively.
+struct ModelSnapshot {
+    /// Current value id (ids are 1-based; 0 is never a value).
+    ptr: ModelAtomicU32,
+    /// Epoch counter, starts at 1 as in the real cell.
+    epoch: ModelAtomicU32,
+    /// The single reader's pin slot (0 = idle).
+    slot: ModelAtomicU32,
+    /// Reclamation flags, indexed by `value_id - 1`; 1 = dropped.
+    freed: [ModelAtomicU32; 2],
+}
+
+impl ModelSnapshot {
+    fn new(initial: u32) -> Self {
+        ModelSnapshot {
+            ptr: AtomicCellU32::new(initial),
+            epoch: AtomicCellU32::new(1),
+            slot: AtomicCellU32::new(0),
+            freed: [AtomicCellU32::new(0), AtomicCellU32::new(0)],
+        }
+    }
+
+    /// `fetch_add(1)` over the model substrate (a CAS loop; the epoch
+    /// has a single writer here, so it succeeds first try on every
+    /// schedule — one RMW event, like the real `fetch_add`).
+    fn bump_epoch(&self) -> u32 {
+        loop {
+            let cur = self.epoch.load(Ordering::SeqCst);
+            if self
+                .epoch
+                .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return cur;
+            }
+        }
+    }
+
+    /// `SnapshotCell::publish` + `try_reclaim`: swap the pointer, bump
+    /// the epoch (the pre-bump value tags the retirement), then scan the
+    /// reader slot and drop the old value unless a pin `<= E` protects
+    /// it. `bump_before_swap` seeds the ordering bug: the post-swap bump
+    /// elided and replaced by a pre-swap bump, which lets a reader pin
+    /// `E+1` and still load the *old* value — the reclaim scan then sees
+    /// the pin as "new enough" and frees under the reader. Returns 1 if
+    /// the old value was reclaimed.
+    fn publish(&self, old: u32, new: u32, bump_before_swap: bool) -> u64 {
+        let retired_epoch;
+        if bump_before_swap {
+            retired_epoch = self.bump_epoch();
+            let _ = self
+                .ptr
+                .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst);
+        } else {
+            let _ = self
+                .ptr
+                .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst);
+            retired_epoch = self.bump_epoch();
+        }
+        let pin = self.slot.load(Ordering::SeqCst);
+        if pin != 0 && pin <= retired_epoch {
+            0
+        } else {
+            self.freed[(old - 1) as usize].store(1, Ordering::SeqCst);
+            1
+        }
+    }
+
+    /// `Reader::pin` + one use + unpin: load the epoch, store it into
+    /// the slot, load the pointer, then "dereference" by reading the
+    /// pinned value's freed flag (1 = use-after-free). Returns the
+    /// value id in the low byte and the freed flag in the next.
+    fn pin_read_unpin(&self) -> u64 {
+        let e = self.epoch.load(Ordering::SeqCst);
+        self.slot.store(e, Ordering::SeqCst);
+        let v = self.ptr.load(Ordering::SeqCst);
+        let f = self.freed[(v - 1) as usize].load(Ordering::SeqCst);
+        self.slot.store(0, Ordering::SeqCst);
+        u64::from(v) | (u64::from(f) << 8)
+    }
+}
+
+fn snapshot_scenario(cfg: &Config, bump_before_swap: bool) -> Outcome {
+    explore(cfg, || {
+        let cell = Arc::new(ModelSnapshot::new(1));
+        let (w, r, c) = (Arc::clone(&cell), Arc::clone(&cell), cell);
+        RunSpec {
+            threads: vec![
+                Box::new(move || w.publish(1, 2, bump_before_swap)),
+                Box::new(move || r.pin_read_unpin()),
+            ],
+            check: Box::new(move |results| {
+                let v = results[1] & 0xff;
+                let freed_while_pinned = (results[1] >> 8) & 0xff;
+                if freed_while_pinned != 0 {
+                    return Err(format!(
+                        "use-after-free: reader pinned value {v} but the \
+                         writer reclaimed it mid-read"
+                    ));
+                }
+                if v != 1 && v != 2 {
+                    return Err(format!("reader loaded value id {v}"));
+                }
+                if c.ptr.load(Ordering::SeqCst) != 2 {
+                    return Err("publish did not install the new value".to_string());
+                }
+                if c.freed[1].load(Ordering::SeqCst) != 0 {
+                    return Err("current value reclaimed".to_string());
+                }
+                Ok(fingerprint(&[
+                    v,
+                    results[0],
+                    u64::from(c.freed[0].load(Ordering::SeqCst)),
+                ]))
+            }),
+        }
+    })
+}
+
+/// The pin/publish/retire/reclaim protocol of the serving path's
+/// snapshot cell, exhaustively: a reader must never observe its pinned
+/// value reclaimed, whatever instant the pin lands relative to the
+/// writer's swap → bump → scan sequence.
+pub fn snapshot_pin_publish(cfg: &Config) -> Outcome {
+    snapshot_scenario(cfg, false)
+}
+
+/// Detection demo: the epoch bump moved before the pointer swap. A
+/// reader that pins between bump and swap records epoch `E+1` yet loads
+/// the old value; the reclaim scan treats the pin as post-swap and frees
+/// the value under the reader. Expected outcome: [`Outcome::Violation`].
+pub fn seeded_epoch_bump_elision(cfg: &Config) -> Outcome {
+    snapshot_scenario(cfg, true)
+}
+
+/// Mixes `seed` and per-dispatch `call` into a task-order permutation
+/// (splitmix64-style finalizer): a rotation of submission order,
+/// reversed on odd draws.
+fn oracle_order(seed: u64, call: u64, n: usize) -> Vec<usize> {
+    let mut z = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(call.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    let mut order: Vec<usize> = (0..n).collect();
+    if n > 1 {
+        order.rotate_left((z as usize) % n);
+        if z & (1 << 40) != 0 {
+            order.reverse();
+        }
+    }
+    order
+}
+
+/// A bounded 2-thread run of the *real* pipeline — `ppscan()` on
+/// concrete atomics with its production `SimStore`, union-find, and
+/// scheduler — under [`ExecutionStrategy::Modeled`]: tasks execute on
+/// the caller thread in oracle-chosen order, so every pool dispatch is
+/// permuted without OS-schedule luck. This is not an `explore()`
+/// scenario (the pipeline's state space dwarfs exhaustive search);
+/// it sweeps a budget-bounded set of oracle seeds — capped at 48,
+/// lower if `cfg.max_schedules` is — and checks every permuted run
+/// produces the sequential baseline's clustering exactly. `Stats::
+/// schedules` counts the seeds swept; the final-state set is the
+/// (single) clustering fingerprint.
+pub fn pipeline_modeled_2t(cfg: &Config) -> Outcome {
+    use ppscan_core::params::ScanParams;
+    use ppscan_core::ppscan::{ppscan, PpScanConfig};
+    use ppscan_sched::{modeled, ExecutionStrategy};
+
+    // Two triangles bridged through 2-3: cores on both sides, a hub
+    // whose similar-degree straddles the threshold, and enough shared
+    // neighbourhoods to exercise similarity reuse.
+    let g = ppscan_graph::builder::from_edges(&[
+        (0, 1),
+        (1, 2),
+        (0, 2),
+        (2, 3),
+        (3, 4),
+        (4, 5),
+        (3, 5),
+    ]);
+    let params = ScanParams::new(0.5, 2);
+    let baseline = ppscan(
+        &g,
+        params,
+        &PpScanConfig::with_threads(1).strategy(ExecutionStrategy::SequentialDeterministic),
+    )
+    .clustering;
+
+    let seeds = cfg.max_schedules.min(48);
+    let mut stats = crate::runtime::Stats {
+        exhausted: true,
+        ..Default::default()
+    };
+    for seed in 0..seeds {
+        let mut call = 0u64;
+        let clustering = modeled::with_oracle(
+            move |n| {
+                call += 1;
+                oracle_order(seed, call, n)
+            },
+            || {
+                ppscan(
+                    &g,
+                    params,
+                    &PpScanConfig::with_threads(2).strategy(ExecutionStrategy::Modeled),
+                )
+                .clustering
+            },
+        );
+        stats.schedules += 1;
+        if clustering != baseline {
+            return Outcome::Violation {
+                schedule: vec![format!("oracle seed {seed} (rotation/reversal stream)")],
+                message: format!(
+                    "modeled 2-thread pipeline diverged from the sequential \
+                     baseline under oracle seed {seed}: {} vs {}",
+                    clustering.summary(),
+                    baseline.summary()
+                ),
+                stats,
+            };
+        }
+        let parts: Vec<u64> = baseline
+            .core_cluster
+            .iter()
+            .map(|&c| u64::from(c))
+            .chain(baseline.roles.iter().map(|&r| r as u64))
+            .collect();
+        stats.final_states.insert(fingerprint(&parts));
+    }
+    Outcome::Pass(stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -519,6 +787,135 @@ mod tests {
             s_red.schedules <= s_full.schedules,
             "reduction should not explore more schedules"
         );
+    }
+
+    /// DPOR must agree with the sleep-set explorer on every catalog
+    /// scenario: same final-state set on passing scenarios, and the
+    /// same violation verdict on the seeded-bug ones. This is the
+    /// cross-validation the DPOR implementation leans on — the two
+    /// reductions are derived independently from the same dependency
+    /// relation, so any divergence is a bug in one of them.
+    #[test]
+    fn dpor_final_state_sets_match_sleep_sets_on_all_scenarios() {
+        let sleep = cfg_budget(2_000_000);
+        let dpor = Config {
+            dpor: true,
+            ..cfg_budget(2_000_000)
+        };
+        for sc in catalog() {
+            let a = (sc.run)(&sleep);
+            let b = (sc.run)(&dpor);
+            if sc.expect_violation {
+                assert!(
+                    matches!(a, Outcome::Violation { .. }),
+                    "{}: sleep-set explorer missed the seeded bug",
+                    sc.name
+                );
+                assert!(
+                    matches!(b, Outcome::Violation { .. }),
+                    "{}: DPOR explorer missed the seeded bug",
+                    sc.name
+                );
+                continue;
+            }
+            let (sa, sb) = match (&a, &b) {
+                (Outcome::Pass(sa), Outcome::Pass(sb)) => (sa, sb),
+                _ => panic!("{}: unexpected violation ({a:?} / {b:?})", sc.name),
+            };
+            assert!(sa.exhausted && sb.exhausted, "{}: budget hit", sc.name);
+            assert_eq!(
+                sa.final_states, sb.final_states,
+                "{}: DPOR changed the observable final-state set",
+                sc.name
+            );
+        }
+    }
+
+    /// Acceptance criterion: on `union-race-2t` the DPOR explorer does
+    /// strictly less work than sleep sets alone while observing the
+    /// same final states. Sleep sets complete 75 schedules but also
+    /// start 23 runs that are then pruned as redundant (98 explored
+    /// runs); DPOR's backtrack sets stop those runs from ever starting
+    /// (75 + 0). Standalone DPOR (sleep sets off) lands at 352
+    /// schedules against the 13,103 raw interleavings — both counts
+    /// are pinned so a reduction regression shows up as a test diff.
+    #[test]
+    fn dpor_explores_strictly_fewer_runs_on_union_race_2t() {
+        let run = |por: bool, dpor: bool| {
+            let cfg = Config {
+                por,
+                dpor,
+                ..cfg_budget(2_000_000)
+            };
+            match union_race_2t(&cfg) {
+                Outcome::Pass(s) => s,
+                Outcome::Violation { message, .. } => panic!("violation: {message}"),
+            }
+        };
+        let sleep = run(true, false);
+        let both = run(true, true);
+        let pure = run(false, true);
+        assert!(sleep.exhausted && both.exhausted && pure.exhausted);
+        assert_eq!(sleep.final_states, both.final_states);
+        assert_eq!(sleep.final_states, pure.final_states);
+        assert_eq!((sleep.schedules, sleep.pruned), (75, 23));
+        assert_eq!((both.schedules, both.pruned), (75, 0));
+        assert_eq!(pure.schedules, 352);
+        assert!(
+            both.schedules + both.pruned < sleep.schedules + sleep.pruned,
+            "DPOR must explore strictly fewer runs than sleep sets alone"
+        );
+    }
+
+    /// The correct snapshot-cell protocol never reclaims under a pin,
+    /// across every interleaving, and some schedule does reclaim the old
+    /// value (the scenario exercises the success path too).
+    #[test]
+    fn snapshot_pin_publish_passes_and_reclaims_on_some_schedule() {
+        match snapshot_pin_publish(&cfg_budget(2_000_000)) {
+            Outcome::Pass(s) => {
+                assert!(s.exhausted);
+                assert!(
+                    s.final_states.len() > 1,
+                    "expected schedules that do and don't reclaim the old value"
+                );
+            }
+            Outcome::Violation { message, .. } => panic!("violation: {message}"),
+        }
+    }
+
+    /// The seeded bump-before-swap ordering must be caught, by both
+    /// explorers (the scenario exists to pin the DESIGN §9.3 argument
+    /// that the bump's position is load-bearing).
+    #[test]
+    fn seeded_epoch_bump_elision_is_detected() {
+        for dpor in [false, true] {
+            let cfg = Config {
+                dpor,
+                ..cfg_budget(2_000_000)
+            };
+            match seeded_epoch_bump_elision(&cfg) {
+                Outcome::Violation { message, .. } => {
+                    assert!(message.contains("use-after-free"), "{message}");
+                }
+                Outcome::Pass(s) => {
+                    panic!("seeded bug not detected in {} schedules", s.schedules)
+                }
+            }
+        }
+    }
+
+    /// The real pipeline under `Modeled` with permuted dispatch orders
+    /// always reproduces the sequential clustering.
+    #[test]
+    fn pipeline_modeled_2t_matches_sequential_baseline() {
+        match pipeline_modeled_2t(&cfg_budget(2_000_000)) {
+            Outcome::Pass(s) => {
+                assert_eq!(s.schedules, 48, "full oracle-seed sweep");
+                assert_eq!(s.final_states.len(), 1);
+            }
+            Outcome::Violation { message, .. } => panic!("{message}"),
+        }
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod anyscan;
 pub mod params;
 pub mod ppscan;
 pub mod pscan;
+pub mod race_fixtures;
 pub mod report;
 pub mod result;
 pub mod scan;

@@ -1,9 +1,13 @@
 //! Differential stress driver: sweeps algorithm × kernel × thread count ×
 //! schedule strategy × (ε, µ) over seeded random graphs, validating every
 //! result against the from-first-principles reference (`verify`). On a
-//! mismatch it **shrinks** the failing graph to a (locally) minimal edge
-//! list and reports a replayable case — schedule bugs become one-command
-//! reproductions instead of once-in-a-hundred CI flakes.
+//! mismatch it **shrinks** the failing graph — first to a (locally)
+//! minimal edge list, then to a minimal vertex subset with ids remapped
+//! dense — and reports a replayable case — schedule bugs become
+//! one-command reproductions instead of once-in-a-hundred CI flakes.
+//! With [`StressConfig::race_detection`] the sweep additionally runs
+//! every case under the FastTrack happens-before detector and embeds
+//! any detected race in the run report.
 //!
 //! # Replaying a failure
 //!
@@ -89,6 +93,16 @@ pub struct StressConfig {
     /// Where shrunk failing cases are persisted as JSON (`None` disables
     /// persistence, e.g. for tests that provoke failures on purpose).
     pub corpus_dir: Option<PathBuf>,
+    /// Run each case inside a [`ppscan_obs::race::DetectionSession`]:
+    /// the scheduler's fork/join/steal edges (and any traced atomics in
+    /// the code under test) feed the FastTrack happens-before detector,
+    /// and every detected race is embedded in the sweep's
+    /// [`RunReport::races`]. A clean sweep must stay at zero races —
+    /// the nightly full sweep and the `race_axis_sweep_is_clean` smoke
+    /// test assert exactly that. Off by default: detection serializes
+    /// concurrent sessions process-wide and adds per-dispatch clock
+    /// work.
+    pub race_detection: bool,
 }
 
 /// The default failure-corpus directory: `stress-corpus/` under the
@@ -125,6 +139,7 @@ impl Default for StressConfig {
             repeats: 3,
             shrink_budget: 120,
             corpus_dir: Some(default_corpus_dir()),
+            race_detection: false,
         }
     }
 }
@@ -149,7 +164,10 @@ pub struct FailingCase {
     pub eps: f64,
     /// Failing µ.
     pub mu: usize,
-    /// Shrunk failing graph as an undirected edge list.
+    /// Shrunk failing graph as an undirected edge list. Both passes have
+    /// run: edge-level ddmin, then vertex-subset dropping with ids
+    /// remapped dense — so these ids generally differ from the original
+    /// graph's.
     pub edges: Vec<(VertexId, VertexId)>,
     /// First divergence detail from the verifier.
     pub detail: String,
@@ -474,12 +492,20 @@ pub fn run_stress_report(cfg: &StressConfig) -> (Result<StressStats, Box<Failing
     let mut report = RunReport::new("stress");
     report.push_extra("master_seed", Json::from_u64(cfg.master_seed));
     report.push_extra("cases", Json::from_u64(cfg.cases));
+    report.push_extra("race_detection", Json::Bool(cfg.race_detection));
     let mut seeds = Vec::new();
     let mut stats = StressStats::default();
     let mut failure = None;
     for i in 0..cfg.cases {
         let seed = cfg.master_seed.wrapping_add(i);
-        match replay_case(seed, cfg) {
+        // One detection session per case keeps the vector clocks small
+        // and tags any detected race with the case it came from.
+        let session = cfg
+            .race_detection
+            .then(ppscan_obs::race::DetectionSession::begin);
+        let outcome = replay_case(seed, cfg);
+        let case_races = session.map_or_else(Vec::new, |s| s.finish());
+        match outcome {
             Ok(checked) => {
                 stats.cases += 1;
                 stats.configs_checked += checked;
@@ -487,7 +513,9 @@ pub fn run_stress_report(cfg: &StressConfig) -> (Result<StressStats, Box<Failing
                     ("seed".to_string(), Json::from_u64(seed)),
                     ("status".to_string(), Json::Str("ok".to_string())),
                     ("configs_checked".to_string(), Json::from_u64(checked)),
+                    ("races".to_string(), Json::from_u64(case_races.len() as u64)),
                 ]));
+                report.races.extend(case_races);
             }
             Err(case) => {
                 seeds.push(Json::Obj(vec![
@@ -495,6 +523,7 @@ pub fn run_stress_report(cfg: &StressConfig) -> (Result<StressStats, Box<Failing
                     ("status".to_string(), Json::Str("failed".to_string())),
                     ("case".to_string(), case.to_json()),
                 ]));
+                report.races.extend(case_races);
                 failure = Some(case);
                 break;
             }
@@ -656,6 +685,7 @@ fn report(
         (0..cfg.repeats.max(1)).any(|_| run(&g) != reference)
     };
     let edges = shrink_edges(edges, &mut budget, &fails);
+    let edges = shrink_vertices(edges, &mut budget, &fails);
 
     let case = Box::new(FailingCase {
         case_seed,
@@ -721,6 +751,72 @@ fn shrink_edges(
     edges
 }
 
+/// Induces the subgraph on `kept` (sorted) and remaps surviving vertex
+/// ids to the dense range `0..kept.len()`, order-preserving. Edges with
+/// either endpoint outside `kept` are dropped.
+fn induce_and_remap(
+    edges: &[(VertexId, VertexId)],
+    kept: &[VertexId],
+) -> Vec<(VertexId, VertexId)> {
+    edges
+        .iter()
+        .filter_map(|&(u, v)| {
+            let nu = kept.binary_search(&u).ok()?;
+            let nv = kept.binary_search(&v).ok()?;
+            Some((nu as VertexId, nv as VertexId))
+        })
+        .collect()
+}
+
+/// Vertex-subset minimization, composed after [`shrink_edges`]: drops
+/// chunks of *vertices* (removing every incident edge) and remaps the
+/// survivors to dense ids `0..k`, while the failure still reproduces on
+/// the remapped graph. Edge-level ddmin cannot shed high-id spectator
+/// vertices that keep the CSR arrays large — a failure on vertices
+/// `{98, 99}` still replays as a 100-vertex graph; this pass renames it
+/// to a 2-vertex one. The predicate always sees the remapped edge list,
+/// so acceptance means the failure survives the renaming too.
+fn shrink_vertices(
+    mut edges: Vec<(VertexId, VertexId)>,
+    budget: &mut usize,
+    fails: FailsFn<'_>,
+) -> Vec<(VertexId, VertexId)> {
+    let distinct = |edges: &[(VertexId, VertexId)]| {
+        let mut vs: Vec<VertexId> = edges.iter().flat_map(|&(u, v)| [u, v]).collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    };
+    let mut vertices = distinct(&edges);
+    let mut chunk = (vertices.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < vertices.len() && *budget > 0 {
+            let end = (i + chunk).min(vertices.len());
+            let kept: Vec<VertexId> = vertices[..i]
+                .iter()
+                .chain(&vertices[end..])
+                .copied()
+                .collect();
+            let candidate = induce_and_remap(&edges, &kept);
+            *budget -= 1;
+            if !candidate.is_empty() && fails(&candidate) {
+                // Chunk dropped; ids are dense again, so recompute the
+                // vertex list and rescan from the same position.
+                edges = candidate;
+                vertices = distinct(&edges);
+            } else {
+                i = end;
+            }
+        }
+        if chunk == 1 || *budget == 0 {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+    edges
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -749,6 +845,74 @@ mod tests {
         let mut budget = 3;
         let _ = shrink_edges(edges, &mut budget, &|_| true);
         assert_eq!(budget, 0);
+    }
+
+    #[test]
+    fn vertex_shrinker_drops_spectators_and_remaps_dense() {
+        // Predicate: fails whenever the graph contains a triangle. The
+        // triangle lives on high ids 10-20-30; the tail 0-1-2 and the
+        // id gaps must both disappear, leaving the triangle renamed to
+        // dense vertices {0, 1, 2}.
+        let has_triangle = |e: &[(VertexId, VertexId)]| {
+            let adj = |a: VertexId, b: VertexId| e.contains(&(a, b)) || e.contains(&(b, a));
+            let mut vs: Vec<VertexId> = e.iter().flat_map(|&(u, v)| [u, v]).collect();
+            vs.sort_unstable();
+            vs.dedup();
+            vs.iter().enumerate().any(|(i, &a)| {
+                vs[i + 1..].iter().enumerate().any(|(j, &b)| {
+                    adj(a, b) && vs[i + j + 2..].iter().any(|&c| adj(b, c) && adj(a, c))
+                })
+            })
+        };
+        let edges: Vec<(VertexId, VertexId)> = vec![(0, 1), (1, 2), (10, 20), (20, 30), (10, 30)];
+        assert!(has_triangle(&edges));
+        let mut budget = 200;
+        let shrunk = shrink_vertices(edges, &mut budget, &has_triangle);
+        assert_eq!(shrunk, vec![(0, 1), (1, 2), (0, 2)]);
+    }
+
+    #[test]
+    fn vertex_shrinker_respects_budget() {
+        let edges: Vec<(VertexId, VertexId)> = (0..50).map(|i| (i, i + 1)).collect();
+        let mut budget = 4;
+        let _ = shrink_vertices(edges, &mut budget, &|_| true);
+        assert_eq!(budget, 0);
+    }
+
+    /// The race-detection axis on a clean sweep: real `Parallel` and
+    /// adversarial runs of the real pipeline inside a detection session
+    /// must produce zero races (the scheduler's fork/join edges order
+    /// every cross-task access the pipeline actually makes), and the
+    /// sweep's report must carry the (empty) race array plus a per-seed
+    /// race count.
+    #[test]
+    fn race_axis_sweep_is_clean() {
+        let cfg = StressConfig {
+            cases: 1,
+            thread_counts: vec![2],
+            strategies: vec![
+                ExecutionStrategy::Parallel,
+                ExecutionStrategy::AdversarialSeeded { seed: 0xbeef },
+            ],
+            schedulers: vec![SchedulerKind::WorkStealing, SchedulerKind::SharedQueue],
+            kernels: vec![Kernel::MergeEarly],
+            params: vec![(0.5, 2)],
+            check_baselines: false,
+            corpus_dir: None,
+            race_detection: true,
+            ..StressConfig::default()
+        };
+        let (result, report) = run_stress_report(&cfg);
+        result.expect("clean sweep");
+        assert!(
+            report.races.is_empty(),
+            "pipeline sweep reported races: {:?}",
+            report.races
+        );
+        let extra = |k: &str| report.extra.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        assert_eq!(extra("race_detection").unwrap().as_bool(), Some(true));
+        let seeds = extra("seeds").unwrap().as_arr().unwrap();
+        assert_eq!(seeds[0].get("races").unwrap().as_u64(), Some(0));
     }
 
     fn sample_case() -> FailingCase {

@@ -34,6 +34,8 @@ pub fn count(a: &[u32], b: &[u32]) -> u64 {
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+// SAFETY: contract — call only after `is_x86_feature_detected!("avx2")`
+// (checked by the dispatching wrapper above).
 unsafe fn count_avx2(a: &[u32], b: &[u32]) -> u64 {
     use std::arch::x86_64::*;
     const LANES: usize = 8;
@@ -69,6 +71,8 @@ unsafe fn count_avx2(a: &[u32], b: &[u32]) -> u64 {
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f")]
+// SAFETY: contract — call only after
+// `is_x86_feature_detected!("avx512f")` (checked by the wrapper above).
 unsafe fn count_avx512(a: &[u32], b: &[u32]) -> u64 {
     use std::arch::x86_64::*;
     const LANES: usize = 16;

@@ -83,6 +83,9 @@ pub mod avx512 {
 
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx512f")]
+    // SAFETY: contract — call only after
+    // `is_x86_feature_detected!("avx512f")` (checked by the enclosing
+    // dispatch wrapper).
     unsafe fn inner(a: &[u32], b: &[u32], mut s: PivotState, min_cn: u64) -> Similarity {
         use std::arch::x86_64::*;
         const LANES: usize = 16;
@@ -195,6 +198,9 @@ pub mod avx2 {
 
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2")]
+    // SAFETY: contract — call only after
+    // `is_x86_feature_detected!("avx2")` (checked by the enclosing
+    // dispatch wrapper).
     unsafe fn inner(a: &[u32], b: &[u32], mut s: PivotState, min_cn: u64) -> Similarity {
         use std::arch::x86_64::*;
         const LANES: usize = 8;

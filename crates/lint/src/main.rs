@@ -1,0 +1,38 @@
+//! The `ppscan-lint` binary: lints `crates/*/src` against the
+//! workspace concurrency policy (see the library docs) and exits
+//! non-zero on any violation.
+//!
+//! ```sh
+//! cargo run -p ppscan-lint            # workspace root inferred
+//! cargo run -p ppscan-lint -- /path/to/repo
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // Default: the workspace root two levels above this crate.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+        });
+    let violations = match ppscan_lint::lint_workspace(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("ppscan-lint: cannot walk {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if violations.is_empty() {
+        println!("ppscan-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        eprintln!("ppscan-lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

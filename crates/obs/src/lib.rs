@@ -29,6 +29,11 @@
 //!   structured serving events, dumped as JSON by the
 //!   [`events::StallWatchdog`] on dispatcher stalls or by the
 //!   [`events::install_panic_dump`] hook on panics.
+//! * [`race`] — [`race::DetectionSession`]: a FastTrack-style
+//!   vector-clock happens-before race detector for real executions,
+//!   fed by the traced atomic substrates and the worker pool's
+//!   fork/join/steal edges; findings embed in reports as
+//!   [`race::RaceReport`]s.
 //!
 //! # Example
 //!
@@ -53,12 +58,14 @@ pub mod events;
 pub mod hist;
 pub mod json;
 pub mod propagate;
+pub mod race;
 pub mod registry;
 pub mod report;
 pub mod span;
 
 pub use events::{FlightRecorder, StallWatchdog};
 pub use hist::{LatencyHistogram, LatencySummary};
+pub use race::{DetectionSession, RaceReport};
 pub use registry::{MetricsRegistry, MetricsSnapshot, TimelineSampler};
 pub use report::{FigureReport, RunReport};
 pub use span::{Collector, Span};

@@ -123,6 +123,11 @@ pub struct RunReport {
     /// for ordinary one-shot runs and serialized only when non-empty,
     /// so schema-1 files stay round-trip exact).
     pub timeline: Vec<MetricsSnapshot>,
+    /// Data races found by the [`crate::race`] detector during the run.
+    /// Empty for ordinary runs; serialized only when non-empty (each
+    /// entry carries its own `version`), so older files stay
+    /// round-trip exact. `report_check` fails on any embedded race.
+    pub races: Vec<crate::race::RaceReport>,
     /// Free-form extras (insertion-ordered key/value pairs).
     pub extra: Vec<(String, Json)>,
 }
@@ -272,6 +277,12 @@ impl RunReport {
                 registry::timeline_to_json(&self.timeline),
             ));
         }
+        if !self.races.is_empty() {
+            fields.push((
+                "races".into(),
+                Json::Arr(self.races.iter().map(|r| r.to_json()).collect()),
+            ));
+        }
         if !self.extra.is_empty() {
             fields.push(("extra".into(), Json::Obj(self.extra.clone())));
         }
@@ -316,6 +327,11 @@ impl RunReport {
         };
         if let Some(timeline) = v.get("timeline") {
             report.timeline = registry::timeline_from_json(timeline)?;
+        }
+        if let Some(races) = v.get("races").and_then(Json::as_arr) {
+            for r in races {
+                report.races.push(crate::race::RaceReport::from_json(r)?);
+            }
         }
         if let Some(Json::Obj(extra)) = v.get("extra") {
             report.extra = extra.clone();

@@ -565,6 +565,11 @@ struct DispatchCtx<'a, F: Fn(usize) + Sync> {
     /// The submitter's ambient observability context, attached by every
     /// worker for the duration of the dispatch.
     ambient: ppscan_obs::propagate::CapturedContext,
+    /// Fork/join scope of the race detector: every task records a fork
+    /// (or steal) edge at start and contributes to the join edge at end
+    /// (see [`ppscan_obs::race::task_scope`]). Inert when no detection
+    /// session is active.
+    fork: ppscan_obs::race::ForkPoint,
     /// Live pool counters, when attached ([`WorkerPool::attach_metrics`]).
     metrics: Option<Arc<PoolMetrics>>,
     /// First task panic, re-raised on the submitting thread.
@@ -644,13 +649,15 @@ impl<F: Fn(usize) + Sync> DispatchCtx<'_, F> {
     fn run_pos(&self, pos: usize) -> u64 {
         let start = self.metrics.is_some().then(Instant::now);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_position(
-                self.run_task,
-                self.stage,
-                self.order.as_deref(),
-                self.seed,
-                pos,
-            );
+            ppscan_obs::race::task_scope(&self.fork, || {
+                run_position(
+                    self.run_task,
+                    self.stage,
+                    self.order.as_deref(),
+                    self.seed,
+                    pos,
+                );
+            });
         }));
         if let Err(payload) = result {
             let mut slot = lock(&self.panic);
@@ -670,6 +677,9 @@ impl<F: Fn(usize) + Sync> DispatchCtx<'_, F> {
 #[derive(Clone, Copy)]
 struct Job {
     data: *const (),
+    // SAFETY: contract of the pointee — `call` must only be invoked
+    // with the matching `data` while the submitting dispatch is still
+    // blocked (see the `Send` impl below).
     call: unsafe fn(*const (), usize),
 }
 
@@ -681,6 +691,8 @@ unsafe impl Send for Job {}
 
 /// Monomorphized entry point stored in [`Job::call`]: recovers the
 /// concrete `DispatchCtx` type and runs one worker's share.
+// SAFETY: contract — `data` must point at a live `DispatchCtx<F>` of
+// the same `F` this shim was monomorphized for.
 unsafe fn worker_shim<F: Fn(usize) + Sync>(data: *const (), w: usize) {
     // SAFETY: `data` was created from `&DispatchCtx<F>` in
     // `WorkerPool::dispatch` and is kept alive by the completion
@@ -1016,7 +1028,7 @@ impl WorkerPool {
             /// the raw pointer field (disjoint closure capture would
             /// otherwise defeat the impl above).
             fn at(&self, i: usize) -> *mut T {
-                // SAFETY bound: caller stays within the original slice.
+                // SAFETY: caller stays within the original slice.
                 unsafe { self.0.add(i) }
             }
         }
@@ -1065,13 +1077,18 @@ impl WorkerPool {
             }
             ExecutionStrategy::Modeled => {
                 // Caller thread, oracle-chosen order: the exhaustive
-                // checker's replayable schedule.
+                // checker's replayable schedule. Each task still runs as
+                // its own logical thread under race detection, so an
+                // unsynchronized task pair is flagged even though the
+                // modeled execution is physically sequential.
                 let order = modeled::order_for(num_tasks);
+                let fork = ppscan_obs::race::fork_point();
                 let _worker = ppscan_obs::span::enter_worker(0);
                 for i in order {
                     let _span = ppscan_obs::Span::enter(stage);
-                    run_task(i);
+                    ppscan_obs::race::task_scope(&fork, || run_task(i));
                 }
+                fork.join();
             }
             ExecutionStrategy::Parallel => {
                 self.dispatch(num_tasks, stage, &run_task, None);
@@ -1105,14 +1122,19 @@ impl WorkerPool {
             // order is exactly the (possibly permuted) position order —
             // the adversarial single-thread replay determinism depends
             // on this.
+            let fork = ppscan_obs::race::fork_point();
             let _worker = ppscan_obs::span::enter_worker(0);
             for queue_pos in 0..num_tasks {
-                run_position(run_task, stage, order.as_deref(), seed, queue_pos);
+                ppscan_obs::race::task_scope(&fork, || {
+                    run_position(run_task, stage, order.as_deref(), seed, queue_pos);
+                });
             }
+            fork.join();
             return;
         }
         match &self.persistent {
             Some(workers) => {
+                let fork = ppscan_obs::race::fork_point();
                 let ctx = DispatchCtx {
                     run_task,
                     stage,
@@ -1120,11 +1142,13 @@ impl WorkerPool {
                     seed,
                     deques: deques_for(num_tasks, self.threads),
                     ambient: ppscan_obs::propagate::capture(),
+                    fork: fork.clone(),
                     metrics: self.metrics(),
                     panic: Mutex::new(None),
                     abort: AtomicBool::new(false),
                 };
                 workers.dispatch(self.threads, &ctx);
+                fork.join();
             }
             None => self.dispatch_shared_queue(num_tasks, stage, run_task, order.as_deref(), seed),
         }
@@ -1147,11 +1171,13 @@ impl WorkerPool {
         // collectors, counter scopes, ...) once; each worker attaches it
         // for the duration of its claim loop.
         let ctx = ppscan_obs::propagate::capture();
+        let fork = ppscan_obs::race::fork_point();
         let next = AtomicUsize::new(0);
         std::thread::scope(|s| {
             for w in 0..workers {
                 let next = &next;
                 let ctx = &ctx;
+                let fork = &fork;
                 std::thread::Builder::new()
                     .name(format!("ppscan-worker-{w}"))
                     .spawn_scoped(s, move || {
@@ -1162,12 +1188,15 @@ impl WorkerPool {
                             if queue_pos >= num_tasks {
                                 break;
                             }
-                            run_position(run_task, stage, order, seed, queue_pos);
+                            ppscan_obs::race::task_scope(fork, || {
+                                run_position(run_task, stage, order, seed, queue_pos);
+                            });
                         }
                     })
                     .expect("failed to spawn worker thread");
             }
         });
+        fork.join();
     }
 }
 
@@ -1194,6 +1223,59 @@ mod tests {
         ExecutionStrategy::AdversarialSeeded { seed: 0xdead_beef },
         ExecutionStrategy::Modeled,
     ];
+
+    #[test]
+    fn detector_flags_unordered_dispatch_tasks_on_every_backend() {
+        use ppscan_obs::race::{DetectionSession, ShadowCell};
+        // Two tasks of one dispatch write the same plain payload with no
+        // protocol: the scheduler contract makes them concurrent, so the
+        // detector must flag the pair under every parallel-semantics
+        // strategy and both dispatch backends — including the physically
+        // sequential Modeled execution.
+        for scheduler in [SchedulerKind::WorkStealing, SchedulerKind::SharedQueue] {
+            for strategy in [
+                ExecutionStrategy::Parallel,
+                ExecutionStrategy::Modeled,
+                ExecutionStrategy::AdversarialSeeded { seed: 7 },
+            ] {
+                let session = DetectionSession::begin();
+                let pool = WorkerPool::with_scheduler(2, strategy, scheduler);
+                let cell = ShadowCell::new("dispatch-shared", 0u32);
+                pool.run_vertices(4, |v| cell.set(v, "task-write"));
+                let races = session.finish();
+                assert!(
+                    races.iter().any(|r| r.kind == "write-write"),
+                    "{strategy} on {scheduler}: expected a race, got {races:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detector_orders_across_dispatch_barriers() {
+        use ppscan_obs::race::{DetectionSession, ShadowCell};
+        // Task writes in dispatch 1 happen-before task reads in dispatch
+        // 2 (join edge → submitter → fork edge), and disjoint per-task
+        // writes never race: the clean sweep over every strategy and
+        // backend must be silent.
+        for scheduler in [SchedulerKind::WorkStealing, SchedulerKind::SharedQueue] {
+            for strategy in ALL_STRATEGIES {
+                let session = DetectionSession::begin();
+                let pool = WorkerPool::with_scheduler(3, strategy, scheduler);
+                let cells: Vec<ShadowCell<u32>> =
+                    (0..8).map(|_| ShadowCell::new("slot", 0)).collect();
+                pool.run_vertices(8, |v| cells[v as usize].set(v + 1, "phase-1"));
+                pool.run_vertices(8, |v| {
+                    assert_eq!(cells[v as usize].get("phase-2"), v + 1);
+                });
+                let races = session.finish();
+                assert!(
+                    races.is_empty(),
+                    "{strategy} on {scheduler}: false positive {races:?}"
+                );
+            }
+        }
+    }
 
     #[test]
     fn chunks_cover_exactly() {

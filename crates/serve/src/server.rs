@@ -622,6 +622,27 @@ mod tests {
     }
 
     #[test]
+    fn serving_under_race_detection_is_clean() {
+        // The full serving path — concurrent clients, the dispatcher's
+        // batch fan-out through the query pool, and a mid-stream
+        // rebuild/publish — under an active detection session. The pool
+        // contributes fork/join/steal edges and every traced access in
+        // the query pipeline is checked; any unordered pair would land
+        // in the session's race list.
+        let session = ppscan_obs::race::DetectionSession::begin();
+        let server = Server::start(test_graph(), ServeConfig::default());
+        let tickets: Vec<Ticket> = (0..16).map(|i| server.submit(0.5, 1 + i % 3)).collect();
+        server.rebuild(test_graph());
+        let late: Vec<Ticket> = (0..8).map(|_| server.submit(0.6, 2)).collect();
+        for ticket in tickets.into_iter().chain(late) {
+            assert!(ticket.wait().result.is_ok());
+        }
+        drop(server);
+        let races = session.finish();
+        assert!(races.is_empty(), "serving path raced: {races:?}");
+    }
+
+    #[test]
     fn drop_answers_every_outstanding_ticket() {
         let server = Server::start(test_graph(), ServeConfig::default());
         let tickets: Vec<Ticket> = (0..32).map(|_| server.submit(0.6, 2)).collect();

@@ -25,10 +25,12 @@
 pub mod concurrent;
 pub mod seq;
 pub mod substrate;
+pub mod traced;
 
 pub use concurrent::ConcurrentUnionFind;
 pub use seq::UnionFind;
 pub use substrate::{AtomicCellU32, AtomicCellU8};
+pub use traced::{TracedAtomicU32, TracedAtomicU8};
 
 #[cfg(test)]
 mod proptests;

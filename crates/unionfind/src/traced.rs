@@ -1,0 +1,167 @@
+//! The traced atomic substrate: real std atomics that additionally
+//! report every synchronizing operation to the `ppscan_obs::race`
+//! happens-before detector.
+//!
+//! This is the third substrate of the trait pair in [`crate::substrate`]
+//! (after the real and modeled ones): protocol code monomorphized over
+//! [`TracedAtomicU32`] / [`TracedAtomicU8`] executes on genuine
+//! hardware atomics — real `Parallel` threads, real weak-memory
+//! hardware — while the detector builds the happens-before relation
+//! from the *declared* orderings at each call site. When no
+//! [`ppscan_obs::race::DetectionSession`] is active, each operation
+//! costs one extra relaxed flag load.
+//!
+//! A release-or-stronger store/RMW joins the thread's vector clock into
+//! the cell's release clock; an acquire-or-stronger load/RMW joins the
+//! cell's release clock into the thread's. `Relaxed` operations record
+//! provenance only — no edge — which is exactly what lets the detector
+//! catch protocols that publish payloads through insufficiently ordered
+//! flags.
+
+use crate::substrate::{AtomicCellU32, AtomicCellU8};
+use ppscan_obs::race;
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+
+/// A `u32` cell on the traced substrate.
+pub struct TracedAtomicU32 {
+    inner: AtomicU32,
+}
+
+impl TracedAtomicU32 {
+    #[inline]
+    fn loc(&self) -> usize {
+        &self.inner as *const AtomicU32 as usize
+    }
+}
+
+impl AtomicCellU32 for TracedAtomicU32 {
+    fn new(v: u32) -> Self {
+        TracedAtomicU32 {
+            inner: AtomicU32::new(v),
+        }
+    }
+
+    fn load(&self, order: Ordering) -> u32 {
+        let v = self.inner.load(order);
+        race::sync_load(self.loc(), "TracedAtomicU32::load", order);
+        v
+    }
+
+    fn store(&self, v: u32, order: Ordering) {
+        race::sync_store(self.loc(), "TracedAtomicU32::store", order);
+        self.inner.store(v, order);
+    }
+
+    fn compare_exchange(
+        &self,
+        current: u32,
+        new: u32,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u32, u32> {
+        let r = self.inner.compare_exchange(current, new, success, failure);
+        match r {
+            Ok(_) => race::sync_rmw(
+                self.loc(),
+                "TracedAtomicU32::compare_exchange",
+                success,
+                true,
+            ),
+            Err(_) => race::sync_load(self.loc(), "TracedAtomicU32::compare_exchange", failure),
+        }
+        r
+    }
+
+    fn compare_exchange_weak(
+        &self,
+        current: u32,
+        new: u32,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u32, u32> {
+        let r = self
+            .inner
+            .compare_exchange_weak(current, new, success, failure);
+        match r {
+            Ok(_) => race::sync_rmw(
+                self.loc(),
+                "TracedAtomicU32::compare_exchange_weak",
+                success,
+                true,
+            ),
+            Err(_) => race::sync_load(
+                self.loc(),
+                "TracedAtomicU32::compare_exchange_weak",
+                failure,
+            ),
+        }
+        r
+    }
+}
+
+/// A `u8` cell on the traced substrate.
+pub struct TracedAtomicU8 {
+    inner: AtomicU8,
+}
+
+impl TracedAtomicU8 {
+    #[inline]
+    fn loc(&self) -> usize {
+        &self.inner as *const AtomicU8 as usize
+    }
+}
+
+impl AtomicCellU8 for TracedAtomicU8 {
+    fn new(v: u8) -> Self {
+        TracedAtomicU8 {
+            inner: AtomicU8::new(v),
+        }
+    }
+
+    fn load(&self, order: Ordering) -> u8 {
+        let v = self.inner.load(order);
+        race::sync_load(self.loc(), "TracedAtomicU8::load", order);
+        v
+    }
+
+    fn store(&self, v: u8, order: Ordering) {
+        race::sync_store(self.loc(), "TracedAtomicU8::store", order);
+        self.inner.store(v, order);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConcurrentUnionFind;
+    use ppscan_obs::race::DetectionSession;
+
+    #[test]
+    fn traced_union_find_behaves_like_real() {
+        let uf: ConcurrentUnionFind<TracedAtomicU32> = ConcurrentUnionFind::new(6);
+        assert!(uf.union(4, 2));
+        assert!(uf.union(2, 5));
+        assert!(!uf.union(5, 4));
+        assert!(uf.is_same_set(4, 5));
+        assert_eq!(uf.canonical_labels(), vec![0, 1, 2, 3, 2, 2]);
+    }
+
+    #[test]
+    fn traced_union_find_is_clean_under_detection() {
+        let session = DetectionSession::begin();
+        let uf: ConcurrentUnionFind<TracedAtomicU32> = ConcurrentUnionFind::new(64);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let uf = &uf;
+                s.spawn(move || {
+                    for i in 0..15 {
+                        uf.union(t * 16 + i, t * 16 + i + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(uf.canonical_labels()[63], 48);
+        let races = session.finish();
+        assert!(races.is_empty(), "clean protocol reported {races:?}");
+    }
+}
