@@ -10,11 +10,22 @@
 //! `serve.queue_depth` must stay ≤ `C` in every sample — `report_check
 //! --check-timeline` asserts exactly that via the `queue_bound` extra.
 //!
+//! With `--update-rate R` (batches/sec, default 0 = off) an updater
+//! thread streams [`GraphDelta`](ppscan_graph::delta::GraphDelta)
+//! batches through [`Server::update`] while the load runs — the graph
+//! evolves live under the queries. A shadow copy of the evolving graph
+//! is kept in lockstep with the published snapshot (updates and
+//! rebuilds both run under the shadow lock), so every delta is drawn
+//! against exactly the graph the server will apply it to and rebuilds
+//! rebuild the *evolved* graph rather than reverting it. The
+//! zero-watchdog-trip gate covers the update path too.
+//!
 //! ```sh
 //! cargo run --release -p ppscan-bench --bin soak -- \
 //!     [--quick] [--scale S] [--budget-secs 60] [--clients 4] \
 //!     [--batch 32] [--sample-millis 250] [--rebuild-millis 500] \
-//!     [--slow-query-millis 50] [--watchdog-secs 5] [--report FILE]
+//!     [--slow-query-millis 50] [--watchdog-secs 5] \
+//!     [--update-rate 0] [--update-batch 8] [--report FILE]
 //! ```
 //!
 //! Exits non-zero if the watchdog tripped or the timeline came back
@@ -27,8 +38,9 @@ use ppscan_obs::registry::TimelineSampler;
 use ppscan_obs::report::PhaseMetrics;
 use ppscan_obs::{Collector, RunReport, Span};
 use ppscan_serve::{ServeConfig, Server};
+use ppscan_update::stress::random_delta;
 use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Worker threads in the server's query pool (fixed, like serve_bench,
@@ -42,6 +54,10 @@ const MIN_SNAPSHOTS: usize = 10;
 /// Canonical phase order (mirrors serve_bench): dispatch phases carry
 /// zero wall share, `serve-load` is normalized to the whole soak wall.
 const PHASE_ORDER: [&str; 3] = ["serve-load", "serve-batch", "serve-query"];
+
+/// Seed base for the streamed update batches (each batch bumps it, so
+/// a soak's delta sequence is reproducible given the batch count).
+const UPDATE_SEED: u64 = 0x0a50_a50a_0001;
 
 /// Same deterministic (ε, µ) mix as serve_bench.
 fn query_mix(client: usize, q: usize) -> (f64, usize) {
@@ -76,6 +92,8 @@ fn main() {
         "--rebuild-millis",
         "--slow-query-millis",
         "--watchdog-secs",
+        "--update-rate",
+        "--update-batch",
     ]);
     let extra = |name: &str, default: u64| -> u64 {
         extras
@@ -99,6 +117,8 @@ fn main() {
     let rebuild_millis = extra("--rebuild-millis", 500).max(1);
     let slow_query_millis = extra("--slow-query-millis", 50);
     let watchdog_secs = extra("--watchdog-secs", 5).max(1);
+    let update_rate = extra("--update-rate", 0);
+    let update_batch = extra("--update-batch", 8).max(1) as usize;
     // One graph is the point of a soak (steady state, not a sweep).
     args.datasets.truncate(1);
 
@@ -116,6 +136,7 @@ fn main() {
         "p99 (us)",
         "p999 (us)",
         "swaps",
+        "updates",
         "trips",
         "samples",
     ]);
@@ -149,7 +170,12 @@ fn main() {
         );
 
         let stop = AtomicBool::new(false);
-        let swaps = std::thread::scope(|scope| {
+        // The updater and rebuilder both run under this lock, so the
+        // shadow graph and the published snapshot advance in lockstep:
+        // every delta is drawn against exactly the graph the server
+        // will apply it to, and rebuilds rebuild the evolved graph.
+        let shadow = Mutex::new(Arc::clone(&graph));
+        let (swaps, update_batches) = std::thread::scope(|scope| {
             for c in 0..clients {
                 let (server, stop) = (&server, &stop);
                 scope.spawn(move || {
@@ -163,7 +189,7 @@ fn main() {
                 });
             }
             let rebuilder = {
-                let (server, stop, graph) = (&server, &stop, &graph);
+                let (server, stop, shadow) = (&server, &stop, &shadow);
                 scope.spawn(move || {
                     let mut swaps = 0u64;
                     while !stop.load(Relaxed) {
@@ -171,15 +197,43 @@ fn main() {
                         if stop.load(Relaxed) {
                             break;
                         }
-                        server.rebuild(Arc::clone(graph));
+                        let live = shadow.lock().expect("shadow lock");
+                        server.rebuild(Arc::clone(&live));
+                        drop(live);
                         swaps += 1;
                     }
                     swaps
                 })
             };
+            let updater = (update_rate > 0).then(|| {
+                let (server, stop, shadow) = (&server, &stop, &shadow);
+                scope.spawn(move || {
+                    let interval = Duration::from_nanos(1_000_000_000 / update_rate);
+                    let mut batches = 0u64;
+                    while !stop.load(Relaxed) {
+                        std::thread::sleep(interval);
+                        if stop.load(Relaxed) {
+                            break;
+                        }
+                        let mut live = shadow.lock().expect("shadow lock");
+                        let delta = random_delta(&live, update_batch, UPDATE_SEED + batches);
+                        let applied = delta.apply_to(&live).expect("delta drawn from live graph");
+                        server
+                            .update(&delta)
+                            .expect("published snapshot tracks the shadow graph");
+                        *live = Arc::new(applied.graph);
+                        drop(live);
+                        batches += 1;
+                    }
+                    batches
+                })
+            });
             std::thread::sleep(Duration::from_secs(budget_secs));
             stop.store(true, Relaxed);
-            rebuilder.join().expect("rebuilder thread")
+            (
+                rebuilder.join().expect("rebuilder thread"),
+                updater.map_or(0, |u| u.join().expect("updater thread")),
+            )
         });
         let wall_nanos = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         let timeline = sampler.stop();
@@ -229,13 +283,15 @@ fn main() {
             Json::Str(format!(
                 "pool={POOL_THREADS},batch={batch},clients={clients},\
                  rebuild_millis={rebuild_millis},sample_millis={sample_millis},\
-                 slow_query_millis={slow_query_millis},watchdog_secs={watchdog_secs}"
+                 slow_query_millis={slow_query_millis},watchdog_secs={watchdog_secs},\
+                 update_rate={update_rate},update_batch={update_batch}"
             )),
         );
         run.push_extra("latency", latency_json);
         run.push_extra("qps", Json::Num(qps));
         run.push_extra("queries", Json::from_u64(queries));
         run.push_extra("swaps", Json::from_u64(swaps));
+        run.push_extra("update_batches", Json::from_u64(update_batches));
         run.push_extra("watchdog_trips", Json::from_u64(trips));
         // Closed-loop invariant: the queue can never hold more than one
         // query per client. report_check --check-timeline enforces it
@@ -253,6 +309,7 @@ fn main() {
             format!("{:.1}", p99 as f64 / 1000.0),
             format!("{:.1}", p999 as f64 / 1000.0),
             swaps.to_string(),
+            update_batches.to_string(),
             trips.to_string(),
             timeline.len().to_string(),
         ]);
@@ -261,8 +318,9 @@ fn main() {
     println!(
         "\nSoak: closed-loop serving with live rebuilds for {budget_secs}s \
          (pool = {POOL_THREADS} threads, batch <= {batch}, rebuild every \
-         {rebuild_millis}ms, sampled every {sample_millis}ms, watchdog \
-         deadline {watchdog_secs}s)"
+         {rebuild_millis}ms, {update_rate} update batches/s of {update_batch} \
+         edits, sampled every {sample_millis}ms, watchdog deadline \
+         {watchdog_secs}s)"
     );
     table.print(args.csv);
     emit_report(&args, report, &table);

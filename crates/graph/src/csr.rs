@@ -66,6 +66,92 @@ impl CsrGraph {
         g
     }
 
+    /// Builds a graph from pre-spliced CSR parts plus a reverse-edge
+    /// index derived from [`Self::splice_rev`], skipping the O(m)
+    /// [`build_rev`] pass. Debug builds re-derive the index and assert
+    /// equality, so any splice bug fails the differential tests.
+    pub(crate) fn from_spliced_parts_unchecked(
+        offsets: Vec<usize>,
+        neighbors: Vec<VertexId>,
+        rev: Vec<u32>,
+    ) -> Self {
+        debug_assert_eq!(
+            Some(&rev),
+            build_rev(&offsets, &neighbors).as_ref(),
+            "spliced rev index must match a from-scratch build"
+        );
+        let g = Self {
+            offsets,
+            neighbors,
+            rev,
+        };
+        debug_assert!(g.validate().is_ok(), "invalid CSR parts");
+        g
+    }
+
+    /// Derives the reverse-edge index of a spliced CSR (`offsets`,
+    /// `neighbors`) from this graph's own, given the set of vertices
+    /// whose adjacency lists changed (`in_t`). For a slot `(u, v)` with
+    /// both endpoints untouched, `v`'s list is byte-identical to the old
+    /// one and only shifted: `rev'[e] = rev[e_old] + (off'[v] - off[v])`.
+    /// Slots with a touched endpoint — `O(vol(T))` of them — fall back to
+    /// binary search in `v`'s new list. Returns `None` (caller rebuilds
+    /// from scratch) when this graph has no index to splice from, the new
+    /// slot count exceeds `u32::MAX`, or the touched volume is so large
+    /// that the per-slot searches would lose to one counting pass.
+    pub(crate) fn splice_rev(
+        &self,
+        offsets: &[usize],
+        neighbors: &[VertexId],
+        in_t: &[bool],
+    ) -> Option<Vec<u32>> {
+        let m = neighbors.len();
+        if m > u32::MAX as usize || (self.rev.is_empty() && !self.neighbors.is_empty()) {
+            return None;
+        }
+        let n = offsets.len() - 1;
+        // Touched volume in the *new* graph bounds the number of
+        // binary-search slots ((u ∈ T) ∪ (v ∈ T) slots ≤ 2·vol(T)).
+        let vol_t: usize = (0..n)
+            .filter(|&v| in_t[v])
+            .map(|v| offsets[v + 1] - offsets[v])
+            .sum();
+        if vol_t.saturating_mul(8) >= m {
+            return None;
+        }
+        // Slot of (v, u) in the new CSR; every probed pair exists by the
+        // undirected invariant the splice preserves.
+        let pos_in = |v: usize, u: VertexId| -> u32 {
+            let s = &neighbors[offsets[v]..offsets[v + 1]];
+            let i = s.binary_search(&u).expect("symmetric spliced CSR");
+            (offsets[v] + i) as u32
+        };
+        let mut rev = vec![0u32; m];
+        for u in 0..n {
+            let (ns, ne) = (offsets[u], offsets[u + 1]);
+            if in_t[u] {
+                // u's list changed: no old slots to map from.
+                for e in ns..ne {
+                    rev[e] = pos_in(neighbors[e] as usize, u as VertexId);
+                }
+                continue;
+            }
+            // u's list is unchanged, so new slot ns + i held old slot
+            // old_ns + i with the same destination.
+            let old_ns = self.offsets[u];
+            for (i, e) in (ns..ne).enumerate() {
+                let v = neighbors[e] as usize;
+                rev[e] = if in_t[v] {
+                    pos_in(v, u as VertexId)
+                } else {
+                    let shift = offsets[v] as i64 - self.offsets[v] as i64;
+                    (self.rev[old_ns + i] as i64 + shift) as u32
+                };
+            }
+        }
+        Some(rev)
+    }
+
     /// Checks every representation invariant; returns a description of the
     /// first violation found.
     pub fn validate(&self) -> Result<(), String> {

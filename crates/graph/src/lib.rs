@@ -33,6 +33,7 @@ pub mod analysis;
 pub mod builder;
 pub mod csr;
 pub mod datasets;
+pub mod delta;
 pub mod gen;
 pub mod io;
 pub mod rng;
@@ -43,4 +44,5 @@ mod proptests;
 
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, VertexId};
+pub use delta::{AppliedDelta, DeltaError, GraphDelta, OverlayGraph};
 pub use stats::GraphStats;

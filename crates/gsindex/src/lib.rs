@@ -44,9 +44,11 @@ mod build;
 mod owned;
 mod query;
 mod simvalue;
+mod update;
 
 pub use owned::OwnedGsIndex;
 pub use simvalue::SimValue;
+pub use update::UpdateStats;
 
 use ppscan_graph::{CsrGraph, VertexId};
 
@@ -67,6 +69,49 @@ pub struct GsIndex<'g> {
 }
 
 impl<'g> GsIndex<'g> {
+    /// The indexed graph.
+    pub fn graph(&self) -> &'g CsrGraph {
+        self.graph
+    }
+
+    /// The σ-descending `(neighbor, cn)` entries of `u` — the slice the
+    /// ε-prefix walks. Exposed for the incremental re-clustering layer
+    /// (`ppscan-update`), which re-derives roles and repairs clusters
+    /// from prefixes without re-running any intersection.
+    pub fn neighbor_entries(&self, u: VertexId) -> &[(VertexId, u32)] {
+        &self.neighbor_order[self.graph.neighbor_range(u)]
+    }
+
+    /// Exact σ of one of `u`'s entries (as returned by
+    /// [`neighbor_entries`](Self::neighbor_entries)).
+    pub fn entry_sim(&self, u: VertexId, entry: (VertexId, u32)) -> SimValue {
+        SimValue::new(entry.1, self.graph.degree(u), self.graph.degree(entry.0))
+    }
+
+    /// Whether `u` is a core at `params`: σ_µ(u) ≥ ε, read straight off
+    /// the µ-th neighbor-order entry.
+    pub fn is_core(&self, u: VertexId, params: ppscan_core::params::ScanParams) -> bool {
+        let d = self.graph.degree(u);
+        if params.mu < 1 || params.mu > d {
+            return false;
+        }
+        let entry = self.neighbor_entries(u)[params.mu - 1];
+        self.entry_sim(u, entry).at_least(&params.epsilon)
+    }
+
+    /// The ε-similar neighbors of `u` — its ε-prefix, in descending σ.
+    pub fn eps_prefix(
+        &self,
+        u: VertexId,
+        params: ppscan_core::params::ScanParams,
+    ) -> impl Iterator<Item = VertexId> + '_ {
+        self.neighbor_entries(u)
+            .iter()
+            .copied()
+            .take_while(move |&e| self.entry_sim(u, e).at_least(&params.epsilon))
+            .map(|(v, _)| v)
+    }
+
     /// Approximate heap footprint in bytes.
     pub fn heap_bytes(&self) -> usize {
         self.neighbor_order.len() * std::mem::size_of::<(VertexId, u32)>()

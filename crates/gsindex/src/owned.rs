@@ -43,6 +43,12 @@ impl OwnedGsIndex {
         }
     }
 
+    /// Assembles an owned index from an already-built `GsIndex` whose
+    /// graph borrow is backed by `graph` (the incremental update path).
+    pub(crate) fn from_parts(index: GsIndex<'static>, graph: Arc<CsrGraph>) -> OwnedGsIndex {
+        OwnedGsIndex { index, graph }
+    }
+
     /// The wrapped index, borrowed at `self`'s lifetime.
     pub fn index(&self) -> &GsIndex<'_> {
         &self.index

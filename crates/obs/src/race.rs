@@ -9,14 +9,23 @@
 //! # Model
 //!
 //! * Every participating thread carries a **vector clock** `C_t`.
-//! * Every *synchronizing* atomic location carries a release clock `L`:
-//!   a `Release`/`AcqRel`/`SeqCst` store or successful RMW joins the
-//!   writer's clock into `L`; an `Acquire`/`AcqRel`/`SeqCst` load joins
-//!   `L` into the reader's clock. `Relaxed` accesses induce no edge.
-//!   (We do not track *which* store a load read from, so `L`
-//!   accumulates across writers. This over-approximates the C++
-//!   synchronizes-with relation — it can only *miss* races on sync
-//!   locations, never invent happens-before on data.)
+//! * Every *synchronizing* atomic location carries a release clock `L`,
+//!   maintained **per store** (the TSan `ReleaseStore` rule): a
+//!   `Release`/`AcqRel`/`SeqCst` *store* **replaces** `L` with the
+//!   writer's clock — a plain store starts a fresh release sequence, so
+//!   it must not carry earlier, unrelated writers' clocks — while a
+//!   *successful* release RMW **joins** its clock into `L`, because an
+//!   RMW continues the release sequence of the store it read from. An
+//!   `Acquire`/`AcqRel`/`SeqCst` load joins `L` into the reader's
+//!   clock; `Relaxed` accesses induce no edge. (An earlier revision
+//!   joined on every release store, so `L` accumulated across writers
+//!   and an acquire load inherited the clock of *every* past releaser,
+//!   not just the one it read from — over-synchronizing, which can only
+//!   hide races. The per-store clock drops exactly those phantom edges.
+//!   We still don't track *which* store a load read from: hooks
+//!   serialize through the session lock, and a load is credited with
+//!   the latest store in that order — the remaining, strictly smaller
+//!   over-approximation of C++ synchronizes-with.)
 //! * The worker pool contributes **fork edges** (submitter → every
 //!   task, recorded when a worker takes or *steals* the task) and
 //!   **join edges** (every task → the submitter's post-barrier
@@ -597,8 +606,12 @@ pub fn sync_load(loc: usize, site: &'static str, order: Ordering) {
 }
 
 /// Records an atomic store at sync location `loc`: release-or-stronger
-/// joins the thread clock into the location's release clock and
-/// advances the thread clock.
+/// **replaces** the location's release clock with the thread clock and
+/// advances the thread clock. Replacement (not join) is the per-store
+/// precision rule: a plain store heads a *new* release sequence, so an
+/// acquire load that reads it must synchronize with this writer only —
+/// joining would let the location accumulate every past releaser's
+/// clock and invent happens-before edges that hide races.
 pub fn sync_store(loc: usize, site: &'static str, order: Ordering) {
     if !detection_active() {
         return;
@@ -608,7 +621,7 @@ pub fn sync_store(loc: usize, site: &'static str, order: Ordering) {
     s.thread(t).note_op(format!("store {order:?} @ {site}"));
     if is_release(order) {
         let clock = s.threads[t].clock.clone();
-        s.sync.entry(loc).or_default().join(&clock);
+        s.sync.insert(loc, clock.clone());
         let tick = clock.get(t) + 1;
         s.threads[t].clock.set(t, tick);
     }
@@ -616,7 +629,11 @@ pub fn sync_store(loc: usize, site: &'static str, order: Ordering) {
 
 /// Records a read-modify-write (CAS) at sync location `loc`. `success`
 /// tells whether the RMW took effect; a failed CAS is a load with the
-/// failure ordering.
+/// failure ordering. Unlike [`sync_store`], a successful release RMW
+/// **joins** into the location clock rather than replacing it: an RMW
+/// reads the previous store, so it *continues* that store's release
+/// sequence — an acquire load after the RMW synchronizes with both the
+/// RMW and the store it extended.
 pub fn sync_rmw(loc: usize, site: &'static str, order: Ordering, success: bool) {
     if !detection_active() {
         return;
@@ -885,6 +902,98 @@ mod tests {
         assert!(
             races.iter().any(|r| r.kind == "write-read"),
             "relaxed flag must not create a happens-before edge: {races:?}"
+        );
+    }
+
+    #[test]
+    fn plain_release_store_does_not_carry_earlier_writers_clocks() {
+        // The per-store precision fixture. Writer A publishes a payload
+        // under the flag; writer B then release-stores the *same* flag
+        // without ever having synchronized with A (B heads a fresh
+        // release sequence); reader C acquire-loads after B's store and
+        // touches the payload. C synchronizes with B only — its read
+        // races with A's write. A release clock that accumulated joins
+        // across stores would hand C writer A's clock through B's
+        // unrelated store and miss this race. The `gate` is an
+        // *untraced* atomic: it pins the A → B → C schedule without
+        // feeding the detector any edges.
+        let session = DetectionSession::begin();
+        let cell = ShadowCell::new("payload", 0u32);
+        let flag = AtomicU32::new(0);
+        let floc = &flag as *const _ as usize;
+        let gate = AtomicU32::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                cell.set(1, "writer-a");
+                sync_store(floc, "flag", Ordering::Release);
+                flag.store(1, Ordering::Release);
+                gate.store(1, Ordering::SeqCst);
+            });
+            s.spawn(|| {
+                while gate.load(Ordering::SeqCst) < 1 {
+                    std::hint::spin_loop();
+                }
+                sync_store(floc, "flag", Ordering::Release);
+                flag.store(2, Ordering::Release);
+                gate.store(2, Ordering::SeqCst);
+            });
+            s.spawn(|| {
+                while gate.load(Ordering::SeqCst) < 2 {
+                    std::hint::spin_loop();
+                }
+                assert_eq!(flag.load(Ordering::Acquire), 2);
+                sync_load(floc, "flag", Ordering::Acquire);
+                let _ = cell.get("reader-c");
+            });
+        });
+        let races = session.finish();
+        assert!(
+            races.iter().any(|r| r.kind == "write-read"),
+            "B's store must not smuggle A's clock to C: {races:?}"
+        );
+    }
+
+    #[test]
+    fn release_rmw_continues_the_release_sequence() {
+        // The counterpart positive case: B extends A's release sequence
+        // with a release *RMW* instead of a store. C acquire-loads after
+        // the RMW and must be synchronized with A through the sequence
+        // (store-clock replacement must NOT apply to RMWs) — no race.
+        let session = DetectionSession::begin();
+        let cell = ShadowCell::new("payload", 0u32);
+        let flag = AtomicU32::new(0);
+        let floc = &flag as *const _ as usize;
+        let gate = AtomicU32::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                cell.set(1, "writer-a");
+                sync_store(floc, "flag", Ordering::Release);
+                flag.store(1, Ordering::Release);
+                gate.store(1, Ordering::SeqCst);
+            });
+            s.spawn(|| {
+                while gate.load(Ordering::SeqCst) < 1 {
+                    std::hint::spin_loop();
+                }
+                // Release-only RMW: B acquires nothing from A, yet its
+                // increment continues A's release sequence.
+                flag.fetch_add(1, Ordering::Release);
+                sync_rmw(floc, "flag", Ordering::Release, true);
+                gate.store(2, Ordering::SeqCst);
+            });
+            s.spawn(|| {
+                while gate.load(Ordering::SeqCst) < 2 {
+                    std::hint::spin_loop();
+                }
+                assert_eq!(flag.load(Ordering::Acquire), 2);
+                sync_load(floc, "flag", Ordering::Acquire);
+                assert_eq!(cell.get("reader-c"), 1);
+            });
+        });
+        let races = session.finish();
+        assert!(
+            races.is_empty(),
+            "RMW must join, not replace, the release clock: {races:?}"
         );
     }
 

@@ -9,7 +9,11 @@
 //! REPL mode reads one `EPS MU` pair per stdin line and prints the
 //! cluster summary (or the validation error) per query; `/metrics`
 //! prints a live [`MetricsSnapshot`](ppscan_obs::registry::MetricsSnapshot)
-//! and `/flight` the recent-event ring. Demo mode runs `C` closed-loop
+//! and `/flight` the recent-event ring. The graph itself is editable
+//! live: `insert U V` / `delete U V` stage edge edits into a pending
+//! batch and `flush` publishes it as one new index generation via the
+//! incremental update path — malformed ids are an error line, never a
+//! panic, and an invalid batch is reported and discarded. Demo mode runs `C` closed-loop
 //! client threads issuing `Q` queries each and prints the latency
 //! summary JSON the serve benchmark embeds in its reports (plus a final
 //! metrics snapshot on stderr).
@@ -18,7 +22,7 @@
 //! and install a panic hook that dumps the flight recorder to stderr,
 //! so a wedged or crashing server leaves its last moments behind.
 
-use ppscan_graph::{io, CsrGraph};
+use ppscan_graph::{io, CsrGraph, GraphDelta};
 use ppscan_obs::events::{install_panic_dump, WatchdogConfig};
 use ppscan_serve::{ServeConfig, Server};
 use std::io::BufRead;
@@ -111,6 +115,9 @@ fn main() {
         graph.num_vertices(),
         graph.num_edges()
     );
+    // Updates edit edges over a fixed vertex set; remember its size for
+    // stage-time validation once the graph has moved into the server.
+    let num_vertices = graph.num_vertices();
 
     let t0 = std::time::Instant::now();
     let server = Server::start(
@@ -160,8 +167,12 @@ fn main() {
         return;
     }
 
-    eprintln!("enter `EPS MU` per line, `/metrics` or `/flight` (EOF to quit):");
+    eprintln!(
+        "enter `EPS MU` per line, `insert U V` / `delete U V` / `flush` \
+         to edit the graph, `/metrics` or `/flight` (EOF to quit):"
+    );
     let stdin = std::io::stdin();
+    let mut pending = GraphDelta::new();
     for line in stdin.lock().lines() {
         let line = line.unwrap_or_default();
         match line.trim() {
@@ -173,7 +184,46 @@ fn main() {
                 println!("{}", server.flight_recorder().to_json().to_pretty_string());
                 continue;
             }
+            "flush" => {
+                if pending.is_empty() {
+                    println!("nothing staged");
+                    continue;
+                }
+                let staged = pending.len();
+                match server.update(&std::mem::take(&mut pending)) {
+                    Ok(generation) => {
+                        println!("[gen {generation}] applied batch of {staged} staged edits")
+                    }
+                    // The batch is discarded either way: a rejected batch
+                    // (duplicate edit, out-of-range id) shouldn't poison
+                    // the next one.
+                    Err(e) => println!("error: batch rejected ({e}); staged edits discarded"),
+                }
+                continue;
+            }
             _ => {}
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if let ["insert" | "delete", u, v] = tokens.as_slice() {
+            let op = tokens[0];
+            let (Ok(u), Ok(v)) = (u.parse::<u32>(), v.parse::<u32>()) else {
+                println!("error: expected `{op} U V` with numeric vertex ids");
+                continue;
+            };
+            if (u as usize) >= num_vertices || (v as usize) >= num_vertices {
+                println!("error: vertex id out of range (graph has {num_vertices} vertices)");
+                continue;
+            }
+            let staged = if op == "insert" {
+                pending.insert(u, v)
+            } else {
+                pending.delete(u, v)
+            };
+            match staged {
+                Ok(()) => println!("staged {op} ({u}, {v}); {} pending", pending.len()),
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
         }
         let mut parts = line.split_whitespace();
         let (Some(eps), Some(mu)) = (parts.next(), parts.next()) else {

@@ -46,7 +46,7 @@
 use crate::snapshot::SnapshotCell;
 use ppscan_core::params::ScanParams;
 use ppscan_core::result::Clustering;
-use ppscan_graph::CsrGraph;
+use ppscan_graph::{CsrGraph, GraphDelta};
 use ppscan_gsindex::OwnedGsIndex;
 use ppscan_obs::events::{
     EventKind, FlightRecorder, StallWatchdog, WatchdogConfig, DEFAULT_RECORDER_CAPACITY,
@@ -194,6 +194,9 @@ pub struct Server {
     watchdog: Option<StallWatchdog>,
     queries: Counter,
     rebuilds: Counter,
+    updates: Counter,
+    update_applied: Counter,
+    update_touched: Counter,
     watchdog_trips: Counter,
     queue_depth: Gauge,
     generation_gauge: Gauge,
@@ -229,6 +232,9 @@ impl Server {
         let batches = metrics.counter("serve.batches");
         let slow_queries = metrics.counter("serve.slow_queries");
         let rebuilds = metrics.counter("serve.rebuilds");
+        let updates = metrics.counter("serve.updates");
+        let update_applied = metrics.counter("update.applied_edges");
+        let update_touched = metrics.counter("update.touched_vertices");
         let watchdog_trips = metrics.counter("serve.watchdog_trips");
         let queue_depth = metrics.gauge("serve.queue_depth");
         let in_flight = metrics.gauge("serve.in_flight");
@@ -357,6 +363,9 @@ impl Server {
             watchdog,
             queries,
             rebuilds,
+            updates,
+            update_applied,
+            update_touched,
             watchdog_trips,
             queue_depth,
             generation_gauge,
@@ -410,6 +419,36 @@ impl Server {
             .set(generation.min(i64::MAX as u64) as i64);
         self.recorder.record(EventKind::Swap, 0, generation);
         generation
+    }
+
+    /// Applies a batch of edge edits to the currently-published
+    /// snapshot's graph and publishes the incrementally-maintained index
+    /// as a new generation — one snapshot swap per batch, never one per
+    /// edit. The maintenance runs on the calling thread and recomputes
+    /// only the touched neighborhoods
+    /// ([`OwnedGsIndex::apply_delta`]); in-flight batches keep
+    /// answering from whichever snapshot they pinned. An invalid delta
+    /// (out-of-range vertex, duplicate edit) is an `Err` and publishes
+    /// nothing. Returns the new snapshot's generation.
+    pub fn update(&self, delta: &GraphDelta) -> Result<u64, String> {
+        let _serialize = lock(&self.rebuild_lock);
+        let mut reader = self.cell.reader();
+        let applied = {
+            let snap = reader.pin();
+            snap.index.apply_delta(delta, self.threads)
+        };
+        drop(reader);
+        let (index, stats) = applied.map_err(|e| e.to_string())?;
+        let generation = self.next_generation.fetch_add(1, SeqCst);
+        self.cell.publish(IndexSnapshot { generation, index });
+        self.updates.incr();
+        self.update_applied.add(stats.applied_edges as u64);
+        self.update_touched.add(stats.touched_vertices as u64);
+        self.generation_gauge
+            .set(generation.min(i64::MAX as u64) as i64);
+        self.recorder
+            .record(EventKind::Swap, stats.applied_edges as u64, generation);
+        Ok(generation)
     }
 
     /// Generation of the currently-published snapshot.
@@ -640,6 +679,125 @@ mod tests {
         drop(server);
         let races = session.finish();
         assert!(races.is_empty(), "serving path raced: {races:?}");
+    }
+
+    fn test_delta(
+        g: &CsrGraph,
+        size: usize,
+        rng: &mut ppscan_graph::rng::SplitMix64,
+    ) -> GraphDelta {
+        let edges: Vec<(u32, u32)> = g.undirected_edges().collect();
+        let mut delta = GraphDelta::new();
+        let mut used = std::collections::HashSet::new();
+        while delta.len() < size {
+            if rng.gen_bool(0.5) && !edges.is_empty() {
+                let (u, v) = edges[rng.gen_index(edges.len())];
+                if used.insert((u, v)) {
+                    delta.delete(u, v).unwrap();
+                }
+            } else {
+                let u = rng.gen_index(g.num_vertices()) as u32;
+                let v = rng.gen_index(g.num_vertices()) as u32;
+                if u != v && used.insert((u.min(v), u.max(v))) {
+                    delta.insert(u.min(v), u.max(v)).unwrap();
+                }
+            }
+        }
+        delta
+    }
+
+    #[test]
+    fn update_publishes_one_generation_per_batch() {
+        let graph = test_graph();
+        let server = Server::start(Arc::clone(&graph), ServeConfig::default());
+        let mut rng = ppscan_graph::rng::SplitMix64::seed_from_u64(7);
+        let delta = test_delta(&graph, 12, &mut rng);
+        let edited = delta.apply_to(&graph).unwrap().graph;
+
+        assert_eq!(server.update(&delta).unwrap(), 2);
+        assert_eq!(server.generation(), 2);
+        let response = server.query(0.5, 2);
+        assert_eq!(response.generation, 2);
+        assert_eq!(
+            response.result.unwrap(),
+            pscan(&edited, ScanParams::new(0.5, 2)).clustering
+        );
+
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.counter("serve.updates"), Some(1));
+        assert!(snap.counter("update.applied_edges").unwrap() >= 1);
+        assert!(snap.counter("update.touched_vertices").unwrap() >= 2);
+        // The swap landed in the flight recorder.
+        let kinds: Vec<EventKind> = server
+            .flight_recorder()
+            .events()
+            .iter()
+            .map(|e| e.kind)
+            .collect();
+        assert!(kinds.contains(&EventKind::Swap));
+    }
+
+    #[test]
+    fn invalid_update_is_an_error_and_publishes_nothing() {
+        let server = Server::start(test_graph(), ServeConfig::default());
+        let mut delta = GraphDelta::new();
+        delta.insert(0, 1_000_000).unwrap();
+        assert!(server.update(&delta).is_err());
+        assert_eq!(server.generation(), 1);
+        assert_eq!(server.metrics_snapshot().counter("serve.updates"), Some(0));
+        // A later valid update continues the generation sequence with
+        // no gap.
+        let mut ok = GraphDelta::new();
+        ok.delete(0, 1).unwrap();
+        assert_eq!(server.update(&ok).unwrap(), 2);
+    }
+
+    #[test]
+    fn queries_racing_updates_answer_from_their_claimed_generation() {
+        // Snapshot coherence: while update batches publish new
+        // generations, every response must match a from-scratch answer
+        // on exactly the graph version its claimed generation names —
+        // never a half-applied batch, never a stale graph with a fresh
+        // generation tag.
+        let g0 = test_graph();
+        let params = ScanParams::new(0.5, 2);
+        let mut rng = ppscan_graph::rng::SplitMix64::seed_from_u64(0x00c0_de7e);
+        let mut deltas = Vec::new();
+        let mut expected = vec![pscan(&g0, params).clustering];
+        let mut current = (*g0).clone();
+        for _ in 0..6 {
+            let delta = test_delta(&current, 8, &mut rng);
+            current = delta.apply_to(&current).unwrap().graph;
+            expected.push(pscan(&current, params).clustering);
+            deltas.push(delta);
+        }
+
+        let server = Server::start(g0, ServeConfig::default());
+        std::thread::scope(|s| {
+            let server = &server;
+            let expected = &expected;
+            for _ in 0..3 {
+                s.spawn(move || {
+                    for _ in 0..30 {
+                        let response = server.query(0.5, 2);
+                        let generation = response.generation as usize;
+                        assert!(
+                            (1..=expected.len()).contains(&generation),
+                            "generation {generation} out of range"
+                        );
+                        assert_eq!(
+                            response.result.unwrap(),
+                            expected[generation - 1],
+                            "answer does not match generation {generation}'s graph"
+                        );
+                    }
+                });
+            }
+            for (i, delta) in deltas.iter().enumerate() {
+                assert_eq!(server.update(delta).unwrap(), i as u64 + 2);
+            }
+        });
+        assert_eq!(server.generation(), 7);
     }
 
     #[test]

@@ -1,0 +1,957 @@
+//! Differential stress driver for the incremental update path:
+//! `incremental(G, ΔE) ≡ from_scratch(G + ΔE)` swept over the generator
+//! zoo × execution strategies × batch sizes × seeds. Both layers are
+//! checked per case: the maintained [`OwnedGsIndex`] must answer every
+//! `(ε, µ)` in the grid exactly like an index built from scratch on the
+//! edited graph, and [`IncrementalClustering`]'s union-find surgery must
+//! materialize the same clustering as a fresh query.
+//!
+//! A divergence is **shrunk** before it is reported: first the op list
+//! (ddmin over insert/delete ops), then the base edge list (ddmin with
+//! the surviving ops pinned), within a shared predicate budget. The
+//! shrunk [`UpdateCase`] is persisted as JSON into
+//! [`UpdateStressConfig::corpus_dir`] (default `target/update-corpus/`)
+//! and [`replay_update_corpus`] re-runs everything found there — the
+//! `replay_update_corpus_is_clean` test keeps fixed bugs self-cleaning
+//! and unfixed ones loud, exactly like the core stress corpus.
+
+use crate::IncrementalClustering;
+use ppscan_core::params::ScanParams;
+use ppscan_graph::delta::GraphDelta;
+use ppscan_graph::rng::SplitMix64;
+use ppscan_graph::{gen, CsrGraph, GraphBuilder, VertexId};
+use ppscan_gsindex::{GsIndex, OwnedGsIndex};
+use ppscan_obs::json::Json;
+use ppscan_obs::RunReport;
+use ppscan_sched::{ExecutionStrategy, WorkerPool};
+use std::collections::HashSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The generator zoo the sweep covers, by family index.
+pub const ZOO: [&str; 11] = [
+    "roll",
+    "rmat",
+    "rmat-social",
+    "erdos-renyi",
+    "planted-partition",
+    "complete",
+    "star",
+    "path",
+    "cycle",
+    "grid",
+    "clique-chain",
+];
+
+/// One insert (`true`) or delete (`false`) op, normalized `u < v`.
+pub type Op = (bool, VertexId, VertexId);
+
+/// Deterministically generates a zoo graph for `(family, seed)`, sized
+/// so a from-scratch rebuild stays cheap but every structural shape
+/// (hubs, bridges, grids, cliques) is represented.
+pub fn zoo_graph(family: usize, seed: u64) -> CsrGraph {
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x5eed_2000);
+    match family % ZOO.len() {
+        0 => gen::roll(60 + rng.gen_index(60), 6, rng.next_u64()),
+        1 => gen::rmat(6, 6, 0.45, 0.22, 0.22, rng.next_u64()),
+        2 => gen::rmat_social(6, 6, rng.next_u64()),
+        3 => {
+            let n = 30 + rng.gen_index(40);
+            gen::erdos_renyi(n, n * 3, rng.next_u64())
+        }
+        4 => gen::planted_partition(3, 10 + rng.gen_index(8), 0.6, 0.06, rng.next_u64()),
+        5 => gen::complete(8 + rng.gen_index(6)),
+        6 => gen::star(12 + rng.gen_index(20)),
+        7 => gen::path(16 + rng.gen_index(30)),
+        8 => gen::cycle(16 + rng.gen_index(30)),
+        9 => gen::grid(4 + rng.gen_index(4), 4 + rng.gen_index(4)),
+        _ => gen::clique_chain(4 + rng.gen_index(3), 2 + rng.gen_index(3)),
+    }
+}
+
+/// How large an update batch to draw, resolved against the current edge
+/// count (never below one op).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BatchSpec {
+    /// Exactly this many ops.
+    Fixed(usize),
+    /// This fraction of `|E|` ops (the acceptance envelope's "1% of
+    /// |E|" point).
+    EdgeFraction(f64),
+}
+
+impl BatchSpec {
+    /// Number of ops to draw for a graph with `num_edges` edges.
+    pub fn resolve(&self, num_edges: usize) -> usize {
+        match *self {
+            BatchSpec::Fixed(k) => k.max(1),
+            BatchSpec::EdgeFraction(f) => ((num_edges as f64 * f).round() as usize).max(1),
+        }
+    }
+
+    /// Stable label for banners and corpus file names.
+    pub fn label(&self) -> String {
+        match *self {
+            BatchSpec::Fixed(k) => format!("fixed-{k}"),
+            BatchSpec::EdgeFraction(f) => format!("frac-{f}"),
+        }
+    }
+}
+
+/// Draws a mixed insert/delete batch of (up to) `size` distinct ops
+/// against `g`: deletes of existing edges, inserts of random pairs
+/// (which may already exist — exercising the no-op path is deliberate).
+pub fn random_delta(g: &CsrGraph, size: usize, seed: u64) -> GraphDelta {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut delta = GraphDelta::new();
+    let n = g.num_vertices();
+    if n < 2 {
+        return delta;
+    }
+    let edges: Vec<(VertexId, VertexId)> = g.undirected_edges().collect();
+    let mut used: HashSet<(VertexId, VertexId)> = HashSet::new();
+    let mut attempts = 0usize;
+    while delta.len() < size && attempts < size * 20 + 50 {
+        attempts += 1;
+        if !edges.is_empty() && rng.gen_bool(0.5) {
+            let (u, v) = edges[rng.gen_index(edges.len())];
+            if used.insert((u, v)) {
+                delta.delete(u, v).expect("normalized edge");
+            }
+        } else {
+            let u = rng.gen_index(n) as VertexId;
+            let v = rng.gen_index(n) as VertexId;
+            if u == v {
+                continue;
+            }
+            let (lo, hi) = (u.min(v), u.max(v));
+            if used.insert((lo, hi)) {
+                delta.insert(lo, hi).expect("no self-loop");
+            }
+        }
+    }
+    delta
+}
+
+/// Draws a batch like [`random_delta`] but with every endpoint confined
+/// to one contiguous vertex window — the locality profile of a real
+/// update stream (edits cluster around active entities rather than
+/// sampling the whole graph uniformly). The window is centered by the
+/// seed and sized `Θ(√size)` so it always offers far more distinct pairs
+/// than the batch needs, yet stays a vanishing fraction of the graph:
+/// this is the regime where localized recomputation wins.
+pub fn hot_delta(g: &CsrGraph, size: usize, seed: u64) -> GraphDelta {
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x407_5307);
+    let mut delta = GraphDelta::new();
+    let n = g.num_vertices();
+    if n < 2 {
+        return delta;
+    }
+    // ~4√size vertices ⇒ ≥ 8·size candidate pairs inside the window.
+    let window = ((size as f64).sqrt() as usize * 4).clamp(16, n);
+    let w0 = rng.gen_index(n - window + 1);
+    let mut used: HashSet<(VertexId, VertexId)> = HashSet::new();
+    let mut attempts = 0usize;
+    while delta.len() < size && attempts < size * 20 + 50 {
+        attempts += 1;
+        let u = (w0 + rng.gen_index(window)) as VertexId;
+        let v = (w0 + rng.gen_index(window)) as VertexId;
+        if u == v {
+            continue;
+        }
+        let (lo, hi) = (u.min(v), u.max(v));
+        if !used.insert((lo, hi)) {
+            continue;
+        }
+        // Deleting present edges and inserting absent ones keeps every
+        // draw an effective edit, so batch size ≈ applied size.
+        if g.has_edge(lo, hi) {
+            delta.delete(lo, hi).expect("normalized edge");
+        } else {
+            delta.insert(lo, hi).expect("no self-loop");
+        }
+    }
+    delta
+}
+
+/// What the update sweep covers. Defaults satisfy the acceptance
+/// envelope: every strategy × batch sizes {1, 16, 1% of |E|} × ≥ 5 seeds
+/// per generator family.
+#[derive(Clone, Debug)]
+pub struct UpdateStressConfig {
+    /// Base seed; family `f`, seed index `i` derive from it.
+    pub master_seed: u64,
+    /// Seeds swept per generator family.
+    pub seeds_per_generator: u64,
+    /// Execution strategies driven through the repair path's pool.
+    pub strategies: Vec<ExecutionStrategy>,
+    /// Batch sizes.
+    pub batches: Vec<BatchSpec>,
+    /// (ε, µ) grid checked per batch.
+    pub params: Vec<(f64, usize)>,
+    /// Worker threads for both incremental and from-scratch sides.
+    pub threads: usize,
+    /// Sequential batches applied per (graph, strategy, batch) case —
+    /// each checked against from-scratch on the evolving graph.
+    pub chain: usize,
+    /// Reruns when probing a schedule-dependent failure while shrinking.
+    pub repeats: usize,
+    /// Maximum predicate evaluations the shrinker may spend.
+    pub shrink_budget: usize,
+    /// Where shrunk failing cases are persisted (`None` disables).
+    pub corpus_dir: Option<PathBuf>,
+}
+
+impl Default for UpdateStressConfig {
+    fn default() -> Self {
+        UpdateStressConfig {
+            master_seed: 0x00ed_1700,
+            seeds_per_generator: 5,
+            strategies: vec![
+                ExecutionStrategy::Parallel,
+                ExecutionStrategy::SequentialDeterministic,
+                ExecutionStrategy::AdversarialSeeded { seed: 0xdead_beef },
+            ],
+            batches: vec![
+                BatchSpec::Fixed(1),
+                BatchSpec::Fixed(16),
+                BatchSpec::EdgeFraction(0.01),
+            ],
+            params: vec![(0.4, 2), (0.65, 3)],
+            threads: 2,
+            chain: 1,
+            repeats: 3,
+            shrink_budget: 80,
+            corpus_dir: Some(default_update_corpus_dir()),
+        }
+    }
+}
+
+/// The default failure-corpus directory: `update-corpus/` under the
+/// cargo target directory (honoring `CARGO_TARGET_DIR`), separate from
+/// the core stress corpus so replays stay per-subsystem.
+pub fn default_update_corpus_dir() -> PathBuf {
+    let target = option_env!("CARGO_TARGET_DIR").map_or_else(
+        || {
+            Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("..")
+                .join("..")
+                .join("target")
+        },
+        PathBuf::from,
+    );
+    target.join("update-corpus")
+}
+
+/// A shrunk, replayable divergence between the incremental and
+/// from-scratch paths.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UpdateCase {
+    /// Zoo family index (into [`ZOO`]).
+    pub family: usize,
+    /// Seed the base graph derived from.
+    pub graph_seed: u64,
+    /// Execution strategy of the incremental side's pool.
+    pub strategy: ExecutionStrategy,
+    /// Worker threads.
+    pub threads: usize,
+    /// Batch label ([`BatchSpec::label`]).
+    pub batch: String,
+    /// Chain step at which the divergence manifested.
+    pub step: usize,
+    /// Vertex count of the base graph (kept explicit: ops may reference
+    /// vertices the shrunk edge list no longer mentions).
+    pub num_vertices: usize,
+    /// Shrunk base graph (the graph the failing delta applied *to*).
+    pub edges: Vec<(VertexId, VertexId)>,
+    /// Shrunk op list.
+    pub ops: Vec<Op>,
+    /// (ε, µ) grid the divergence was detected under.
+    pub params: Vec<(f64, usize)>,
+    /// Human-readable description of the divergence.
+    pub detail: String,
+}
+
+impl UpdateCase {
+    /// Rebuilds the embedded base graph.
+    pub fn graph(&self) -> CsrGraph {
+        GraphBuilder::new()
+            .ensure_vertices(self.num_vertices)
+            .extend_edges(self.edges.iter().copied())
+            .build()
+    }
+
+    /// Rebuilds the embedded delta. Ill-formed ops (possible only in a
+    /// hand-edited corpus entry) are dropped rather than panicking.
+    pub fn delta(&self) -> GraphDelta {
+        delta_from_ops(&self.ops)
+    }
+
+    /// Re-runs exactly this case's pinned configuration, `repeats`
+    /// times. `true` if the divergence still manifests.
+    pub fn reproduces(&self, repeats: usize) -> bool {
+        let g = self.graph();
+        let delta = self.delta();
+        (0..repeats.max(1))
+            .any(|_| divergence(&g, &delta, self.strategy, self.threads, &self.params).is_some())
+    }
+
+    /// Family name (defensive against out-of-range indices in edited
+    /// corpus files).
+    pub fn family_name(&self) -> &'static str {
+        ZOO[self.family % ZOO.len()]
+    }
+
+    /// Serializes the case (corpus file format).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("family".to_string(), Json::from_u64(self.family as u64)),
+            (
+                "family_name".to_string(),
+                Json::Str(self.family_name().to_string()),
+            ),
+            ("graph_seed".to_string(), Json::from_u64(self.graph_seed)),
+            ("strategy".to_string(), Json::Str(self.strategy.to_string())),
+            ("threads".to_string(), Json::from_u64(self.threads as u64)),
+            ("batch".to_string(), Json::Str(self.batch.clone())),
+            ("step".to_string(), Json::from_u64(self.step as u64)),
+            (
+                "num_vertices".to_string(),
+                Json::from_u64(self.num_vertices as u64),
+            ),
+            (
+                "edges".to_string(),
+                Json::Arr(
+                    self.edges
+                        .iter()
+                        .map(|&(u, v)| {
+                            Json::Arr(vec![Json::from_u64(u as u64), Json::from_u64(v as u64)])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "ops".to_string(),
+                Json::Arr(
+                    self.ops
+                        .iter()
+                        .map(|&(ins, u, v)| {
+                            Json::Arr(vec![
+                                Json::Str(if ins { "insert" } else { "delete" }.to_string()),
+                                Json::from_u64(u as u64),
+                                Json::from_u64(v as u64),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "params".to_string(),
+                Json::Arr(
+                    self.params
+                        .iter()
+                        .map(|&(eps, mu)| {
+                            Json::Arr(vec![Json::Num(eps), Json::from_u64(mu as u64)])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("detail".to_string(), Json::Str(self.detail.clone())),
+        ])
+    }
+
+    /// Deserializes a corpus entry written by [`UpdateCase::to_json`].
+    pub fn from_json(json: &Json) -> Option<UpdateCase> {
+        let mut edges = Vec::new();
+        for e in json.get("edges")?.as_arr()? {
+            let pair = e.as_arr()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            edges.push((
+                u32::try_from(pair[0].as_u64()?).ok()?,
+                u32::try_from(pair[1].as_u64()?).ok()?,
+            ));
+        }
+        let mut ops = Vec::new();
+        for o in json.get("ops")?.as_arr()? {
+            let trip = o.as_arr()?;
+            if trip.len() != 3 {
+                return None;
+            }
+            let ins = match trip[0].as_str()? {
+                "insert" => true,
+                "delete" => false,
+                _ => return None,
+            };
+            ops.push((
+                ins,
+                u32::try_from(trip[1].as_u64()?).ok()?,
+                u32::try_from(trip[2].as_u64()?).ok()?,
+            ));
+        }
+        let mut params = Vec::new();
+        for p in json.get("params")?.as_arr()? {
+            let pair = p.as_arr()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            params.push((pair[0].as_f64()?, usize::try_from(pair[1].as_u64()?).ok()?));
+        }
+        Some(UpdateCase {
+            family: usize::try_from(json.get("family")?.as_u64()?).ok()?,
+            graph_seed: json.get("graph_seed")?.as_u64()?,
+            strategy: ExecutionStrategy::parse(json.get("strategy")?.as_str()?)?,
+            threads: usize::try_from(json.get("threads")?.as_u64()?).ok()?,
+            batch: json.get("batch")?.as_str()?.to_string(),
+            step: usize::try_from(json.get("step")?.as_u64()?).ok()?,
+            num_vertices: usize::try_from(json.get("num_vertices")?.as_u64()?).ok()?,
+            edges,
+            ops,
+            params,
+            detail: json.get("detail")?.as_str()?.to_string(),
+        })
+    }
+
+    /// Corpus file name, unique per (seed, configuration).
+    pub fn corpus_file_name(&self) -> String {
+        let strategy = self.strategy.to_string().replace(['(', ')'], "-");
+        format!(
+            "case-{:016x}-{}-{}-{}-s{}-t{}.json",
+            self.graph_seed,
+            self.family_name(),
+            strategy,
+            self.batch,
+            self.step,
+            self.threads,
+        )
+    }
+}
+
+impl fmt::Display for UpdateCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "update-stress failure: family={} graph_seed={:#x} strategy={} threads={} batch={} step={}",
+            self.family_name(),
+            self.graph_seed,
+            self.strategy,
+            self.threads,
+            self.batch,
+            self.step,
+        )?;
+        writeln!(f, "detail: {}", self.detail)?;
+        let ops: Vec<String> = self
+            .ops
+            .iter()
+            .map(|&(ins, u, v)| format!("{}({u},{v})", if ins { "+" } else { "-" }))
+            .collect();
+        writeln!(f, "shrunk ops: [{}]", ops.join(", "))?;
+        writeln!(
+            f,
+            "shrunk base graph ({} vertices): {:?}",
+            self.num_vertices, self.edges
+        )?;
+        write!(f, "corpus file: {}", self.corpus_file_name())
+    }
+}
+
+/// Builds a [`GraphDelta`] from an op list, dropping ill-formed ops.
+fn delta_from_ops(ops: &[Op]) -> GraphDelta {
+    let mut delta = GraphDelta::new();
+    for &(ins, u, v) in ops {
+        let _ = if ins {
+            delta.insert(u, v)
+        } else {
+            delta.delete(u, v)
+        };
+    }
+    delta
+}
+
+/// The differential check itself: applies `delta` to `g` incrementally
+/// (index maintenance under `strategy`'s pool, then cluster surgery per
+/// parameter point) and compares every layer against a from-scratch
+/// rebuild on the edited graph. `Some(detail)` on the first divergence.
+pub fn divergence(
+    g: &CsrGraph,
+    delta: &GraphDelta,
+    strategy: ExecutionStrategy,
+    threads: usize,
+    params: &[(f64, usize)],
+) -> Option<String> {
+    let graph = Arc::new(g.clone());
+    let pool = WorkerPool::with_strategy(threads, strategy);
+    let base = OwnedGsIndex::build(Arc::clone(&graph), threads);
+    let (updated, stats) = match base.apply_delta_with(delta, &pool) {
+        Ok(x) => x,
+        Err(e) => return Some(format!("apply_delta failed: {e}")),
+    };
+    if stats.applied_edges > delta.len() {
+        return Some(format!(
+            "applied_edges {} exceeds batch size {}",
+            stats.applied_edges,
+            delta.len()
+        ));
+    }
+    let fresh = GsIndex::build(updated.graph(), threads);
+    for &(eps, mu) in params {
+        let p = ScanParams::new(eps, mu);
+        if updated.query(p) != fresh.query(p) {
+            return Some(format!(
+                "index query diverged from from-scratch rebuild at {}",
+                p.label()
+            ));
+        }
+        let mut ic = IncrementalClustering::with_pool(
+            Arc::clone(&graph),
+            p,
+            WorkerPool::with_strategy(threads, strategy),
+        );
+        if let Err(e) = ic.apply(delta) {
+            return Some(format!("cluster repair failed at {}: {e}", p.label()));
+        }
+        if ic.clustering() != fresh.query(p) {
+            return Some(format!(
+                "incremental clustering diverged from from-scratch query at {}",
+                p.label()
+            ));
+        }
+    }
+    None
+}
+
+/// Aggregate statistics of a green sweep.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UpdateStressStats {
+    /// (family, seed) graphs swept.
+    pub cases: u64,
+    /// Individual (strategy, batch, step) deltas checked differentially.
+    pub deltas_checked: u64,
+}
+
+/// Runs the full sweep. `Ok` carries coverage statistics; `Err` carries
+/// the first divergence, already shrunk and persisted.
+pub fn run_update_stress(cfg: &UpdateStressConfig) -> Result<UpdateStressStats, Box<UpdateCase>> {
+    let mut stats = UpdateStressStats::default();
+    for family in 0..ZOO.len() {
+        for si in 0..cfg.seeds_per_generator {
+            stats.deltas_checked += sweep_family_seed(cfg, family, si)?;
+            stats.cases += 1;
+        }
+    }
+    Ok(stats)
+}
+
+/// Derives the graph seed for `(family, seed index)` under a master
+/// seed — the unit a failure banner pins.
+pub fn graph_seed(master_seed: u64, family: usize, si: u64) -> u64 {
+    master_seed ^ ((family as u64) << 32) ^ si.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Sweeps one (family, seed index): every strategy × batch spec, with
+/// `cfg.chain` sequential batches per combination, each checked against
+/// a from-scratch rebuild of the evolving graph.
+fn sweep_family_seed(
+    cfg: &UpdateStressConfig,
+    family: usize,
+    si: u64,
+) -> Result<u64, Box<UpdateCase>> {
+    let seed = graph_seed(cfg.master_seed, family, si);
+    let g0 = zoo_graph(family, seed);
+    let mut checked = 0u64;
+    for &strategy in &cfg.strategies {
+        for (bi, batch) in cfg.batches.iter().enumerate() {
+            let mut current = g0.clone();
+            for step in 0..cfg.chain.max(1) {
+                let size = batch.resolve(current.num_edges());
+                // The delta seed is independent of the strategy, so
+                // every strategy faces the same batches.
+                let delta_seed = seed ^ ((bi as u64) << 16) ^ ((step as u64) << 8) ^ 0xd17a;
+                let delta = random_delta(&current, size, delta_seed);
+                if delta.is_empty() {
+                    continue;
+                }
+                checked += 1;
+                if let Some(detail) =
+                    divergence(&current, &delta, strategy, cfg.threads, &cfg.params)
+                {
+                    return Err(build_case(
+                        cfg,
+                        family,
+                        seed,
+                        strategy,
+                        batch.label(),
+                        step,
+                        &current,
+                        &delta,
+                        detail,
+                    ));
+                }
+                current = delta
+                    .apply_to(&current)
+                    .expect("delta validated by divergence check")
+                    .graph;
+            }
+        }
+    }
+    Ok(checked)
+}
+
+/// Packages and shrinks a divergence: ddmin over the op list first, then
+/// over the base edge list with the surviving ops pinned.
+#[allow(clippy::too_many_arguments)]
+fn build_case(
+    cfg: &UpdateStressConfig,
+    family: usize,
+    seed: u64,
+    strategy: ExecutionStrategy,
+    batch: String,
+    step: usize,
+    g: &CsrGraph,
+    delta: &GraphDelta,
+    detail: String,
+) -> Box<UpdateCase> {
+    let num_vertices = g.num_vertices();
+    let mut edges: Vec<(VertexId, VertexId)> = g.undirected_edges().collect();
+    let mut ops: Vec<Op> = delta
+        .inserts()
+        .iter()
+        .map(|&(u, v)| (true, u, v))
+        .chain(delta.deletes().iter().map(|&(u, v)| (false, u, v)))
+        .collect();
+
+    let mut budget = cfg.shrink_budget;
+    let repeats = cfg.repeats.max(1);
+    let rebuild = |edges: &[(VertexId, VertexId)]| {
+        GraphBuilder::new()
+            .ensure_vertices(num_vertices)
+            .extend_edges(edges.iter().copied())
+            .build()
+    };
+    {
+        let fails_ops = |ops: &[Op]| {
+            let delta = delta_from_ops(ops);
+            !delta.is_empty()
+                && (0..repeats)
+                    .any(|_| divergence(g, &delta, strategy, cfg.threads, &cfg.params).is_some())
+        };
+        ops = shrink_items(ops, &mut budget, &fails_ops);
+    }
+    {
+        let ops = ops.clone();
+        let fails_edges = |edges: &[(VertexId, VertexId)]| {
+            let g = rebuild(edges);
+            let delta = delta_from_ops(&ops);
+            !delta.is_empty()
+                && (0..repeats)
+                    .any(|_| divergence(&g, &delta, strategy, cfg.threads, &cfg.params).is_some())
+        };
+        edges = shrink_items(edges, &mut budget, &fails_edges);
+    }
+
+    let case = Box::new(UpdateCase {
+        family,
+        graph_seed: seed,
+        strategy,
+        threads: cfg.threads,
+        batch,
+        step,
+        num_vertices,
+        edges,
+        ops,
+        params: cfg.params.clone(),
+        detail,
+    });
+    if let Some(dir) = &cfg.corpus_dir {
+        persist_case(dir, &case);
+    }
+    case
+}
+
+/// Writes one shrunk failure into the corpus directory. Best-effort:
+/// persistence failing must not mask the differential failure itself.
+fn persist_case(dir: &Path, case: &UpdateCase) {
+    let path = dir.join(case.corpus_file_name());
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(&path, case.to_json().to_pretty_string())
+    };
+    match write() {
+        Ok(()) => eprintln!(
+            "update-stress: failing case persisted to {}",
+            path.display()
+        ),
+        Err(e) => eprintln!("update-stress: could not persist {}: {e}", path.display()),
+    }
+}
+
+/// ddmin-style greedy minimization over any item list (ops or edges):
+/// drop chunks while the failure reproduces, halving the chunk size down
+/// to single items, within `budget` predicate evaluations.
+fn shrink_items<T: Clone>(
+    mut items: Vec<T>,
+    budget: &mut usize,
+    fails: &dyn Fn(&[T]) -> bool,
+) -> Vec<T> {
+    if items.is_empty() {
+        return items;
+    }
+    let mut chunk = (items.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < items.len() && *budget > 0 {
+            let mut candidate = items.clone();
+            let end = (i + chunk).min(candidate.len());
+            candidate.drain(i..end);
+            *budget -= 1;
+            if fails(&candidate) {
+                items = candidate;
+            } else {
+                i = end;
+            }
+        }
+        if chunk == 1 || *budget == 0 {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+    items
+}
+
+/// Loads every corpus entry under `dir` and re-runs it. Returns
+/// `(case, still_failing)` pairs; a missing directory is an empty
+/// (clean) corpus, an unparseable file is a loud error.
+pub fn replay_update_corpus(dir: &Path, repeats: usize) -> Result<Vec<(UpdateCase, bool)>, String> {
+    if !dir.exists() {
+        return Ok(Vec::new());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("reading corpus dir {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.extension().is_some_and(|x| x == "json")
+                && p.file_name()
+                    .is_some_and(|n| n.to_string_lossy().starts_with("case-"))
+        })
+        .collect();
+    entries.sort();
+    let mut out = Vec::new();
+    for path in entries {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let json = ppscan_obs::json::parse(&text)
+            .map_err(|e| format!("parsing {}: {e}", path.display()))?;
+        let case = UpdateCase::from_json(&json)
+            .ok_or_else(|| format!("malformed corpus entry {}", path.display()))?;
+        let still_failing = case.reproduces(repeats);
+        out.push((case, still_failing));
+    }
+    Ok(out)
+}
+
+/// Runs the sweep like [`run_update_stress`], additionally producing a
+/// [`RunReport`] recording every (family, seed) case under
+/// `extra["cases"]`, with the shrunk failure inline when one diverges.
+pub fn run_update_stress_report(
+    cfg: &UpdateStressConfig,
+) -> (Result<UpdateStressStats, Box<UpdateCase>>, RunReport) {
+    let wall = Instant::now();
+    let mut report = RunReport::new("update-stress");
+    report.push_extra("master_seed", Json::from_u64(cfg.master_seed));
+    report.push_extra(
+        "seeds_per_generator",
+        Json::from_u64(cfg.seeds_per_generator),
+    );
+    report.push_extra("generators", Json::from_u64(ZOO.len() as u64));
+    report.push_extra("threads", Json::from_u64(cfg.threads as u64));
+    let mut cases = Vec::new();
+    let mut stats = UpdateStressStats::default();
+    let mut failure = None;
+    'sweep: for (family, &family_name) in ZOO.iter().enumerate() {
+        for si in 0..cfg.seeds_per_generator {
+            let seed = graph_seed(cfg.master_seed, family, si);
+            match sweep_family_seed(cfg, family, si) {
+                Ok(checked) => {
+                    stats.cases += 1;
+                    stats.deltas_checked += checked;
+                    cases.push(Json::Obj(vec![
+                        ("family".to_string(), Json::Str(family_name.to_string())),
+                        ("seed".to_string(), Json::from_u64(seed)),
+                        ("status".to_string(), Json::Str("ok".to_string())),
+                        ("deltas_checked".to_string(), Json::from_u64(checked)),
+                    ]));
+                }
+                Err(case) => {
+                    cases.push(Json::Obj(vec![
+                        ("family".to_string(), Json::Str(family_name.to_string())),
+                        ("seed".to_string(), Json::from_u64(seed)),
+                        ("status".to_string(), Json::Str("failed".to_string())),
+                        ("case".to_string(), case.to_json()),
+                    ]));
+                    failure = Some(case);
+                    break 'sweep;
+                }
+            }
+        }
+    }
+    report.push_extra("cases", Json::Arr(cases));
+    report.push_extra("deltas_checked", Json::from_u64(stats.deltas_checked));
+    report.wall_nanos = u64::try_from(wall.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    (failure.map_or(Ok(stats), Err), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance sweep: every strategy × batch sizes
+    /// {1, 16, 1% of |E|} × 5 seeds per generator family, incremental
+    /// against from-scratch at every layer.
+    #[test]
+    fn differential_sweep_is_clean() {
+        let cfg = UpdateStressConfig {
+            corpus_dir: None,
+            ..UpdateStressConfig::default()
+        };
+        match run_update_stress(&cfg) {
+            Ok(stats) => {
+                assert_eq!(stats.cases, ZOO.len() as u64 * cfg.seeds_per_generator);
+                assert!(
+                    stats.deltas_checked
+                        >= stats.cases * (cfg.strategies.len() * cfg.batches.len()) as u64 / 2,
+                    "suspiciously few deltas checked: {stats:?}"
+                );
+            }
+            Err(case) => panic!("{case}"),
+        }
+    }
+
+    #[test]
+    fn replay_update_corpus_is_clean() {
+        let dir = default_update_corpus_dir();
+        let replayed = replay_update_corpus(&dir, 3).expect("corpus must parse");
+        let failing: Vec<String> = replayed
+            .iter()
+            .filter(|(_, still)| *still)
+            .map(|(c, _)| c.to_string())
+            .collect();
+        assert!(
+            failing.is_empty(),
+            "update corpus entries still reproduce:\n{}",
+            failing.join("\n\n")
+        );
+    }
+
+    #[test]
+    fn case_json_roundtrips() {
+        let case = UpdateCase {
+            family: 4,
+            graph_seed: 0xfeed_beef,
+            strategy: ExecutionStrategy::AdversarialSeeded { seed: 7 },
+            threads: 3,
+            batch: "fixed-16".to_string(),
+            step: 1,
+            num_vertices: 9,
+            edges: vec![(0, 1), (1, 2), (2, 8)],
+            ops: vec![(true, 0, 8), (false, 1, 2)],
+            params: vec![(0.4, 2), (0.65, 3)],
+            detail: "synthetic".to_string(),
+        };
+        let text = case.to_json().to_pretty_string();
+        let parsed = ppscan_obs::json::parse(&text).expect("valid json");
+        assert_eq!(UpdateCase::from_json(&parsed), Some(case));
+    }
+
+    #[test]
+    fn shrinker_minimizes_to_the_culprit_op() {
+        // Synthetic predicate: fails iff the op (+, 0, 5) is present.
+        let ops: Vec<Op> = (0..12).map(|i| (i % 2 == 0, i, i + 5)).collect();
+        let mut budget = 200;
+        let shrunk = shrink_items(ops, &mut budget, &|ops: &[Op]| ops.contains(&(true, 0, 5)));
+        assert_eq!(shrunk, vec![(true, 0, 5)]);
+    }
+
+    #[test]
+    fn batch_spec_resolution() {
+        assert_eq!(BatchSpec::Fixed(16).resolve(4), 16);
+        assert_eq!(BatchSpec::EdgeFraction(0.01).resolve(5000), 50);
+        assert_eq!(BatchSpec::EdgeFraction(0.01).resolve(10), 1, "never zero");
+        assert_eq!(BatchSpec::EdgeFraction(0.01).label(), "frac-0.01");
+    }
+
+    #[test]
+    fn random_delta_is_valid_and_mixed() {
+        let g = zoo_graph(4, 99);
+        let delta = random_delta(&g, 32, 1234);
+        assert!(!delta.is_empty());
+        assert!(delta.validate(&g).is_ok());
+        assert!(!delta.deletes().is_empty(), "should draw deletions");
+        assert!(!delta.inserts().is_empty(), "should draw insertions");
+    }
+
+    #[test]
+    fn hot_delta_stays_in_a_small_window_and_is_effective() {
+        let g = zoo_graph(0, 7); // roll family — the bench's workload
+        let delta = hot_delta(&g, 24, 42);
+        assert!(!delta.is_empty());
+        assert!(delta.validate(&g).is_ok());
+        let endpoints: Vec<VertexId> = delta
+            .inserts()
+            .iter()
+            .chain(delta.deletes().iter())
+            .flat_map(|&(u, v)| [u, v])
+            .collect();
+        let lo = *endpoints.iter().min().unwrap();
+        let hi = *endpoints.iter().max().unwrap();
+        assert!(
+            (hi - lo) as usize <= ((24f64.sqrt() as usize) * 4).max(16),
+            "window [{lo}, {hi}] wider than the documented bound"
+        );
+        // Every draw targets a present edge (delete) or an absent one
+        // (insert), so the whole batch is effective.
+        for &(u, v) in delta.deletes() {
+            assert!(g.has_edge(u, v));
+        }
+        for &(u, v) in delta.inserts() {
+            assert!(!g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn hot_delta_differential_across_strategies() {
+        // The localized-workload analogue of the main sweep, kept small:
+        // the rev-index splice and positional core-order diff both take
+        // their fast paths here, so a bug in either diverges loudly.
+        for family in [0usize, 3, 9] {
+            let g = zoo_graph(family, 11);
+            for batch in [4usize, 24] {
+                let delta = hot_delta(&g, batch, 0x407 + batch as u64);
+                for strategy in [
+                    ExecutionStrategy::Parallel,
+                    ExecutionStrategy::AdversarialSeeded { seed: 3 },
+                ] {
+                    if let Some(detail) =
+                        divergence(&g, &delta, strategy, 2, &[(0.4, 2), (0.65, 3)])
+                    {
+                        panic!(
+                            "hot delta diverged ({}, batch {batch}): {detail}",
+                            ZOO[family]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zoo_covers_every_family_with_nontrivial_graphs() {
+        for (family, &name) in ZOO.iter().enumerate() {
+            let g = zoo_graph(family, 5);
+            assert!(g.num_vertices() >= 8, "{name} too small");
+            assert!(g.num_edges() >= 7, "{name} too sparse");
+        }
+    }
+}

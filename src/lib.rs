@@ -39,6 +39,9 @@
 //! * [`serve`] — a long-lived clustering service over the index:
 //!   batched concurrent queries, non-blocking index swaps
 //!   (`ppscan-serve`).
+//! * [`update`] — incremental re-clustering on streaming edge updates:
+//!   batched deltas, localized index maintenance, union-find surgery
+//!   (`ppscan-update`).
 //!
 //! See `DESIGN.md` for the paper-to-module inventory and
 //! `EXPERIMENTS.md` for the reproduced evaluation.
@@ -51,6 +54,7 @@ pub use ppscan_obs as obs;
 pub use ppscan_sched as sched;
 pub use ppscan_serve as serve;
 pub use ppscan_unionfind as unionfind;
+pub use ppscan_update as update;
 
 /// One-stop imports for typical use.
 pub mod prelude {
