@@ -1,0 +1,160 @@
+//! Measured-autotuner comparison: the fixed-ratio [`Kernel::Adaptive`]
+//! dispatch against [`Kernel::Autotuned`] — the per-bucket plan measured
+//! on sampled real pairs at precomp time — end-to-end on the ROLL suite.
+//!
+//! The autotuned arm's [`KernelPrecomp`] (FESIA layouts + measured plan)
+//! is built once per cell *outside* the timed region, the same
+//! amortization argument as GS*-Index construction: the plan is a
+//! per-graph artifact reused by every later run. Each row interleaves
+//! the two arms run by run and scores the cell as the **median of the
+//! paired per-iteration ratios**: the two arms of one iteration run
+//! back to back (seconds apart), so slow host-speed drift — which can
+//! swing absolute times by 2× across minutes on shared machines —
+//! cancels inside each pair instead of corrupting a ratio of
+//! independently-taken minima. The clusterings are asserted identical.
+//!
+//! The emitted [`FigureReport`] carries both `RunReport`s per cell
+//! (tagged `config=adaptive` / `config=autotuned` in `extra`); the
+//! autotuned runs' counters record the plan's decision mix —
+//! `autotune_samples`, `autotune_buckets`, the per-family
+//! `autotune_wins_*`, and the planned/fallback dispatch split — which
+//! `report_check --check-runs` gates against the committed baseline.
+//!
+//! ```sh
+//! cargo run --release -p ppscan-bench --bin autotune_bench -- [--scale 1.0]
+//! ```
+
+use ppscan_bench::{best_of_n, secs, HarnessArgs, Table};
+use ppscan_core::ppscan::{ppscan, PpScanConfig};
+use ppscan_core::precomp::build_kernel_precomp;
+use ppscan_intersect::{AutotuneConfig, Kernel};
+use ppscan_obs::json::Json;
+use std::sync::Arc;
+
+fn main() {
+    let mut args = HarnessArgs::parse();
+    if args.eps_list == [0.2, 0.4, 0.6, 0.8] {
+        // Kernel dispatch shows at small eps, where most intersection
+        // work survives pruning; one larger eps keeps the
+        // mostly-pruned regime honest.
+        args.eps_list = vec![0.2, 0.6];
+    }
+    let budget = (1_000_000.0 * args.scale) as usize;
+    eprintln!("generating ROLL suite with |E| ≈ {budget} …");
+    let mut suite = ppscan_graph::datasets::roll_suite(budget);
+    if args.quick {
+        suite.truncate(1);
+    } else {
+        // The Table 1 stand-ins (fig5's workload) join the suite: the
+        // skewed R-MAT graphs are where the fixed 32× rule errs most —
+        // hub pairs with *large* short lists sit in the galloping regime
+        // but want the streaming block kernel.
+        suite.extend(
+            ppscan_bench::load_datasets(&args)
+                .into_iter()
+                .map(|(d, g)| (d.name().to_string(), g)),
+        );
+    }
+    for (name, g) in &suite {
+        eprintln!(
+            "  {name}: {} vertices, {} edges",
+            g.num_vertices(),
+            g.num_edges()
+        );
+    }
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+
+    let mut report = ppscan_bench::figure_report("autotune_bench", &args);
+    let mut table = Table::new(&[
+        "graph",
+        "eps",
+        "adaptive (s)",
+        "autotuned (s)",
+        "speedup",
+        "planned %",
+        "wins m/g/b/f/s",
+    ]);
+    for (name, g) in &suite {
+        for &eps in &args.eps_list {
+            let p = args.params(eps);
+            eprintln!("--- cell {name} eps {eps} ---");
+            // Built once per (graph, params) cell, outside the timed
+            // region — the per-graph artifact every run reuses.
+            let pre = Arc::new(build_kernel_precomp(
+                g,
+                p,
+                Kernel::Autotuned,
+                &AutotuneConfig::default(),
+            ));
+            let adaptive_cfg = PpScanConfig::with_threads(threads).kernel(Kernel::Adaptive);
+            let autotuned_cfg = PpScanConfig::with_threads(threads)
+                .kernel(Kernel::Autotuned)
+                .precomp(Some(Arc::clone(&pre)));
+
+            let mut t_adp = std::time::Duration::MAX;
+            let mut t_aut = std::time::Duration::MAX;
+            let mut ratios = Vec::with_capacity(args.runs);
+            let mut out_adp = None;
+            let mut out_aut = None;
+            for _ in 0..args.runs {
+                let (ta, o) = best_of_n(1, || ppscan(g, p, &adaptive_cfg));
+                if ta < t_adp {
+                    t_adp = ta;
+                }
+                out_adp = Some(o);
+                let (tu, o) = best_of_n(1, || ppscan(g, p, &autotuned_cfg));
+                if tu < t_aut {
+                    t_aut = tu;
+                }
+                out_aut = Some(o);
+                ratios.push(ta.as_secs_f64() / tu.as_secs_f64().max(1e-9));
+            }
+            ratios.sort_by(|a, b| a.total_cmp(b));
+            let speedup = ratios[ratios.len() / 2];
+            let (out_adp, out_aut) = (out_adp.unwrap(), out_aut.unwrap());
+            assert_eq!(
+                out_adp.clustering, out_aut.clustering,
+                "kernel dispatch strategies disagree on {name} at eps {eps}"
+            );
+            let planned = out_aut.report.counters.autotune_planned;
+            let fallback = out_aut.report.counters.autotune_fallback;
+            let planned_pct = 100.0 * planned as f64 / (planned + fallback).max(1) as f64;
+            let c = &out_aut.report.counters;
+            let wins = format!(
+                "{}/{}/{}/{}/{}",
+                c.autotune_wins_merge,
+                c.autotune_wins_gallop,
+                c.autotune_wins_block,
+                c.autotune_wins_fesia,
+                c.autotune_wins_shuffle
+            );
+
+            for (tag, out) in [("adaptive", out_adp), ("autotuned", out_aut)] {
+                let mut r = out.report;
+                r.dataset = Some(name.clone());
+                r.extra.push(("config".into(), Json::Str(tag.into())));
+                if tag == "autotuned" {
+                    r.extra
+                        .push(("paired_speedup_median".into(), Json::Num(speedup)));
+                }
+                report.runs.push(r);
+            }
+            table.row(vec![
+                name.clone(),
+                format!("{eps:.1}"),
+                secs(t_adp),
+                secs(t_aut),
+                format!("{speedup:.2}x"),
+                format!("{planned_pct:.0}"),
+                wins,
+            ]);
+        }
+    }
+    println!(
+        "\nKernel dispatch: fixed-ratio adaptive vs measured per-bucket \
+         autotuned plan (mu = {}, precomp amortized)",
+        args.mu
+    );
+    table.print(args.csv);
+    ppscan_bench::emit_report(&args, report, &table);
+}

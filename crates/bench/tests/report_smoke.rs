@@ -78,7 +78,40 @@ report_smoke!(
     obs_overhead,
     serve_bench,
     soak,
+    autotune_bench,
 );
+
+#[test]
+fn autotuned_runs_carry_decision_mix() {
+    // Deep-check the autotuner figure: every `config=autotuned` run must
+    // record the measured plan's decision mix, and the win counts must
+    // partition exactly the planned buckets.
+    let report = check_bin("autotune_bench", env!("CARGO_BIN_EXE_autotune_bench"));
+    let autotuned: Vec<_> = report
+        .runs
+        .iter()
+        .filter(|r| {
+            r.extra
+                .iter()
+                .any(|(k, v)| k == "config" && v.as_str() == Some("autotuned"))
+        })
+        .collect();
+    assert!(!autotuned.is_empty(), "no autotuned runs recorded");
+    for run in autotuned {
+        let c = &run.counters;
+        assert!(c.autotune_samples > 0, "plan sampled no pairs");
+        assert!(
+            c.autotune_planned + c.autotune_fallback > 0,
+            "no dispatches"
+        );
+        let wins = c.autotune_wins_merge
+            + c.autotune_wins_gallop
+            + c.autotune_wins_block
+            + c.autotune_wins_fesia
+            + c.autotune_wins_shuffle;
+        assert_eq!(wins, c.autotune_buckets, "win mix must partition buckets");
+    }
+}
 
 #[test]
 fn ppscan_runs_carry_span_phases_and_counters() {
@@ -118,7 +151,7 @@ fn run_all_report_dir_emits_one_report_per_figure() {
         assert_eq!(report.figure, stem);
         count += 1;
     }
-    assert_eq!(count, 17, "one report per figure binary");
+    assert_eq!(count, 18, "one report per figure binary");
 }
 
 #[test]

@@ -35,6 +35,7 @@
 pub mod anyscan;
 pub mod params;
 pub mod ppscan;
+pub mod precomp;
 pub mod pscan;
 pub mod race_fixtures;
 pub mod report;

@@ -6,9 +6,10 @@ use crate::result::Role;
 use crate::simstore::SimStore;
 use ppscan_graph::rng::SplitMix64;
 use ppscan_graph::{CsrGraph, VertexId};
-use ppscan_intersect::{Kernel, Similarity};
+use ppscan_intersect::{Kernel, KernelPrecomp, PrecompCtx, Similarity};
 use ppscan_sched::ExecutionStrategy;
 use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
 
 /// Test-only inter-loop publication hook (see `Shared::between_loops`).
 #[cfg(test)]
@@ -26,6 +27,11 @@ pub(crate) struct Shared<'g> {
     /// How [`Shared::comp_sim_both`] locates the reverse directed slot
     /// (defaults to the precomputed index; see [`super::ReverseLookup`]).
     pub rev_lookup: super::ReverseLookup,
+    /// Per-graph kernel precomputation (FESIA hashed layouts, measured
+    /// autotune plan), when the configured kernel uses one. `None` for
+    /// the classic kernels — the empty [`PrecompCtx`] costs nothing on
+    /// their call path.
+    pub precomp: Option<Arc<KernelPrecomp>>,
     pub sim: SimStore,
     /// Under the sequential-deterministic schedule no concurrent writer
     /// exists, so per-vertex invariants (`sd == ed` after the counting
@@ -63,6 +69,7 @@ impl<'g> Shared<'g> {
             params,
             kernel,
             rev_lookup: super::ReverseLookup::default(),
+            precomp: None,
             sim: SimStore::new(g.num_directed_edges()),
             strict_invariants: strategy == ExecutionStrategy::SequentialDeterministic,
             yield_seed: match strategy {
@@ -198,6 +205,10 @@ impl<'g> Shared<'g> {
     fn comp_sim_value(&self, u: VertexId, v: VertexId) -> Similarity {
         let (nu, nv) = (self.g.neighbors(u), self.g.neighbors(v));
         let min_cn = self.params.min_cn(nu.len(), nv.len());
-        self.kernel.check(nu, nv, min_cn)
+        let ctx = match &self.precomp {
+            Some(pre) => PrecompCtx::new(pre, u, v),
+            None => PrecompCtx::NONE,
+        };
+        self.kernel.check_pre(ctx, nu, nv, min_cn)
     }
 }

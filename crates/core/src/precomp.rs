@@ -1,0 +1,173 @@
+//! Graph-aware construction of the kernel precomputation.
+//!
+//! `ppscan-intersect` owns the [`KernelPrecomp`] data structures (FESIA
+//! hashed layouts, measured [`AutotunePlan`]s) but is graph-agnostic;
+//! this module binds them to a [`CsrGraph`]: building the per-vertex
+//! FESIA entries from the CSR adjacency, and drawing the autotuner's
+//! sample set from the graph's *real* edges — so the measured plan is
+//! tuned on exactly the `(len_a, len_b, min_cn)` distribution the run
+//! will dispatch.
+//!
+//! Sampling is **seeded from the graph shape** (vertex count, edge
+//! count, and the similarity threshold), not from a clock or OS
+//! entropy: two runs over the same graph and parameters draw the same
+//! sample set, keeping `SequentialDeterministic` runs reproducible
+//! end to end. Degenerate graphs are safe by construction — zero edges
+//! sample nothing, tiny graphs under-fill every bucket, and in both
+//! cases the plan stays empty so [`Kernel::Autotuned`] degrades to the
+//! `Adaptive` rule.
+//!
+//! Drivers call [`build_kernel_precomp`] **before** activating their
+//! counter scope: plan measurement runs the real kernels, and those
+//! timing invocations must not pollute the run's `compsim_invocations`.
+//! The plan's summary is then recorded explicitly inside the scope via
+//! [`ppscan_intersect::counters::record_autotune_plan`].
+
+use crate::params::ScanParams;
+use ppscan_graph::rng::SplitMix64;
+use ppscan_graph::CsrGraph;
+use ppscan_intersect::{AutotuneConfig, AutotunePlan, Kernel, KernelPrecomp, SamplePair};
+
+/// Upper bound on sampled edges per plan. 8192 pairs across 72 buckets
+/// keeps measurement in the tens of milliseconds while filling the
+/// populated buckets toward `per_bucket` distinct pairs — distinctness
+/// is what keeps the measurement honest (see `AutotuneConfig`).
+const MAX_SAMPLES: usize = 8192;
+
+/// Whether `kernel` benefits from a [`KernelPrecomp`]. Drivers skip the
+/// build entirely for the classic kernels.
+pub fn wants_precomp(kernel: Kernel) -> bool {
+    matches!(kernel, Kernel::Fesia | Kernel::Autotuned)
+}
+
+/// Builds the precomputation `kernel` needs for running on `g` with
+/// `params`: FESIA layouts for [`Kernel::Fesia`] and
+/// [`Kernel::Autotuned`] (the autotuner measures the FESIA candidate
+/// through them), plus the measured plan for [`Kernel::Autotuned`].
+pub fn build_kernel_precomp(
+    g: &CsrGraph,
+    params: ScanParams,
+    kernel: Kernel,
+    cfg: &AutotuneConfig,
+) -> KernelPrecomp {
+    let fesia = wants_precomp(kernel).then(|| {
+        ppscan_intersect::fesia::FesiaPrecomp::build(g.num_vertices(), g.avg_degree(), |u| {
+            g.neighbors(u)
+        })
+    });
+    let plan = (kernel == Kernel::Autotuned).then(|| {
+        let samples = sample_pairs(g, params, MAX_SAMPLES);
+        AutotunePlan::measure(&samples, fesia.as_ref(), cfg)
+    });
+    KernelPrecomp::new(fesia, plan)
+}
+
+/// Draws up to `max` `(N(u), N(v), min_cn)` samples from `g`'s directed
+/// edge slots, seeded deterministically from the graph shape and
+/// threshold parameters.
+fn sample_pairs(g: &CsrGraph, params: ScanParams, max: usize) -> Vec<SamplePair<'_>> {
+    let m2 = g.num_directed_edges();
+    if m2 == 0 {
+        return Vec::new();
+    }
+    let seed = 0xA070_7E45_u64
+        ^ (g.num_vertices() as u64).rotate_left(17)
+        ^ (m2 as u64).rotate_left(34)
+        ^ (params.mu as u64).rotate_left(51)
+        ^ params.min_cn(7, 13);
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    (0..max.min(m2))
+        .map(|_| {
+            let eo = rng.gen_index(m2);
+            let (u, v) = (g.slot_src(eo), g.edge_dst(eo));
+            let (a, b) = (g.neighbors(u), g.neighbors(v));
+            SamplePair {
+                u,
+                v,
+                a,
+                b,
+                min_cn: params.min_cn(a.len(), b.len()),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppscan_graph::{builder, gen};
+
+    fn zoo_graph() -> CsrGraph {
+        gen::roll(400, 24, 0xFE51A)
+    }
+
+    fn params() -> ScanParams {
+        ScanParams::new(0.5, 4)
+    }
+
+    #[test]
+    fn classic_kernels_want_no_precomp() {
+        for k in [
+            Kernel::MergeEarly,
+            Kernel::PivotScalar,
+            Kernel::Galloping,
+            Kernel::Adaptive,
+            Kernel::Shuffling,
+        ] {
+            assert!(!wants_precomp(k), "{k}");
+        }
+        assert!(wants_precomp(Kernel::Fesia));
+        assert!(wants_precomp(Kernel::Autotuned));
+    }
+
+    #[test]
+    fn fesia_precomp_has_layout_but_no_plan() {
+        let g = zoo_graph();
+        let pre = build_kernel_precomp(&g, params(), Kernel::Fesia, &AutotuneConfig::default());
+        assert!(pre.fesia().is_some());
+        assert!(pre.plan().is_none());
+    }
+
+    #[test]
+    fn autotuned_precomp_plans_buckets_on_a_real_graph() {
+        let g = zoo_graph();
+        let pre = build_kernel_precomp(&g, params(), Kernel::Autotuned, &AutotuneConfig::default());
+        assert!(pre.fesia().is_some());
+        let plan = pre.plan().expect("autotuned builds a plan");
+        assert!(plan.stats().samples > 0);
+        assert!(
+            !plan.is_empty(),
+            "a 400-vertex ROLL graph populates at least one bucket"
+        );
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let g = zoo_graph();
+        let a = sample_pairs(&g, params(), 64);
+        let b = sample_pairs(&g, params(), 64);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.u, x.v, x.min_cn), (y.u, y.v, y.min_cn));
+        }
+    }
+
+    #[test]
+    fn degenerate_graphs_yield_empty_plans() {
+        let g = builder::from_edges(&[]);
+        assert!(sample_pairs(&g, params(), 64).is_empty());
+        let pre = build_kernel_precomp(&g, params(), Kernel::Autotuned, &AutotuneConfig::default());
+        let plan = pre.plan().expect("plan exists but is empty");
+        assert!(plan.is_empty(), "no edges → no samples → empty plan");
+        // Tiny graph: a couple of edges can't clear min_per_bucket
+        // across buckets; whatever happens, the plan must stay total.
+        let tiny = builder::from_edges(&[(0, 1), (1, 2)]);
+        let pre = build_kernel_precomp(
+            &tiny,
+            params(),
+            Kernel::Autotuned,
+            &AutotuneConfig::default(),
+        );
+        assert!(pre.plan().is_some());
+    }
+}

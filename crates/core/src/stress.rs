@@ -132,7 +132,14 @@ impl Default for StressConfig {
                 ExecutionStrategy::AdversarialSeeded { seed: 0xdead_beef },
             ],
             schedulers: vec![SchedulerKind::WorkStealing, SchedulerKind::SharedQueue],
-            kernels: vec![Kernel::MergeEarly, Kernel::auto(), Kernel::Adaptive],
+            kernels: vec![
+                Kernel::MergeEarly,
+                Kernel::auto(),
+                Kernel::Adaptive,
+                Kernel::Fesia,
+                Kernel::Shuffling,
+                Kernel::Autotuned,
+            ],
             params: vec![(0.3, 2), (0.5, 3), (0.8, 4)],
             check_baselines: true,
             degree_threshold: 8,
@@ -958,6 +965,27 @@ mod tests {
         assert_eq!(back.mu, case.mu);
         assert_eq!(back.edges, case.edges);
         assert_eq!(back.detail, case.detail);
+    }
+
+    #[test]
+    fn failing_case_roundtrips_every_kernel() {
+        // The sweep's kernel axis now includes the hash/shuffling/
+        // autotuned kernels: record/replay must survive each of them
+        // (serialized by name, parsed back, and emitted replayably in
+        // the generated regression body).
+        for kernel in Kernel::ALL {
+            let case = FailingCase {
+                kernel: Some(kernel),
+                ..sample_case()
+            };
+            let back = FailingCase::from_json(&case.to_json()).unwrap();
+            assert_eq!(back.kernel, Some(kernel), "{kernel}");
+            assert!(
+                case.regression_test_body()
+                    .contains(&format!("Kernel::{kernel:?}")),
+                "{kernel} missing from regression body"
+            );
+        }
     }
 
     #[test]

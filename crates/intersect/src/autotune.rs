@@ -1,0 +1,544 @@
+//! Measured per-bucket kernel autotuning.
+//!
+//! [`crate::Kernel::Adaptive`] picks gallop-vs-block by one fixed 32×
+//! length ratio ([`crate::kernel::ADAPTIVE_GALLOP_RATIO`]). That single
+//! hand-tuned crossover ignores set size, selectivity, and what the
+//! host's ISA actually delivers — the merge kernel beats vectorized
+//! all-pairs on tiny lists, FESIA wins on low-selectivity mid-size
+//! pairs, and the crossovers move between machines.
+//!
+//! The autotuner replaces the guess with a measurement. At run start the
+//! driver samples real `(N(u), N(v))` pairs from the actual graph
+//! (seeded, so `SequentialDeterministic` runs sample identically), bins
+//! them into log-scale **(size, skew)** buckets, and times every
+//! eligible kernel on each bucket's samples — best-of-k on the
+//! monotonic clock under a bounded budget, buckets visited in fixed
+//! index order. The resulting [`AutotunePlan`] maps any `(len_a,
+//! len_b)` to its bucket's measured winner in a few ALU ops;
+//! [`crate::Kernel::Autotuned`] dispatches through it, falling back to
+//! the `Adaptive` rule for buckets the sample never hit (degenerate or
+//! tiny graphs plan zero buckets and degrade to `Adaptive` wholesale).
+//!
+//! Two guards keep a plan from ever making things *worse* than the
+//! fixed rule it replaces:
+//! * the kernel `Adaptive` would pick is the **incumbent** of every
+//!   bucket, and a challenger only displaces it by beating its best
+//!   time by ≥ 1/4 — timing noise or cache-hot measurement flattery
+//!   alone cannot flip a bucket;
+//! * winners are concrete kernels only (never `Adaptive`/`Autotuned`),
+//!   so dispatch cannot recurse.
+//!
+//! The plan's summary — sample count, planned buckets, per-family win
+//! mix — flows into run reports via
+//! [`crate::counters::record_autotune_plan`], and the per-call
+//! planned/fallback decision mix via
+//! [`crate::counters::record_autotune_dispatch`]; `report_check
+//! --check-runs` gates both.
+
+use std::time::{Duration, Instant};
+
+use crate::fesia::FesiaPrecomp;
+use crate::kernel::{Kernel, ADAPTIVE_GALLOP_RATIO};
+
+/// Log₂ size classes for the shorter list: class = bit-length of
+/// `min(len_a, len_b)`, clamped. Class 11 holds everything ≥ 1024.
+pub const SIZE_CLASSES: usize = 12;
+/// Log₂ skew classes for `max/min`: class 5 holds ratios ≥ 32 — aligned
+/// with [`ADAPTIVE_GALLOP_RATIO`] so the galloping regime is one class.
+pub const SKEW_CLASSES: usize = 6;
+/// Total (size, skew) buckets a plan can hold.
+pub const BUCKETS: usize = SIZE_CLASSES * SKEW_CLASSES;
+
+#[inline]
+fn bit_len(x: usize) -> usize {
+    (usize::BITS - x.leading_zeros()) as usize
+}
+
+/// Bucket index of a `(len_a, len_b)` pair. Pure ALU — two bit-lengths
+/// and a shift, no division: the ratio is approximated as
+/// `long >> (bit_len(short) - 1)`, exact whenever `short` is a power of
+/// two and within one log₂ class otherwise. This sits on the per-call
+/// dispatch path, where a hardware divide would cost as much as a small
+/// intersection.
+#[inline]
+pub fn bucket_of(len_a: usize, len_b: usize) -> usize {
+    let (short, long) = if len_a <= len_b {
+        (len_a, len_b)
+    } else {
+        (len_b, len_a)
+    };
+    let size = bit_len(short).min(SIZE_CLASSES - 1);
+    let ratio = long >> bit_len(short).saturating_sub(1);
+    let skew = bit_len(ratio).saturating_sub(1).min(SKEW_CLASSES - 1);
+    size * SKEW_CLASSES + skew
+}
+
+/// One sampled `CompSim` call: the two neighbor slices, their vertex
+/// ids (for the FESIA precomputed path), and the real `min_cn` the run
+/// would use — so measurement exercises the same early-termination
+/// behavior as production calls.
+#[derive(Clone, Copy, Debug)]
+pub struct SamplePair<'g> {
+    pub u: u32,
+    pub v: u32,
+    pub a: &'g [u32],
+    pub b: &'g [u32],
+    pub min_cn: u64,
+}
+
+/// Measurement protocol knobs. Defaults are sized so a full plan costs
+/// a few milliseconds — noise on any run long enough to care about.
+#[derive(Clone, Copy, Debug)]
+pub struct AutotuneConfig {
+    /// Samples kept per bucket (extras are dropped, keeping measurement
+    /// cost bounded regardless of sample-set size).
+    pub per_bucket: usize,
+    /// Buckets with fewer samples than this are left unplanned (their
+    /// dispatches fall back to the `Adaptive` rule) — a couple of stray
+    /// pairs is not a measurement.
+    pub min_per_bucket: usize,
+    /// Timed passes per (bucket, kernel); a kernel's score is the
+    /// **total** time across passes. Summing (rather than taking the
+    /// minimum) is what keeps the measurement honest about memory:
+    /// a bucket of small lists stays cache-resident across passes, so
+    /// the total reflects compute; a bucket of hub-sized lists evicts
+    /// itself between passes, so the total reflects the streaming /
+    /// random-probe behavior the kernel will show in production.
+    pub best_of: usize,
+    /// Wall-clock budget for the whole measurement pass, checked
+    /// between buckets; on overrun the remaining buckets stay
+    /// unplanned.
+    pub budget: Duration,
+}
+
+impl Default for AutotuneConfig {
+    fn default() -> Self {
+        // Many distinct pairs, a single repetition. Repeating a small
+        // group keeps its lists resident in L1/L2 and lets the branch
+        // predictor memorize comparison sequences — flattering exactly
+        // the kernels that lose in production: galloping's dependent
+        // random probes look cheap against a warm long list but stall
+        // on L3/DRAM when the run streams the whole graph, while the
+        // block kernels' linear scans prefetch equally well either way.
+        // One pass over ~200 distinct pairs sizes the measurement
+        // working set like the production working set (hub lists large
+        // enough to fall out of L2), stretches each timing window far
+        // past clock-read granularity, and charges every kernel the
+        // same first-touch costs.
+        AutotuneConfig {
+            per_bucket: 192,
+            min_per_bucket: 3,
+            best_of: 2,
+            budget: Duration::from_millis(150),
+        }
+    }
+}
+
+/// Build-time summary of a plan, recorded into the run's counter scope
+/// by the driver (see [`crate::counters::record_autotune_plan`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Sampled pairs the plan was measured on.
+    pub samples: u64,
+    /// Buckets that got a measured winner.
+    pub buckets: u64,
+    /// Buckets won by the merge kernel.
+    pub wins_merge: u64,
+    /// Buckets won by the galloping kernel.
+    pub wins_gallop: u64,
+    /// Buckets won by the best block/pivot kernel for the host ISA.
+    pub wins_block: u64,
+    /// Buckets won by the FESIA hash kernel.
+    pub wins_fesia: u64,
+    /// Buckets won by the shuffling kernel.
+    pub wins_shuffle: u64,
+}
+
+/// A measured dispatch table: per-bucket winning kernels.
+#[derive(Clone, Debug)]
+pub struct AutotunePlan {
+    winners: [Option<Kernel>; BUCKETS],
+    stats: PlanStats,
+}
+
+impl AutotunePlan {
+    /// An empty plan: every dispatch falls back to the `Adaptive` rule.
+    /// What degenerate graphs (no edges, fewer samples than
+    /// `min_per_bucket` everywhere) get.
+    pub fn empty() -> AutotunePlan {
+        AutotunePlan {
+            winners: [None; BUCKETS],
+            stats: PlanStats::default(),
+        }
+    }
+
+    /// The concrete kernels a plan may pick, in fixed measurement
+    /// order. `Adaptive`'s own candidates ([`Kernel::auto`] and
+    /// galloping) are included, so a plan is a strict generalization of
+    /// the fixed rule; *both* block widths are candidates because the
+    /// narrower AVX2 kernel beats AVX-512 on some hosts and shapes
+    /// (unavailable ISAs are filtered at measurement time).
+    fn candidates() -> [Kernel; 6] {
+        [
+            Kernel::MergeEarly,
+            Kernel::Galloping,
+            Kernel::auto(),
+            Kernel::BlockAvx2,
+            Kernel::Shuffling,
+            Kernel::Fesia,
+        ]
+    }
+
+    /// The kernel the fixed `Adaptive` rule would pick for a bucket —
+    /// the incumbent a challenger must clearly beat.
+    fn incumbent(bucket: usize) -> Kernel {
+        const {
+            assert!(ADAPTIVE_GALLOP_RATIO == 32, "skew classes assume 32×");
+        }
+        if bucket % SKEW_CLASSES == SKEW_CLASSES - 1 {
+            Kernel::Galloping
+        } else {
+            Kernel::auto()
+        }
+    }
+
+    /// Measures `candidates` on `samples` and returns the plan.
+    /// Deterministic inputs in, fixed bucket and candidate order, with
+    /// the per-bucket incumbent-hysteresis guard; only the timings
+    /// themselves vary between hosts.
+    pub fn measure(
+        samples: &[SamplePair<'_>],
+        fesia: Option<&FesiaPrecomp>,
+        cfg: &AutotuneConfig,
+    ) -> AutotunePlan {
+        let mut groups: Vec<Vec<SamplePair<'_>>> = vec![Vec::new(); BUCKETS];
+        for &s in samples {
+            // Trivial pairs — decided by the Definition 3.9 pre-checks
+            // before any list is touched — never reach the plan at
+            // dispatch time (see `Kernel::Autotuned`), so timing them
+            // would only launder noise into winners and burn budget.
+            if s.min_cn <= 2
+                || (s.a.len() as u64 + 2) < s.min_cn
+                || (s.b.len() as u64 + 2) < s.min_cn
+            {
+                continue;
+            }
+            let g = &mut groups[bucket_of(s.a.len(), s.b.len())];
+            if g.len() < cfg.per_bucket {
+                g.push(s);
+            }
+        }
+        let start = Instant::now();
+        let mut plan = AutotunePlan::empty();
+        plan.stats.samples = samples.len() as u64;
+        for (bucket, group) in groups.iter().enumerate() {
+            if group.len() < cfg.min_per_bucket {
+                continue;
+            }
+            if start.elapsed() > cfg.budget {
+                break;
+            }
+            let incumbent = Self::incumbent(bucket);
+            std::hint::black_box(warm_group(group));
+            let incumbent_ns = time_kernel(incumbent, group, fesia, cfg.best_of);
+            let mut best = (incumbent, incumbent_ns);
+            let dump = std::env::var_os("PPSCAN_AUTOTUNE_DUMP").is_some();
+            if dump {
+                eprintln!(
+                    "bucket {bucket:2} (size {:2}, skew {}) n={:3} {}={}ns/pair",
+                    bucket / SKEW_CLASSES,
+                    bucket % SKEW_CLASSES,
+                    group.len(),
+                    incumbent.name(),
+                    incumbent_ns / group.len() as u64,
+                );
+            }
+            let mut timed = [incumbent; 8];
+            let mut n_timed = 1;
+            for k in Self::candidates() {
+                // Skip unavailable ISAs and duplicates (`Kernel::auto()`
+                // aliases one of the explicit block candidates).
+                if !k.available() || timed[..n_timed].contains(&k) {
+                    continue;
+                }
+                timed[n_timed] = k;
+                n_timed += 1;
+                let ns = time_kernel(k, group, fesia, cfg.best_of);
+                if dump {
+                    eprintln!(
+                        "            {:>12}={}ns/pair",
+                        k.name(),
+                        ns / group.len() as u64
+                    );
+                }
+                // Hysteresis, scaled by how faithfully measurement
+                // predicts production for the challenger's access
+                // pattern. Streaming challengers (merge, shuffling, the
+                // block widths) touch exactly the bytes production will
+                // touch, so a ≥ 1/4 measured win is trusted. Galloping's
+                // random probes and FESIA's auxiliary layouts are warm
+                // under measurement but miss in production — webbase-
+                // sized graphs showed FESIA winning a measured bucket it
+                // loses 10× end to end — so those challengers must win
+                // by ≥ 2× before they displace a streaming best.
+                let wins = if matches!(k, Kernel::Galloping | Kernel::Fesia) {
+                    ns.saturating_mul(2) < best.1
+                } else {
+                    ns.saturating_mul(4) < best.1.saturating_mul(3)
+                };
+                if wins {
+                    best = (k, ns);
+                }
+            }
+            plan.winners[bucket] = Some(best.0);
+            plan.stats.buckets += 1;
+            match best.0 {
+                Kernel::MergeEarly => plan.stats.wins_merge += 1,
+                Kernel::Galloping => plan.stats.wins_gallop += 1,
+                Kernel::Shuffling => plan.stats.wins_shuffle += 1,
+                Kernel::Fesia => plan.stats.wins_fesia += 1,
+                _ => plan.stats.wins_block += 1,
+            }
+        }
+        plan
+    }
+
+    /// The measured winner for a `(len_a, len_b)` pair, or `None` if
+    /// its bucket is unplanned (caller falls back to the `Adaptive`
+    /// rule).
+    #[inline]
+    pub fn winner(&self, len_a: usize, len_b: usize) -> Option<Kernel> {
+        self.winners[bucket_of(len_a, len_b)]
+    }
+
+    /// Build-time summary for counter recording.
+    pub fn stats(&self) -> &PlanStats {
+        &self.stats
+    }
+
+    /// Whether any bucket has a measured winner.
+    pub fn is_empty(&self) -> bool {
+        self.stats.buckets == 0
+    }
+}
+
+/// Total nanoseconds across `passes` timed passes of `kernel` over one
+/// bucket's samples. Runs the real kernels on the real slices —
+/// including the FESIA precomputed path when a precomp is supplied —
+/// so the score includes each kernel's true early-termination behavior.
+/// See [`AutotuneConfig::best_of`] for why the passes are summed.
+fn time_kernel(
+    kernel: Kernel,
+    group: &[SamplePair<'_>],
+    fesia: Option<&FesiaPrecomp>,
+    passes: usize,
+) -> u64 {
+    let t = Instant::now();
+    for _ in 0..passes.max(1) {
+        for s in group {
+            let out = match (kernel, fesia) {
+                (Kernel::Fesia, Some(f)) => {
+                    crate::fesia::check_pre(f, s.u, s.v, s.a, s.b, s.min_cn)
+                }
+                _ => kernel.check(s.a, s.b, s.min_cn),
+            };
+            std::hint::black_box(out);
+        }
+    }
+    (t.elapsed().as_nanos() as u64).max(1)
+}
+
+/// Streams every byte of a group's slices once, without running any
+/// kernel — a neutral warm-up so the first *timed* kernel is not the
+/// one paying all the first-touch misses. (For hub-sized groups this
+/// is moot — they evict themselves — which is exactly the production
+/// behavior the timing should see.)
+fn warm_group(group: &[SamplePair<'_>]) -> u64 {
+    let mut acc = 0u64;
+    for s in group {
+        acc = acc
+            .wrapping_add(s.a.iter().map(|&x| x as u64).sum::<u64>())
+            .wrapping_add(s.b.iter().map(|&x| x as u64).sum::<u64>());
+    }
+    acc
+}
+
+/// Reusable per-graph kernel precomputation, threaded through
+/// `PpScanConfig` and the GS*-Index build: the FESIA hashed layout
+/// (used by [`Kernel::Fesia`] and as an autotune candidate) and the
+/// measured [`AutotunePlan`] (used by [`Kernel::Autotuned`]). Plain
+/// owned data — `Send + Sync`, shared via `Arc` across worker threads
+/// and index snapshots.
+#[derive(Clone)]
+pub struct KernelPrecomp {
+    fesia: Option<FesiaPrecomp>,
+    plan: Option<AutotunePlan>,
+}
+
+impl KernelPrecomp {
+    pub fn new(fesia: Option<FesiaPrecomp>, plan: Option<AutotunePlan>) -> KernelPrecomp {
+        KernelPrecomp { fesia, plan }
+    }
+
+    pub fn fesia(&self) -> Option<&FesiaPrecomp> {
+        self.fesia.as_ref()
+    }
+
+    /// Mutable access for the `apply_delta` repair path.
+    pub fn fesia_mut(&mut self) -> Option<&mut FesiaPrecomp> {
+        self.fesia.as_mut()
+    }
+
+    pub fn plan(&self) -> Option<&AutotunePlan> {
+        self.plan.as_ref()
+    }
+
+    /// Approximate owned heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.fesia.as_ref().map_or(0, FesiaPrecomp::heap_bytes)
+            + self
+                .plan
+                .as_ref()
+                .map_or(0, |_| std::mem::size_of::<AutotunePlan>())
+    }
+}
+
+impl std::fmt::Debug for KernelPrecomp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelPrecomp")
+            .field("fesia", &self.fesia.as_ref().map(|p| p.buckets()))
+            .field(
+                "plan_buckets",
+                &self.plan.as_ref().map(|p| p.stats().buckets),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::Similarity;
+
+    #[test]
+    fn bucket_of_is_log_scaled_and_total() {
+        // Size classes grow with the shorter list, skew with the ratio.
+        assert_eq!(bucket_of(0, 0), bucket_of(0, 0));
+        assert!(bucket_of(1, 1) < bucket_of(100, 100));
+        assert_eq!(bucket_of(7, 100), bucket_of(100, 7), "symmetric");
+        // The galloping regime (ratio ≥ 32) is exactly the top skew
+        // class, matching ADAPTIVE_GALLOP_RATIO.
+        assert_eq!(bucket_of(4, 4 * 32) % SKEW_CLASSES, SKEW_CLASSES - 1);
+        assert_ne!(bucket_of(4, 4 * 31) % SKEW_CLASSES, SKEW_CLASSES - 1);
+        for (la, lb) in [(0, 0), (0, 9), (1, 1), (5, 1_000_000), (usize::MAX, 1)] {
+            assert!(bucket_of(la, lb) < BUCKETS, "({la},{lb}) out of range");
+        }
+    }
+
+    #[test]
+    fn empty_plan_never_answers() {
+        let plan = AutotunePlan::empty();
+        assert!(plan.is_empty());
+        assert_eq!(plan.winner(10, 20), None);
+        assert_eq!(plan.stats(), &PlanStats::default());
+    }
+
+    #[test]
+    fn too_few_samples_leave_buckets_unplanned() {
+        // Degenerate-graph safety: below min_per_bucket nothing is
+        // planned, so Autotuned degrades to the Adaptive rule.
+        let a: Vec<u32> = (0..10).collect();
+        let b: Vec<u32> = (0..10).map(|x| x * 2).collect();
+        let samples = [SamplePair {
+            u: 0,
+            v: 1,
+            a: &a,
+            b: &b,
+            min_cn: 4,
+        }];
+        let plan = AutotunePlan::measure(&samples, None, &AutotuneConfig::default());
+        assert!(plan.is_empty());
+        assert_eq!(plan.stats().samples, 1);
+    }
+
+    #[test]
+    fn measured_plan_covers_sampled_buckets_with_concrete_winners() {
+        let lists: Vec<Vec<u32>> = (0..8u32)
+            .map(|k| (0..40 + k * 17).map(|x| x * (k + 1)).collect())
+            .collect();
+        let mut samples = Vec::new();
+        for (i, a) in lists.iter().enumerate() {
+            for b in &lists {
+                samples.push(SamplePair {
+                    u: i as u32,
+                    v: (i + 1) as u32 % 8,
+                    a,
+                    b,
+                    min_cn: 8,
+                });
+            }
+        }
+        let plan = AutotunePlan::measure(&samples, None, &AutotuneConfig::default());
+        assert!(!plan.is_empty());
+        let stats = plan.stats();
+        assert_eq!(stats.samples, samples.len() as u64);
+        assert_eq!(
+            stats.buckets,
+            stats.wins_merge
+                + stats.wins_gallop
+                + stats.wins_block
+                + stats.wins_fesia
+                + stats.wins_shuffle,
+            "every planned bucket is attributed to exactly one family"
+        );
+        for s in &samples {
+            if let Some(w) = plan.winner(s.a.len(), s.b.len()) {
+                // Winners are concrete: dispatch cannot recurse.
+                assert!(!matches!(w, Kernel::Adaptive | Kernel::Autotuned));
+                assert!(w.available());
+                // And every winner still honors the CompSim contract.
+                assert_eq!(
+                    w.check(s.a, s.b, s.min_cn),
+                    crate::merge::check_early(s.a, s.b, s.min_cn)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_budget_plans_nothing() {
+        let a: Vec<u32> = (0..64).collect();
+        let samples: Vec<SamplePair<'_>> = (0..8)
+            .map(|_| SamplePair {
+                u: 0,
+                v: 1,
+                a: &a,
+                b: &a,
+                min_cn: 70,
+            })
+            .collect();
+        let cfg = AutotuneConfig {
+            budget: Duration::ZERO,
+            ..AutotuneConfig::default()
+        };
+        // The budget is checked between buckets, before any work.
+        let plan = AutotunePlan::measure(&samples, None, &cfg);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn precomp_container_roundtrip() {
+        let adj: Vec<Vec<u32>> = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
+        let fesia = FesiaPrecomp::build(3, 2.0, |u| &adj[u as usize]);
+        let pre = KernelPrecomp::new(Some(fesia), Some(AutotunePlan::empty()));
+        assert!(pre.fesia().is_some());
+        assert!(pre.plan().is_some());
+        assert!(pre.heap_bytes() > 0);
+        assert_eq!(
+            crate::fesia::check_pre(pre.fesia().unwrap(), 0, 1, &adj[0], &adj[1], 3),
+            Similarity::Sim
+        );
+        let dbg = format!("{pre:?}");
+        assert!(dbg.contains("KernelPrecomp"));
+    }
+}

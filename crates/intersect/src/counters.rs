@@ -14,13 +14,18 @@
 //! exactly the scopes active on that thread.
 //!
 //! The record path itself never touches the scope stack: `record_*`
-//! bumps a pair of plain thread-local [`Cell`]s unconditionally, and
-//! attribution is deferred — each attach guard remembers the local
-//! totals at activation and charges the delta to its scopes when it
-//! drops (with [`CounterScope::snapshot`] folding in the current
-//! thread's still-open window). This keeps the kernel hot path at two
-//! non-atomic thread-local additions per `CompSim`, whether or not any
-//! scope is active.
+//! bumps plain thread-local [`Cell`]s unconditionally, and attribution
+//! is deferred — each attach guard remembers the local totals at
+//! activation and charges the delta to its scopes when it drops (with
+//! [`CounterScope::snapshot`] folding in the current thread's still-open
+//! window). This keeps the kernel hot path at two non-atomic
+//! thread-local additions per `CompSim`, whether or not any scope is
+//! active.
+//!
+//! Internally every counter is a slot in one fixed-size array (indexed
+//! by the `IDX_*` constants), so the windowing machinery is written
+//! once; the public [`CounterSnapshot`] keeps named fields because the
+//! report schema names them.
 //!
 //! Scopes propagate to `ppscan_sched::WorkerPool` worker threads
 //! **automatically**: the first activation registers a
@@ -51,12 +56,34 @@ use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Once};
 
-#[derive(Default)]
+/// Number of distinct counters a scope tracks.
+const N: usize = 13;
+
+// Slot indexes into the counter arrays.
+const IDX_INVOCATIONS: usize = 0;
+const IDX_SCANNED: usize = 1;
+const IDX_ADAPTIVE_GALLOP: usize = 2;
+const IDX_ADAPTIVE_BLOCK: usize = 3;
+const IDX_AUTOTUNE_SAMPLES: usize = 4;
+const IDX_AUTOTUNE_BUCKETS: usize = 5;
+const IDX_AUTOTUNE_WINS_MERGE: usize = 6;
+const IDX_AUTOTUNE_WINS_GALLOP: usize = 7;
+const IDX_AUTOTUNE_WINS_BLOCK: usize = 8;
+const IDX_AUTOTUNE_WINS_FESIA: usize = 9;
+const IDX_AUTOTUNE_WINS_SHUFFLE: usize = 10;
+const IDX_AUTOTUNE_PLANNED: usize = 11;
+const IDX_AUTOTUNE_FALLBACK: usize = 12;
+
 struct ScopeInner {
-    invocations: AtomicU64,
-    scanned: AtomicU64,
-    adaptive_gallop: AtomicU64,
-    adaptive_block: AtomicU64,
+    counts: [AtomicU64; N],
+}
+
+impl Default for ScopeInner {
+    fn default() -> Self {
+        Self {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
 }
 
 /// One entry on a thread's active-scope stack: the scope plus the
@@ -64,49 +91,21 @@ struct ScopeInner {
 /// `LOCAL - base` is what this activation charges to the scope.
 struct ActiveEntry {
     scope: Arc<ScopeInner>,
-    base: Totals,
-}
-
-/// A point-in-time copy of one thread's monotone totals.
-#[derive(Clone, Copy, Default)]
-struct Totals {
-    invocations: u64,
-    scanned: u64,
-    adaptive_gallop: u64,
-    adaptive_block: u64,
-}
-
-/// This thread's monotone totals. `record_*` only ever touches these;
-/// scopes are charged by delta on guard drop.
-struct LocalCounts {
-    invocations: Cell<u64>,
-    scanned: Cell<u64>,
-    adaptive_gallop: Cell<u64>,
-    adaptive_block: Cell<u64>,
+    base: [u64; N],
 }
 
 thread_local! {
     /// Scopes recording on this thread. A stack: guards pop what they
     /// pushed, so nested `measure`/`attach` compose.
     static ACTIVE: RefCell<Vec<ActiveEntry>> = const { RefCell::new(Vec::new()) };
-    static LOCAL: LocalCounts = const {
-        LocalCounts {
-            invocations: Cell::new(0),
-            scanned: Cell::new(0),
-            adaptive_gallop: Cell::new(0),
-            adaptive_block: Cell::new(0),
-        }
-    };
+    /// This thread's monotone totals. `record_*` only ever touches
+    /// these; scopes are charged by delta on guard drop.
+    static LOCAL: [Cell<u64>; N] = const { [const { Cell::new(0) }; N] };
 }
 
 /// Current thread-local totals.
-fn local_counts() -> Totals {
-    LOCAL.with(|l| Totals {
-        invocations: l.invocations.get(),
-        scanned: l.scanned.get(),
-        adaptive_gallop: l.adaptive_gallop.get(),
-        adaptive_block: l.adaptive_block.get(),
-    })
+fn local_counts() -> [u64; N] {
+    LOCAL.with(|l| std::array::from_fn(|i| l[i].get()))
 }
 
 /// A point-in-time snapshot of one scope's counters.
@@ -123,17 +122,70 @@ pub struct CounterSnapshot {
     /// Invocations [`crate::Kernel::Adaptive`] routed to the block/pivot
     /// kernel (balanced pair). Zero for every other kernel.
     pub adaptive_block: u64,
+    /// `(len_a, len_b)` pairs the autotuner sampled while building its
+    /// plan (zero unless [`crate::Kernel::Autotuned`] ran).
+    pub autotune_samples: u64,
+    /// Size/skew buckets the autotuner measured and planned a winner for.
+    pub autotune_buckets: u64,
+    /// Buckets whose measured winner is the merge kernel.
+    pub autotune_wins_merge: u64,
+    /// Buckets whose measured winner is the galloping kernel.
+    pub autotune_wins_gallop: u64,
+    /// Buckets whose measured winner is the best block/pivot kernel.
+    pub autotune_wins_block: u64,
+    /// Buckets whose measured winner is the FESIA hash kernel.
+    pub autotune_wins_fesia: u64,
+    /// Buckets whose measured winner is the shuffling kernel.
+    pub autotune_wins_shuffle: u64,
+    /// [`crate::Kernel::Autotuned`] dispatches that hit a bucket with a
+    /// measured winner.
+    pub autotune_planned: u64,
+    /// [`crate::Kernel::Autotuned`] dispatches that fell back to the
+    /// adaptive rule (bucket had too few samples to measure).
+    pub autotune_fallback: u64,
 }
 
 impl CounterSnapshot {
+    fn from_array(a: [u64; N]) -> Self {
+        CounterSnapshot {
+            compsim_invocations: a[IDX_INVOCATIONS],
+            elements_scanned: a[IDX_SCANNED],
+            adaptive_gallop: a[IDX_ADAPTIVE_GALLOP],
+            adaptive_block: a[IDX_ADAPTIVE_BLOCK],
+            autotune_samples: a[IDX_AUTOTUNE_SAMPLES],
+            autotune_buckets: a[IDX_AUTOTUNE_BUCKETS],
+            autotune_wins_merge: a[IDX_AUTOTUNE_WINS_MERGE],
+            autotune_wins_gallop: a[IDX_AUTOTUNE_WINS_GALLOP],
+            autotune_wins_block: a[IDX_AUTOTUNE_WINS_BLOCK],
+            autotune_wins_fesia: a[IDX_AUTOTUNE_WINS_FESIA],
+            autotune_wins_shuffle: a[IDX_AUTOTUNE_WINS_SHUFFLE],
+            autotune_planned: a[IDX_AUTOTUNE_PLANNED],
+            autotune_fallback: a[IDX_AUTOTUNE_FALLBACK],
+        }
+    }
+
+    fn to_array(self) -> [u64; N] {
+        let mut a = [0u64; N];
+        a[IDX_INVOCATIONS] = self.compsim_invocations;
+        a[IDX_SCANNED] = self.elements_scanned;
+        a[IDX_ADAPTIVE_GALLOP] = self.adaptive_gallop;
+        a[IDX_ADAPTIVE_BLOCK] = self.adaptive_block;
+        a[IDX_AUTOTUNE_SAMPLES] = self.autotune_samples;
+        a[IDX_AUTOTUNE_BUCKETS] = self.autotune_buckets;
+        a[IDX_AUTOTUNE_WINS_MERGE] = self.autotune_wins_merge;
+        a[IDX_AUTOTUNE_WINS_GALLOP] = self.autotune_wins_gallop;
+        a[IDX_AUTOTUNE_WINS_BLOCK] = self.autotune_wins_block;
+        a[IDX_AUTOTUNE_WINS_FESIA] = self.autotune_wins_fesia;
+        a[IDX_AUTOTUNE_WINS_SHUFFLE] = self.autotune_wins_shuffle;
+        a[IDX_AUTOTUNE_PLANNED] = self.autotune_planned;
+        a[IDX_AUTOTUNE_FALLBACK] = self.autotune_fallback;
+        a
+    }
+
     /// Counter deltas since `earlier`.
     pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
-        CounterSnapshot {
-            compsim_invocations: self.compsim_invocations - earlier.compsim_invocations,
-            elements_scanned: self.elements_scanned - earlier.elements_scanned,
-            adaptive_gallop: self.adaptive_gallop - earlier.adaptive_gallop,
-            adaptive_block: self.adaptive_block - earlier.adaptive_block,
-        }
+        let (now, then) = (self.to_array(), earlier.to_array());
+        CounterSnapshot::from_array(std::array::from_fn(|i| now[i] - then[i]))
     }
 }
 
@@ -168,12 +220,8 @@ impl CounterScope {
     /// accurate. Windows open on *other* threads only land when their
     /// guards drop (i.e. when those workers finish).
     pub fn snapshot(&self) -> CounterSnapshot {
-        let mut snap = CounterSnapshot {
-            compsim_invocations: self.inner.invocations.load(Ordering::Relaxed),
-            elements_scanned: self.inner.scanned.load(Ordering::Relaxed),
-            adaptive_gallop: self.inner.adaptive_gallop.load(Ordering::Relaxed),
-            adaptive_block: self.inner.adaptive_block.load(Ordering::Relaxed),
-        };
+        let mut totals: [u64; N] =
+            std::array::from_fn(|i| self.inner.counts[i].load(Ordering::Relaxed));
         let now = local_counts();
         ACTIVE.with(|a| {
             if let Some(e) = a
@@ -181,13 +229,12 @@ impl CounterScope {
                 .iter()
                 .find(|e| Arc::ptr_eq(&e.scope, &self.inner))
             {
-                snap.compsim_invocations += now.invocations - e.base.invocations;
-                snap.elements_scanned += now.scanned - e.base.scanned;
-                snap.adaptive_gallop += now.adaptive_gallop - e.base.adaptive_gallop;
-                snap.adaptive_block += now.adaptive_block - e.base.adaptive_block;
+                for i in 0..N {
+                    totals[i] += now[i] - e.base[i];
+                }
             }
         });
-        snap
+        CounterSnapshot::from_array(totals)
     }
 
     /// Runs `f` with the scope active on the current thread and returns
@@ -295,37 +342,32 @@ impl Drop for AttachGuard {
             let mut stack = a.borrow_mut();
             for _ in 0..self.pushed {
                 let e = stack.pop().expect("guard outlived its stack entries");
-                e.scope
-                    .invocations
-                    .fetch_add(now.invocations - e.base.invocations, Ordering::Relaxed);
-                e.scope
-                    .scanned
-                    .fetch_add(now.scanned - e.base.scanned, Ordering::Relaxed);
-                e.scope.adaptive_gallop.fetch_add(
-                    now.adaptive_gallop - e.base.adaptive_gallop,
-                    Ordering::Relaxed,
-                );
-                e.scope.adaptive_block.fetch_add(
-                    now.adaptive_block - e.base.adaptive_block,
-                    Ordering::Relaxed,
-                );
+                for (i, slot) in e.scope.counts.iter().enumerate() {
+                    slot.fetch_add(now[i] - e.base[i], Ordering::Relaxed);
+                }
             }
         });
     }
+}
+
+/// Adds `n` to one thread-local slot.
+#[inline]
+fn bump(idx: usize, n: u64) {
+    LOCAL.with(|l| l[idx].set(l[idx].get() + n));
 }
 
 /// Records one `CompSim` invocation. Called by every kernel entry point;
 /// compiles to a single thread-local increment.
 #[inline]
 pub fn record_invocation() {
-    LOCAL.with(|l| l.invocations.set(l.invocations.get() + 1));
+    bump(IDX_INVOCATIONS, 1);
 }
 
 /// Records `n` scanned elements. Kernels batch this per call, not per
 /// element, to keep the hot loop clean.
 #[inline]
 pub fn record_scanned(n: u64) {
-    LOCAL.with(|l| l.scanned.set(l.scanned.get() + n));
+    bump(IDX_SCANNED, n);
 }
 
 /// Records one `CompSim` invocation together with its scanned-element
@@ -335,8 +377,8 @@ pub fn record_scanned(n: u64) {
 #[inline]
 pub fn record_invocation_scanned(n: u64) {
     LOCAL.with(|l| {
-        l.invocations.set(l.invocations.get() + 1);
-        l.scanned.set(l.scanned.get() + n);
+        l[IDX_INVOCATIONS].set(l[IDX_INVOCATIONS].get() + 1);
+        l[IDX_SCANNED].set(l[IDX_SCANNED].get() + n);
     });
 }
 
@@ -346,13 +388,47 @@ pub fn record_invocation_scanned(n: u64) {
 /// heuristic fires on each dataset.
 #[inline]
 pub fn record_adaptive_choice(gallop: bool) {
-    LOCAL.with(|l| {
-        let c = if gallop {
-            &l.adaptive_gallop
+    bump(
+        if gallop {
+            IDX_ADAPTIVE_GALLOP
         } else {
-            &l.adaptive_block
-        };
-        c.set(c.get() + 1);
+            IDX_ADAPTIVE_BLOCK
+        },
+        1,
+    );
+}
+
+/// Records one [`crate::Kernel::Autotuned`] dispatch decision: `planned`
+/// says whether the call's size/skew bucket had a measured winner
+/// (versus falling back to the adaptive rule). The mix is the report's
+/// evidence of how much of the workload the measured plan covers.
+#[inline]
+pub fn record_autotune_dispatch(planned: bool) {
+    bump(
+        if planned {
+            IDX_AUTOTUNE_PLANNED
+        } else {
+            IDX_AUTOTUNE_FALLBACK
+        },
+        1,
+    );
+}
+
+/// Records an autotune plan's build-time summary — sample count, planned
+/// bucket count, and the per-kernel-family bucket win mix — into the
+/// scopes active on the calling thread. Drivers call this once per run
+/// *inside* their counter scope (plan measurement itself runs outside
+/// any scope so the timing calls don't pollute `compsim_invocations`).
+pub fn record_autotune_plan(stats: &crate::autotune::PlanStats) {
+    LOCAL.with(|l| {
+        let add = |idx: usize, n: u64| l[idx].set(l[idx].get() + n);
+        add(IDX_AUTOTUNE_SAMPLES, stats.samples);
+        add(IDX_AUTOTUNE_BUCKETS, stats.buckets);
+        add(IDX_AUTOTUNE_WINS_MERGE, stats.wins_merge);
+        add(IDX_AUTOTUNE_WINS_GALLOP, stats.wins_gallop);
+        add(IDX_AUTOTUNE_WINS_BLOCK, stats.wins_block);
+        add(IDX_AUTOTUNE_WINS_FESIA, stats.wins_fesia);
+        add(IDX_AUTOTUNE_WINS_SHUFFLE, stats.wins_shuffle);
     });
 }
 
@@ -383,6 +459,35 @@ mod tests {
         });
         assert_eq!(d.adaptive_gallop, 1);
         assert_eq!(d.adaptive_block, 2);
+        assert_eq!(d.compsim_invocations, 0);
+    }
+
+    #[test]
+    fn autotune_counters_are_scoped() {
+        let scope = CounterScope::new();
+        let stats = crate::autotune::PlanStats {
+            samples: 40,
+            buckets: 5,
+            wins_merge: 1,
+            wins_gallop: 0,
+            wins_block: 2,
+            wins_fesia: 1,
+            wins_shuffle: 1,
+        };
+        let (d, ()) = scope.measure(|| {
+            record_autotune_plan(&stats);
+            record_autotune_dispatch(true);
+            record_autotune_dispatch(true);
+            record_autotune_dispatch(false);
+        });
+        assert_eq!(d.autotune_samples, 40);
+        assert_eq!(d.autotune_buckets, 5);
+        assert_eq!(d.autotune_wins_merge, 1);
+        assert_eq!(d.autotune_wins_block, 2);
+        assert_eq!(d.autotune_wins_fesia, 1);
+        assert_eq!(d.autotune_wins_shuffle, 1);
+        assert_eq!(d.autotune_planned, 2);
+        assert_eq!(d.autotune_fallback, 1);
         assert_eq!(d.compsim_invocations, 0);
     }
 

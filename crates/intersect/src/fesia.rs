@@ -1,0 +1,518 @@
+//! FESIA-style hash-bitmap set intersection (Zhang et al., ICDE 2020).
+//!
+//! FESIA reorders each set by a hash of its elements and keeps, per set,
+//! a small bitmap with one bit per hash bucket. Intersecting two sets
+//! then starts with a bitmap AND: only buckets set on *both* sides can
+//! contain common elements, and only the (short) bucket segments behind
+//! those bits need an element-level compare. On low-selectivity pairs —
+//! the common case for `CompSim` on sparse graphs, where two adjacent
+//! vertices share a handful of their dozens of neighbors — the bitmap
+//! AND rules out most of both arrays without ever touching them.
+//!
+//! The reordered layout is what makes this a *precomputation* kernel:
+//! hashing and grouping a neighbor list costs a sort, so it is done once
+//! per graph into a [`FesiaPrecomp`] side structure (threaded through
+//! `PpScanConfig` / `GsIndex` build) and reused by every `CompSim` call.
+//! Per call, the kernel walks the bitmap **word by word** (64 buckets at
+//! a time) and verifies candidate words with an all-pairs compare —
+//! scalar for tiny segments, AVX2 rotate-and-compare (the
+//! [`crate::simd_block`] idiom) for larger ones. Equal ids always hash
+//! to the same bucket and land in the same word, so plain id equality
+//! inside a word pair is exact regardless of within-word order.
+//!
+//! Early termination keeps the Definition 3.9 contract at *word*
+//! granularity: after both sides' segments for a word are verified, the
+//! unmatched elements of that word are definitively non-common (their
+//! matches could only have been in this word), so `du`/`dv` drop by the
+//! per-word miss counts and the `Sim`/`NSim` exits stay exact.
+//!
+//! When no precomp entry is available (vertex untracked, stale after an
+//! unrepaired update, or the kernel invoked on raw slices), the
+//! [`check_flat`] fallback builds a transient stack bitmap over the
+//! smaller side and probes it with the larger — still hash-pruned, no
+//! precomputation required, valid on any host.
+
+use crate::counters;
+use crate::similarity::Similarity;
+
+/// Smallest per-vertex bitmap: 64 buckets = one `u64` word.
+const MIN_LOG2_BUCKETS: u32 = 6;
+/// Largest per-vertex bitmap: 1024 buckets = 16 words. Capping keeps the
+/// precomp linear in |V| + |E| even for hub-heavy degree distributions.
+const MAX_LOG2_BUCKETS: u32 = 10;
+
+/// Hash bucket of id `x`: top bits of a Fibonacci (multiplicative) hash.
+/// Multiplying by 2^32/φ spreads consecutive ids — the typical CSR
+/// neighborhood shape — across buckets far better than masking low bits.
+#[inline]
+fn bucket_of(x: u32, log2_buckets: u32) -> u32 {
+    x.wrapping_mul(0x9E37_79B1) >> (32 - log2_buckets)
+}
+
+/// One vertex's hashed neighborhood: bucket-presence bitmap, per-word
+/// segment offsets, and the neighbor ids reordered by bucket.
+#[derive(Clone, Debug)]
+struct FesiaEntry {
+    /// Bit `b` set ⇔ some neighbor hashes to bucket `b`.
+    bitmap: Box<[u64]>,
+    /// `reordered[word_offsets[w]..word_offsets[w + 1]]` holds the
+    /// neighbors hashing into word `w` (buckets `64w..64w+63`), ordered
+    /// by (bucket, id). Offsets are per *word*, not per bucket: the
+    /// verify step works word-at-a-time, and word granularity keeps the
+    /// offsets array 64× smaller.
+    word_offsets: Box<[u32]>,
+    /// Neighbor ids grouped by hash word.
+    reordered: Box<[u32]>,
+}
+
+impl FesiaEntry {
+    fn build(nbrs: &[u32], log2_buckets: u32) -> FesiaEntry {
+        let words = 1usize << (log2_buckets - MIN_LOG2_BUCKETS);
+        // Sort by (bucket, id): the bucket in the high half keeps the
+        // grouping, the id in the low half keeps segments deterministic.
+        let mut keyed: Vec<u64> = nbrs
+            .iter()
+            .map(|&x| (u64::from(bucket_of(x, log2_buckets)) << 32) | u64::from(x))
+            .collect();
+        keyed.sort_unstable();
+        let mut bitmap = vec![0u64; words].into_boxed_slice();
+        let mut word_offsets = vec![0u32; words + 1].into_boxed_slice();
+        let mut reordered = vec![0u32; nbrs.len()].into_boxed_slice();
+        for (slot, &key) in keyed.iter().enumerate() {
+            let bucket = (key >> 32) as u32;
+            bitmap[(bucket >> 6) as usize] |= 1u64 << (bucket & 63);
+            word_offsets[(bucket >> 6) as usize + 1] += 1;
+            reordered[slot] = key as u32;
+        }
+        for w in 1..=words {
+            word_offsets[w] += word_offsets[w - 1];
+        }
+        FesiaEntry {
+            bitmap,
+            word_offsets,
+            reordered,
+        }
+    }
+
+    #[inline]
+    fn segment(&self, w: usize) -> &[u32] {
+        &self.reordered[self.word_offsets[w] as usize..self.word_offsets[w + 1] as usize]
+    }
+
+    fn heap_bytes(&self) -> usize {
+        std::mem::size_of_val(&*self.bitmap)
+            + std::mem::size_of_val(&*self.word_offsets)
+            + std::mem::size_of_val(&*self.reordered)
+    }
+}
+
+/// Per-graph FESIA precomputation: one [`FesiaEntry`] per vertex, all
+/// sharing one bucket count sized from the average degree. Built once at
+/// run/index start, carried across rebuilds, and *repaired* per-vertex
+/// after graph deltas (only the edit endpoints' adjacencies change).
+#[derive(Clone, Debug)]
+pub struct FesiaPrecomp {
+    log2_buckets: u32,
+    entries: Vec<FesiaEntry>,
+}
+
+impl FesiaPrecomp {
+    /// Builds entries for vertices `0..num_vertices` from `neighbors`
+    /// (sorted, strictly increasing adjacency slices — the CSR
+    /// contract). The shared bucket count targets ~4 buckets per
+    /// average-degree neighbor so segments stay short, clamped to
+    /// [64, 1024] buckets.
+    pub fn build<'a>(
+        num_vertices: usize,
+        avg_degree: f64,
+        neighbors: impl Fn(u32) -> &'a [u32],
+    ) -> FesiaPrecomp {
+        let target = (avg_degree * 4.0).clamp(64.0, 1024.0) as u32;
+        let log2_buckets = (32 - target.leading_zeros()).clamp(MIN_LOG2_BUCKETS, MAX_LOG2_BUCKETS);
+        let entries = (0..num_vertices)
+            .map(|u| FesiaEntry::build(neighbors(u as u32), log2_buckets))
+            .collect();
+        FesiaPrecomp {
+            log2_buckets,
+            entries,
+        }
+    }
+
+    /// Rebuilds the entries of `touched` vertices from their *new*
+    /// adjacency. The bucket count is kept: it was sized from the
+    /// average degree, which a localized delta barely moves, and keeping
+    /// it means untouched entries stay valid. This is the `apply_delta`
+    /// repair path — O(Σ d(t)·log d(t)) over touched vertices only.
+    pub fn repair<'a>(&mut self, touched: &[u32], neighbors: impl Fn(u32) -> &'a [u32]) {
+        for &t in touched {
+            if let Some(e) = self.entries.get_mut(t as usize) {
+                *e = FesiaEntry::build(neighbors(t), self.log2_buckets);
+            }
+        }
+    }
+
+    /// Number of hash buckets shared by every entry.
+    pub fn buckets(&self) -> usize {
+        1usize << self.log2_buckets
+    }
+
+    /// Approximate owned heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .map(FesiaEntry::heap_bytes)
+            .sum::<usize>()
+            + self.entries.capacity() * std::mem::size_of::<FesiaEntry>()
+    }
+
+    /// The entry for vertex `u`, or `None` if `u` is untracked or the
+    /// entry is stale (its element count disagrees with the live
+    /// adjacency — e.g. a precomp an update has not repaired). Callers
+    /// fall back to [`check_flat`] on `None`.
+    #[inline]
+    fn entry(&self, u: u32, expected_len: usize) -> Option<&FesiaEntry> {
+        let e = self.entries.get(u as usize)?;
+        (e.reordered.len() == expected_len).then_some(e)
+    }
+}
+
+/// Precomputed-path `CompSim`: same contract as
+/// [`crate::merge::check_early`], where `a = N(u)` and `b = N(v)`.
+/// Falls back to [`check_flat`] when either vertex lacks a usable entry.
+pub fn check_pre(
+    pre: &FesiaPrecomp,
+    u: u32,
+    v: u32,
+    a: &[u32],
+    b: &[u32],
+    min_cn: u64,
+) -> Similarity {
+    if min_cn <= 2 {
+        counters::record_invocation();
+        return Similarity::Sim;
+    }
+    let mut du = a.len() as u64 + 2;
+    let mut dv = b.len() as u64 + 2;
+    if du < min_cn || dv < min_cn {
+        counters::record_invocation();
+        return Similarity::NSim;
+    }
+    let (Some(ea), Some(eb)) = (pre.entry(u, a.len()), pre.entry(v, b.len())) else {
+        return check_flat(a, b, min_cn);
+    };
+    let mut cn = 2u64;
+    let mut scanned = 0u64;
+    for w in 0..ea.bitmap.len() {
+        let ca = u64::from(ea.word_offsets[w + 1] - ea.word_offsets[w]);
+        let cb = u64::from(eb.word_offsets[w + 1] - eb.word_offsets[w]);
+        if ca == 0 && cb == 0 {
+            continue;
+        }
+        let mut m = 0u64;
+        if ca != 0 && cb != 0 && (ea.bitmap[w] & eb.bitmap[w]) != 0 {
+            m = verify(ea.segment(w), eb.segment(w));
+            scanned += ca + cb;
+            cn += m;
+            if cn >= min_cn {
+                counters::record_invocation_scanned(scanned);
+                return Similarity::Sim;
+            }
+        }
+        // Word `w` is fully decided: its `ca + cb - 2m` unmatched
+        // elements can match nowhere else (equal ids share a word), so
+        // the Definition 3.9 upper bounds tighten by the miss counts.
+        du -= ca - m;
+        dv -= cb - m;
+        if du < min_cn || dv < min_cn {
+            counters::record_invocation_scanned(scanned);
+            return Similarity::NSim;
+        }
+    }
+    counters::record_invocation_scanned(scanned);
+    Similarity::NSim
+}
+
+/// Exact `|a ∩ b|` via the precomputed entries (no early termination),
+/// for index construction. `None` if either entry is missing/stale —
+/// the caller falls back to the generic [`crate::count::count`].
+pub fn count_pre(pre: &FesiaPrecomp, u: u32, v: u32, a: &[u32], b: &[u32]) -> Option<u64> {
+    let ea = pre.entry(u, a.len())?;
+    let eb = pre.entry(v, b.len())?;
+    let mut total = 0u64;
+    let mut scanned = 0u64;
+    for w in 0..ea.bitmap.len() {
+        if (ea.bitmap[w] & eb.bitmap[w]) != 0 {
+            let (sa, sb) = (ea.segment(w), eb.segment(w));
+            if !sa.is_empty() && !sb.is_empty() {
+                total += verify(sa, sb);
+                scanned += (sa.len() + sb.len()) as u64;
+            }
+        }
+    }
+    counters::record_scanned(scanned);
+    Some(total)
+}
+
+/// On-the-fly fallback: hash the smaller side into a transient stack
+/// bitmap, probe with the larger side, binary-searching the smaller side
+/// only on bitmap hits. Keeps the early-termination contract exactly
+/// (per-element `d_large` decrements on definite misses). Works on any
+/// host; used when no [`FesiaPrecomp`] entry applies.
+pub fn check_flat(a: &[u32], b: &[u32], min_cn: u64) -> Similarity {
+    if min_cn <= 2 {
+        counters::record_invocation();
+        return Similarity::Sim;
+    }
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut d_large = large.len() as u64 + 2;
+    if (small.len() as u64 + 2) < min_cn || d_large < min_cn {
+        counters::record_invocation();
+        return Similarity::NSim;
+    }
+    // ~4 buckets per element, clamped to [64, 4096] bits = at most 64
+    // words of stack.
+    let target = (small.len() * 4).clamp(64, 4096) as u32;
+    let log2 = 32 - (target - 1).leading_zeros();
+    let mut bm = [0u64; 64];
+    for &x in small {
+        let bucket = bucket_of(x, log2);
+        bm[(bucket >> 6) as usize] |= 1u64 << (bucket & 63);
+    }
+    let mut cn = 2u64;
+    let mut scanned = small.len() as u64;
+    for &y in large {
+        scanned += 1;
+        let bucket = bucket_of(y, log2);
+        if (bm[(bucket >> 6) as usize] >> (bucket & 63)) & 1 != 0 && small.binary_search(&y).is_ok()
+        {
+            cn += 1;
+            if cn >= min_cn {
+                counters::record_invocation_scanned(scanned);
+                return Similarity::Sim;
+            }
+        } else {
+            d_large -= 1;
+            if d_large < min_cn {
+                counters::record_invocation_scanned(scanned);
+                return Similarity::NSim;
+            }
+        }
+    }
+    counters::record_invocation_scanned(scanned);
+    Similarity::NSim
+}
+
+/// Exact match count between two candidate segments (duplicate-free,
+/// equal ids guaranteed to co-reside). Scalar double loop for tiny
+/// segments, AVX2 all-pairs rotate-compare otherwise.
+#[inline]
+fn verify(sa: &[u32], sb: &[u32]) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if sa.len() * sb.len() > 16 && crate::simd::avx2_available() {
+            // SAFETY: feature checked; loads are mask-guarded.
+            return unsafe { verify_avx2(sa, sb) };
+        }
+    }
+    verify_scalar(sa, sb)
+}
+
+fn verify_scalar(sa: &[u32], sb: &[u32]) -> u64 {
+    sa.iter().map(|x| u64::from(sb.contains(x))).sum()
+}
+
+/// Row `r` of the maskload table: `8 - r` leading live lanes.
+#[cfg(target_arch = "x86_64")]
+static MASKS: [i32; 16] = [-1, -1, -1, -1, -1, -1, -1, -1, 0, 0, 0, 0, 0, 0, 0, 0];
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+// SAFETY: contract — call only after `is_x86_feature_detected!("avx2")`
+// (checked by the dispatching wrapper above).
+unsafe fn verify_avx2(sa: &[u32], sb: &[u32]) -> u64 {
+    use std::arch::x86_64::*;
+    const LANES: usize = 8;
+    let rot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+    // Dead-lane sentinels above the i32::MAX id ceiling; the two sides
+    // differ so dead lanes never match each other either.
+    let fill_a = _mm256_set1_epi32(-1);
+    let fill_b = _mm256_set1_epi32(-2);
+    let mut total = 0u64;
+    let mut i = 0usize;
+    while i < sa.len() {
+        let la = (sa.len() - i).min(LANES);
+        // SAFETY: maskload touches only the `la` live lanes, which the
+        // length subtraction keeps in bounds; mask rows start at
+        // LANES - la ∈ [0, 8].
+        let ma = _mm256_loadu_si256(MASKS.as_ptr().add(LANES - la) as *const _);
+        let va = _mm256_maskload_epi32(sa.as_ptr().add(i) as *const i32, ma);
+        let va = _mm256_blendv_epi8(fill_a, va, ma);
+        // Each sa element matches at most one sb element (sets are
+        // duplicate-free), so OR-ing hit masks across every sb block and
+        // popcounting once per sa block counts each match exactly once.
+        let mut hits = _mm256_setzero_si256();
+        let mut j = 0usize;
+        while j < sb.len() {
+            let lb = (sb.len() - j).min(LANES);
+            // SAFETY: same mask-guarded load as above.
+            let mb = _mm256_loadu_si256(MASKS.as_ptr().add(LANES - lb) as *const _);
+            let vb = _mm256_maskload_epi32(sb.as_ptr().add(j) as *const i32, mb);
+            let mut vb_rot = _mm256_blendv_epi8(fill_b, vb, mb);
+            for _ in 0..LANES {
+                hits = _mm256_or_si256(hits, _mm256_cmpeq_epi32(va, vb_rot));
+                vb_rot = _mm256_permutevar8x32_epi32(vb_rot, rot1);
+            }
+            j += lb;
+        }
+        total += (_mm256_movemask_ps(_mm256_castsi256_ps(hits)) as u32).count_ones() as u64;
+        i += la;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge;
+
+    /// Deterministic adjacency zoo for precomp tests: vertex `u`'s
+    /// neighbors are a stride pattern with density varying by `u`.
+    fn adjacency(n: u32) -> Vec<Vec<u32>> {
+        (0..n)
+            .map(|u| {
+                let stride = 1 + (u % 5);
+                let len = (u % 70) as usize;
+                (0..len as u32).map(|k| u / 2 + k * stride).collect()
+            })
+            .collect()
+    }
+
+    fn precomp_for(adj: &[Vec<u32>]) -> FesiaPrecomp {
+        let avg = adj.iter().map(Vec::len).sum::<usize>() as f64 / adj.len().max(1) as f64;
+        FesiaPrecomp::build(adj.len(), avg, |u| &adj[u as usize])
+    }
+
+    #[test]
+    fn precomputed_path_agrees_with_merge() {
+        let adj = adjacency(80);
+        let pre = precomp_for(&adj);
+        for u in 0..adj.len() as u32 {
+            for v in (u..adj.len() as u32).step_by(7) {
+                let (a, b) = (&adj[u as usize], &adj[v as usize]);
+                for min_cn in [0u64, 2, 3, 5, 9, 17, 40, 1000] {
+                    assert_eq!(
+                        check_pre(&pre, u, v, a, b, min_cn),
+                        merge::check_early(a, b, min_cn),
+                        "u={u} v={v} min_cn={min_cn}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_pre_is_exact() {
+        let adj = adjacency(60);
+        let pre = precomp_for(&adj);
+        for u in 0..adj.len() as u32 {
+            for v in (0..adj.len() as u32).step_by(3) {
+                let (a, b) = (&adj[u as usize], &adj[v as usize]);
+                assert_eq!(
+                    count_pre(&pre, u, v, a, b),
+                    Some(merge::count_full(a, b)),
+                    "u={u} v={v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flat_path_agrees_with_merge() {
+        let grids: [(&[u32], &[u32]); 5] = [
+            (&[], &[]),
+            (&[1, 2, 3], &[]),
+            (&[0, 5, 9], &[0, 5, 9]),
+            (&[1, 3, 5, 7], &[0, 2, 4, 6, 8]),
+            (&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9], &[4, 5, 6]),
+        ];
+        for (a, b) in grids {
+            for min_cn in [0u64, 2, 3, 4, 5, 8, 100] {
+                assert_eq!(
+                    check_flat(a, b, min_cn),
+                    merge::check_early(a, b, min_cn),
+                    "a={a:?} b={b:?} min_cn={min_cn}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stale_entry_falls_back_to_flat() {
+        let adj = adjacency(20);
+        let pre = precomp_for(&adj);
+        // Query with a *different* adjacency than the precomp saw: the
+        // length mismatch must be detected and answered exactly anyway.
+        let fresh: Vec<u32> = (0..40).collect();
+        for v in 0..adj.len() as u32 {
+            let b = &adj[v as usize];
+            for min_cn in [0u64, 3, 8, 30] {
+                assert_eq!(
+                    check_pre(&pre, 0, v, &fresh, b, min_cn),
+                    merge::check_early(&fresh, b, min_cn),
+                    "v={v} min_cn={min_cn}"
+                );
+            }
+        }
+        assert_eq!(count_pre(&pre, 0, 1, &fresh, &adj[1]), None);
+    }
+
+    #[test]
+    fn repair_refreshes_touched_entries() {
+        let mut adj = adjacency(30);
+        let mut pre = precomp_for(&adj);
+        // Mutate two vertices' adjacency (same way an edge delta would),
+        // repair only them, and check both repaired and untouched paths.
+        adj[3] = vec![1, 4, 9, 16, 25];
+        adj[7] = (0..33).map(|k| k * 2).collect();
+        pre.repair(&[3, 7], |u| &adj[u as usize]);
+        for u in 0..adj.len() as u32 {
+            for v in 0..adj.len() as u32 {
+                let (a, b) = (&adj[u as usize], &adj[v as usize]);
+                assert_eq!(
+                    count_pre(&pre, u, v, a, b),
+                    Some(merge::count_full(a, b)),
+                    "u={u} v={v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn near_id_ceiling_ids_are_exact() {
+        // Ids close to i32::MAX pin the SIMD sentinel contract: dead
+        // lanes sit *above* the ceiling and must never alias real ids.
+        let top = i32::MAX as u32;
+        let a: Vec<u32> = (0..40).map(|k| top - 2 * k).rev().collect();
+        let b: Vec<u32> = (0..40).map(|k| top - 3 * k).rev().collect();
+        for min_cn in [0u64, 2, 3, 10, 16, 100] {
+            assert_eq!(
+                check_flat(&a, &b, min_cn),
+                merge::check_early(&a, &b, min_cn),
+                "min_cn={min_cn}"
+            );
+        }
+        assert_eq!(verify(&a, &b), merge::count_full(&a, &b));
+    }
+
+    #[test]
+    fn verify_matches_scalar_on_segment_shapes() {
+        for la in [0usize, 1, 2, 5, 8, 9, 17, 40] {
+            for lb in [0usize, 1, 3, 8, 13, 33] {
+                let sa: Vec<u32> = (0..la as u32).map(|x| x * 3).collect();
+                let sb: Vec<u32> = (0..lb as u32).map(|x| x * 2).collect();
+                assert_eq!(verify(&sa, &sb), verify_scalar(&sa, &sb), "la={la} lb={lb}");
+                assert_eq!(verify(&sa, &sb), merge::count_full(&sa, &sb));
+            }
+        }
+    }
+}

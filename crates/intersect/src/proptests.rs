@@ -84,6 +84,119 @@ fn kernels_symmetric() {
     }
 }
 
+/// Adversarial input family for the new-kernel differential tests:
+/// empty, disjoint, fully-overlapping, near-`i32::MAX` ids (pinning the
+/// SIMD dead-lane sentinel contract), and a seeded skew grid.
+fn adversarial_pairs() -> Vec<(Vec<u32>, Vec<u32>)> {
+    let top = i32::MAX as u32;
+    let mut pairs: Vec<(Vec<u32>, Vec<u32>)> = vec![
+        (vec![], vec![]),
+        (vec![], (0..40).collect()),
+        (
+            (0..33).map(|x| x * 2).collect(),
+            (0..33).map(|x| x * 2 + 1).collect(),
+        ),
+        ((0..50).collect(), (0..50).collect()),
+        (
+            (0..17).map(|k| top - 16 + k).collect(),
+            (0..17).map(|k| top - 16 + k).collect(),
+        ),
+        (
+            (0..40).map(|k| top - 2 * (39 - k)).collect(),
+            (0..40).map(|k| top - 3 * (39 - k)).collect(),
+        ),
+        (vec![0], vec![0]),
+        (vec![0, top], vec![0, top]),
+    ];
+    // Seeded skew grid: short lists against 1×/8×/64× longer ones.
+    for seed in 0..24u64 {
+        let mut rng = Rng(0xfe51a ^ (seed << 8));
+        let short = sorted_ids(&mut rng, 24);
+        for skew in [1usize, 8, 64] {
+            let long = sorted_ids(&mut rng, 24 * skew);
+            pairs.push((short.clone(), long));
+        }
+    }
+    pairs
+}
+
+#[test]
+fn new_kernels_agree_with_merge_oracle_at_every_min_cn() {
+    use crate::autotune::KernelPrecomp;
+    use crate::kernel::PrecompCtx;
+
+    for (a, b) in adversarial_pairs() {
+        // A real FESIA precomp over exactly this pair's adjacency, so
+        // the precomputed path is exercised next to the flat one.
+        let adj = [a.clone(), b.clone()];
+        let avg = (a.len() + b.len()) as f64 / 2.0;
+        let fesia = crate::fesia::FesiaPrecomp::build(2, avg, |u| &adj[u as usize]);
+        let pre = KernelPrecomp::new(Some(fesia), None);
+        let ctx = PrecompCtx::new(&pre, 0, 1);
+        // Early-termination equivalence at *every* reachable min_cn.
+        for min_cn in 0..=(a.len() + b.len() + 3) as u64 {
+            let expected = if min_cn <= 2 {
+                crate::Similarity::Sim
+            } else {
+                merge::check_reference(&a, &b, min_cn)
+            };
+            for k in [Kernel::Fesia, Kernel::Shuffling, Kernel::Autotuned] {
+                assert_eq!(
+                    k.check(&a, &b, min_cn),
+                    expected,
+                    "kernel {k} (no ctx) |a|={} |b|={} min_cn={min_cn}",
+                    a.len(),
+                    b.len()
+                );
+                assert_eq!(
+                    k.check_pre(ctx, &a, &b, min_cn),
+                    expected,
+                    "kernel {k} (precomp) |a|={} |b|={} min_cn={min_cn}",
+                    a.len(),
+                    b.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn autotuned_with_measured_plan_agrees_with_oracle() {
+    use crate::autotune::{AutotuneConfig, AutotunePlan, KernelPrecomp, SamplePair};
+    use crate::kernel::PrecompCtx;
+
+    let pairs = adversarial_pairs();
+    let samples: Vec<SamplePair<'_>> = pairs
+        .iter()
+        .map(|(a, b)| SamplePair {
+            u: 0,
+            v: 1,
+            a,
+            b,
+            min_cn: (a.len().min(b.len()) as u64 / 2).max(3),
+        })
+        .collect();
+    let plan = AutotunePlan::measure(&samples, None, &AutotuneConfig::default());
+    let pre = KernelPrecomp::new(None, Some(plan));
+    let ctx = PrecompCtx::new(&pre, 0, 1);
+    for (a, b) in &pairs {
+        for min_cn in [0u64, 3, 5, 9, 17, 1000] {
+            let expected = if min_cn <= 2 {
+                crate::Similarity::Sim
+            } else {
+                merge::check_reference(a, b, min_cn)
+            };
+            assert_eq!(
+                Kernel::Autotuned.check_pre(ctx, a, b, min_cn),
+                expected,
+                "|a|={} |b|={} min_cn={min_cn}",
+                a.len(),
+                b.len()
+            );
+        }
+    }
+}
+
 #[test]
 fn min_cn_is_exact_threshold() {
     for seed in 0..256u64 {

@@ -1,0 +1,171 @@
+//! Shuffling (all-pairs block-compare) kernel for balanced short lists.
+//!
+//! The [`crate::simd_block`] kernels maintain the Definition 3.9
+//! `du`/`dv` upper bounds on every block retire. That bookkeeping pays
+//! off on long lists, where a bound exit can skip most of the work — but
+//! on *short, balanced* pairs (the bulk of `CompSim` calls on low-degree
+//! graphs) the whole intersection is only a few blocks, the bounds
+//! almost never fire before exhaustion, and their maintenance is pure
+//! overhead on the hot loop.
+//!
+//! This kernel is the lean variant: the same rotate-lanes all-pairs
+//! equality scheme (shuffle `b`'s block through all alignments, OR the
+//! equality masks, popcount once), advancing by whole blocks, with
+//! exactly two exits — `Sim` as soon as `cn ≥ min_cn` (checked at block
+//! granularity, so it stays exact) and `NSim` when either side is
+//! exhausted. The up-front degree pre-check is kept (it is one compare
+//! and prunes for free); only the per-block bound updates are dropped.
+//!
+//! Scalar fallback: a branch-light merge loop with the same two exits,
+//! so the kernel is available on every host.
+
+use crate::counters;
+use crate::similarity::Similarity;
+
+/// Shuffling `CompSim`; same contract as [`crate::merge::check_early`].
+pub fn check_early(a: &[u32], b: &[u32], min_cn: u64) -> Similarity {
+    if min_cn <= 2 {
+        counters::record_invocation();
+        return Similarity::Sim;
+    }
+    if (a.len() as u64 + 2) < min_cn || (b.len() as u64 + 2) < min_cn {
+        counters::record_invocation();
+        return Similarity::NSim;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::simd::avx2_available() {
+            // SAFETY: feature checked; `inner_avx2` guards all loads.
+            return unsafe { inner_avx2(a, b, min_cn) };
+        }
+    }
+    scalar(a, b, min_cn)
+}
+
+fn scalar(a: &[u32], b: &[u32], min_cn: u64) -> Similarity {
+    let (mut i, mut j, mut cn) = (0usize, 0usize, 2u64);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        if x == y {
+            cn += 1;
+            if cn >= min_cn {
+                counters::record_invocation_scanned((i + j) as u64);
+                return Similarity::Sim;
+            }
+            i += 1;
+            j += 1;
+        } else {
+            i += usize::from(x < y);
+            j += usize::from(y < x);
+        }
+    }
+    counters::record_invocation_scanned((i + j) as u64);
+    Similarity::NSim
+}
+
+/// Row `r` of the maskload table: `8 - r` leading live lanes.
+#[cfg(target_arch = "x86_64")]
+static MASKS: [i32; 16] = [-1, -1, -1, -1, -1, -1, -1, -1, 0, 0, 0, 0, 0, 0, 0, 0];
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+// SAFETY: contract — call only after `is_x86_feature_detected!("avx2")`
+// (checked by the dispatching wrapper above).
+unsafe fn inner_avx2(a: &[u32], b: &[u32], min_cn: u64) -> Similarity {
+    use std::arch::x86_64::*;
+    const LANES: usize = 8;
+    let rot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+    // Dead-lane sentinels above the i32::MAX id ceiling; the two sides
+    // differ so dead lanes never match each other either.
+    let fill_a = _mm256_set1_epi32(-1);
+    let fill_b = _mm256_set1_epi32(-2);
+    let (mut i, mut j, mut cn) = (0usize, 0usize, 2u64);
+    while i < a.len() && j < b.len() {
+        let la = (a.len() - i).min(LANES);
+        let lb = (b.len() - j).min(LANES);
+        // SAFETY: maskload touches only the `la`/`lb` live lanes, which
+        // the length subtraction keeps in bounds; the mask table rows
+        // start at LANES - l ∈ [0, 8].
+        let ma = _mm256_loadu_si256(MASKS.as_ptr().add(LANES - la) as *const _);
+        let mb = _mm256_loadu_si256(MASKS.as_ptr().add(LANES - lb) as *const _);
+        let va = _mm256_maskload_epi32(a.as_ptr().add(i) as *const i32, ma);
+        let vb = _mm256_maskload_epi32(b.as_ptr().add(j) as *const i32, mb);
+        let va = _mm256_blendv_epi8(fill_a, va, ma);
+        let vb = _mm256_blendv_epi8(fill_b, vb, mb);
+        // All-pairs equality: rotate vb through all 8 alignments.
+        let mut hits = _mm256_cmpeq_epi32(va, vb);
+        let mut vb_rot = vb;
+        for _ in 1..LANES {
+            vb_rot = _mm256_permutevar8x32_epi32(vb_rot, rot1);
+            hits = _mm256_or_si256(hits, _mm256_cmpeq_epi32(va, vb_rot));
+        }
+        cn += (_mm256_movemask_ps(_mm256_castsi256_ps(hits)) as u32).count_ones() as u64;
+        if cn >= min_cn {
+            counters::record_invocation_scanned((i + j) as u64);
+            return Similarity::Sim;
+        }
+        // SAFETY: block-tail indices are below the live lengths.
+        let amax = *a.get_unchecked(i + la - 1);
+        let bmax = *b.get_unchecked(j + lb - 1);
+        // Advance the block(s) with the smaller maximum; strictly
+        // increasing inputs guarantee no match is skipped.
+        if amax <= bmax {
+            i += la;
+        }
+        if bmax <= amax {
+            j += lb;
+        }
+    }
+    counters::record_invocation_scanned((i + j) as u64);
+    Similarity::NSim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge;
+
+    #[test]
+    fn agrees_with_merge_on_size_grid() {
+        for &la in &[0usize, 1, 7, 8, 9, 15, 16, 17, 31, 33, 64, 100] {
+            for &lb in &[0usize, 1, 7, 8, 9, 15, 16, 17, 31, 33, 64, 100] {
+                let a: Vec<u32> = (0..la as u32).map(|x| x * 3).collect();
+                let b: Vec<u32> = (0..lb as u32).map(|x| x * 2).collect();
+                for min_cn in [0u64, 2, 3, 4, 8, 16, 40, 1000] {
+                    assert_eq!(
+                        check_early(&a, &b, min_cn),
+                        merge::check_early(&a, &b, min_cn),
+                        "|a|={la} |b|={lb} min_cn={min_cn}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_and_simd_paths_agree() {
+        let a: Vec<u32> = (0..100).map(|x| x * 3 + 1).collect();
+        let b: Vec<u32> = (0..90).map(|x| x * 2 + 1).collect();
+        for min_cn in [0u64, 2, 3, 7, 19, 200] {
+            assert_eq!(scalar(&a, &b, min_cn), merge::check_early(&a, &b, min_cn));
+            assert_eq!(
+                check_early(&a, &b, min_cn),
+                merge::check_early(&a, &b, min_cn)
+            );
+        }
+    }
+
+    #[test]
+    fn identical_disjoint_and_zero_id() {
+        let a: Vec<u32> = (0..512).collect();
+        let c: Vec<u32> = (1000..1512).collect();
+        assert_eq!(check_early(&a, &a, 514), Similarity::Sim);
+        assert_eq!(check_early(&a, &a, 515), Similarity::NSim);
+        assert_eq!(check_early(&a, &c, 3), Similarity::NSim);
+        // Vertex id 0 must not collide with dead-lane sentinels.
+        assert_eq!(
+            check_early(&[0, 5], &[1, 2, 3], 3),
+            merge::check_early(&[0, 5], &[1, 2, 3], 3)
+        );
+    }
+}
